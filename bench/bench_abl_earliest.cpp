@@ -1,0 +1,51 @@
+// Ablation — earliest executor vs. fastest executor (the core of §IV-B and
+// Figure 5).
+//
+// "versioning-fastest" is the strawman policy that always sends a task to
+// the fastest version's device regardless of how busy it is. The paper's
+// earliest-executor rule instead hands overflow work to idle slower
+// workers. The gap between the two policies is exactly the cooperative
+// speedup the paper's evaluation attributes to the versioning scheduler.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "perf/report.h"
+
+using namespace versa;
+using namespace versa::bench;
+
+int main() {
+  std::printf(
+      "Ablation: earliest executor (paper) vs fastest executor (strawman)\n\n");
+
+  TablePrinter table({"workload", "config", "earliest (paper)",
+                      "fastest-only", "gain"});
+  for (const ResourceConfig& rc :
+       {ResourceConfig{4, 1}, ResourceConfig{8, 1}, ResourceConfig{8, 2}}) {
+    RunOptions earliest;
+    earliest.smp = rc.smp;
+    earliest.gpus = rc.gpus;
+    earliest.scheduler = "versioning";
+    RunOptions fastest = earliest;
+    fastest.scheduler = "versioning-fastest";
+
+    const AppResult mm_e = run_matmul(earliest, true);
+    const AppResult mm_f = run_matmul(fastest, true);
+    table.add_row({"mm-hyb", config_label(rc),
+                   format_double(mm_e.gflops, 1) + " GFLOP/s",
+                   format_double(mm_f.gflops, 1) + " GFLOP/s",
+                   format_double(mm_e.gflops / mm_f.gflops, 3) + "x"});
+
+    const AppResult pb_e = run_pbpi(earliest, apps::PbpiVariant::kHybrid, 1, 20);
+    const AppResult pb_f = run_pbpi(fastest, apps::PbpiVariant::kHybrid, 1, 20);
+    table.add_row({"pbpi-hyb", config_label(rc),
+                   format_double(pb_e.elapsed_seconds, 2) + " s",
+                   format_double(pb_f.elapsed_seconds, 2) + " s",
+                   format_double(pb_f.elapsed_seconds / pb_e.elapsed_seconds,
+                                 3) +
+                       "x"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Ablation — the learning threshold λ (§IV-B footnote 4: "this threshold
+// can be configured by the user").
+//
+// Sweeps λ on the hybrid matrix multiplication (8 SMP + 2 GPU). Small λ
+// ends the learning phase quickly but trusts noisy means; large λ wastes
+// runs of the slow implementations before the reliable phase starts.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "perf/report.h"
+
+using namespace versa;
+using namespace versa::bench;
+
+int main() {
+  std::printf("Ablation: learning threshold lambda (mm-hyb, 8 SMP + 2 GPU)\n\n");
+
+  TablePrinter table({"lambda", "GFLOP/s", "CUBLAS %", "CUDA %", "CBLAS %"});
+  for (const std::uint32_t lambda : {1u, 2u, 3u, 5u, 10u, 20u}) {
+    RunOptions options;
+    options.smp = 8;
+    options.gpus = 2;
+    options.scheduler = "versioning";
+    options.profile.lambda = lambda;
+    const AppResult result = run_matmul(options, /*hybrid=*/true);
+    table.add_row({std::to_string(lambda), format_double(result.gflops, 1),
+                   format_double(result.shares[0].percent, 1),
+                   format_double(result.shares[1].percent, 1),
+                   format_double(result.shares[2].percent, 1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation — transfer/compute overlap + prefetch (§V-A: "we configured
+// OmpSs to overlap data transfers with task execution ... combined with
+// prefetching task data").
+//
+// Runs the three applications with the feature on and off. With overlap,
+// a queued task's copies start the moment it is assigned, hiding PCIe
+// time behind the running task; without it, every task stalls on its own
+// copies first.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "perf/report.h"
+
+using namespace versa;
+using namespace versa::bench;
+
+int main() {
+  std::printf("Ablation: transfer/compute overlap + prefetch (8 SMP + 2 GPU)\n\n");
+
+  TablePrinter table({"application", "overlap on", "overlap off",
+                      "slowdown"});
+  RunOptions on;
+  on.smp = 8;
+  on.gpus = 2;
+  RunOptions off = on;
+  off.prefetch = false;
+
+  {
+    const AppResult a = run_matmul(on, true);
+    const AppResult b = run_matmul(off, true);
+    table.add_row({"matmul (mm-hyb-ver)",
+                   format_double(a.elapsed_seconds, 2) + " s",
+                   format_double(b.elapsed_seconds, 2) + " s",
+                   format_double(b.elapsed_seconds / a.elapsed_seconds, 2) +
+                       "x"});
+  }
+  {
+    const AppResult a = run_cholesky(on, apps::PotrfVariant::kHybrid);
+    const AppResult b = run_cholesky(off, apps::PotrfVariant::kHybrid);
+    table.add_row({"cholesky (potrf-hyb-ver)",
+                   format_double(a.elapsed_seconds, 2) + " s",
+                   format_double(b.elapsed_seconds, 2) + " s",
+                   format_double(b.elapsed_seconds / a.elapsed_seconds, 2) +
+                       "x"});
+  }
+  {
+    const AppResult a = run_pbpi(on, apps::PbpiVariant::kHybrid);
+    const AppResult b = run_pbpi(off, apps::PbpiVariant::kHybrid);
+    table.add_row({"pbpi (pbpi-hyb-ver)",
+                   format_double(a.elapsed_seconds, 2) + " s",
+                   format_double(b.elapsed_seconds, 2) + " s",
+                   format_double(b.elapsed_seconds / a.elapsed_seconds, 2) +
+                       "x"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

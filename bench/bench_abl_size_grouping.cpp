@@ -1,0 +1,85 @@
+// Ablation — exact vs. range-based data-set-size grouping (§VII future
+// work #2: "if the data needed by two calls to the same task varies from
+// only 1 byte, the scheduler will consider that these calls belong to
+// different groups ... it would be better to define the data sizes of each
+// group in a reasonable range").
+//
+// Workload: one task type (fast GPU + slow SMP version) invoked with data
+// sizes jittered by a few percent, so exact grouping sees a fresh group
+// (and pays a fresh learning phase) for almost every task.
+#include <cstdio>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "machine/presets.h"
+#include "perf/report.h"
+#include "runtime/runtime.h"
+#include "sched/versioning_scheduler.h"
+
+using namespace versa;
+
+namespace {
+
+struct Outcome {
+  double elapsed_ms;
+  std::uint64_t slow_runs;
+  std::size_t groups;
+};
+
+Outcome run(SizeGrouping grouping) {
+  const Machine machine = make_minotauro_node(4, 2);
+  RuntimeConfig config;
+  config.backend = Backend::kSim;
+  config.scheduler = "versioning";
+  config.profile.grouping = grouping;
+  config.profile.lambda = 2;
+  Runtime rt(machine, config);
+
+  const TaskTypeId t = rt.declare_task("kernel");
+  rt.add_version(t, DeviceKind::kCuda, "gpu", nullptr,
+                 make_linear_cost(1e-3, 1e-12));
+  const VersionId smp = rt.add_version(t, DeviceKind::kSmp, "smp", nullptr,
+                                       make_linear_cost(20e-3, 2e-11));
+
+  Rng rng(99);
+  for (int i = 0; i < 300; ++i) {
+    // ~1 MB with up to 4 % jitter: a new exact group almost every time.
+    const std::uint64_t size =
+        1'000'000 + rng.next_below(40'000);
+    const RegionId r =
+        rt.register_data("d" + std::to_string(i), size);
+    rt.submit(t, {Access::in(r)});
+  }
+  rt.taskwait();
+
+  const auto& versioning = dynamic_cast<VersioningScheduler&>(rt.scheduler());
+  return {rt.elapsed() * 1e3, rt.run_stats().count(smp),
+          versioning.profile().group_count()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation: data-set-size grouping (300 tasks, sizes ~1 MB +-4%%,\n"
+      "gpu version 1 ms vs smp version 20 ms, lambda=2)\n\n");
+
+  TablePrinter table({"grouping", "groups", "slow (smp) runs", "elapsed"});
+  const Outcome exact = run(SizeGrouping::kExact);
+  const Outcome range = run(SizeGrouping::kRange);
+  table.add_row({"exact (paper)", std::to_string(exact.groups),
+                 std::to_string(exact.slow_runs),
+                 format_double(exact.elapsed_ms, 2) + " ms"});
+  table.add_row({"range (future work)", std::to_string(range.groups),
+                 std::to_string(range.slow_runs),
+                 format_double(range.elapsed_ms, 2) + " ms"});
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "exact grouping opens a fresh group for nearly every task, so no\n"
+      "group ever accumulates lambda runs: the scheduler stays in the\n"
+      "learning phase for the whole run and never makes informed\n"
+      "earliest-executor decisions. Range grouping converges after one\n"
+      "learning phase and then exploits both devices deliberately —\n"
+      "\"better decisions would be taken earlier\" (§VII).\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Extension experiment — versioning scheduler on a GPU cluster.
+//
+// The paper's introduction positions OmpSs as the same programming model
+// from one heterogeneous node up to "clusters of SMPs and/or GPUs". This
+// harness scales the hybrid matrix multiplication from one MinoTauro node
+// to a four-node cluster (network-staged transfers included) and reports
+// scaling efficiency per scheduler.
+#include <cstdio>
+
+#include "apps/matmul.h"
+#include "common/string_util.h"
+#include "machine/presets.h"
+#include "perf/report.h"
+#include "perf/run_stats.h"
+#include "runtime/runtime.h"
+
+using namespace versa;
+
+namespace {
+
+struct Outcome {
+  double gflops;
+  TransferStats tx;
+};
+
+Outcome run(std::size_t nodes, const std::string& scheduler, bool hybrid) {
+  const Machine machine = make_gpu_cluster(nodes, 8, 2);
+  RuntimeConfig config;
+  config.backend = Backend::kSim;
+  config.scheduler = scheduler;
+  Runtime rt(machine, config);
+  apps::MatmulParams params;  // paper scale: 16384^2 doubles, 1024^2 tiles
+  params.hybrid = hybrid;
+  apps::MatmulApp app(rt, params);
+  app.run();
+  return {gflops(app.total_flops(), rt.elapsed()), rt.transfer_stats()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Extension: hybrid matmul on a GPU cluster (8 SMP + 2 GPU per node)\n"
+      "16384x16384 doubles; network 3.2 GB/s between node memories\n\n");
+
+  TablePrinter table({"nodes", "mm-gpu-dep", "mm-hyb-ver", "hyb total tx",
+                      "scaling (hyb)"});
+  double base = 0.0;
+  for (const std::size_t nodes : {1u, 2u, 4u}) {
+    const Outcome gpu = run(nodes, "dep-aware", false);
+    const Outcome hyb = run(nodes, "versioning", true);
+    if (nodes == 1) base = hyb.gflops;
+    table.add_row(
+        {std::to_string(nodes), format_double(gpu.gflops, 1) + " GF/s",
+         format_double(hyb.gflops, 1) + " GF/s",
+         format_bytes(static_cast<double>(hyb.tx.total_bytes())),
+         format_double(hyb.gflops / base / static_cast<double>(nodes) * 100.0,
+                       1) +
+             " %"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "scaling efficiency dips as the network serializes tile movement —\n"
+      "the locality weakness the paper's §VII roadmap targets.\n");
+  return 0;
+}

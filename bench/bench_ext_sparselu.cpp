@@ -1,0 +1,62 @@
+// Extension experiment — SparseLU across schedulers.
+//
+// The classic StarSs/OmpSs benchmark: irregular sparsity, dynamic fill-in,
+// four task types with very different costs. Irregularity is where the
+// versioning scheduler's profiling shines over static placement: the
+// per-type GPU/SMP speed ratios differ (lu0 barely benefits from the GPU,
+// bmod hugely does), so a good hybrid split is type-dependent.
+#include <cstdio>
+
+#include "apps/sparselu.h"
+#include "common/string_util.h"
+#include "machine/presets.h"
+#include "perf/report.h"
+#include "perf/run_stats.h"
+#include "runtime/runtime.h"
+#include "sched/scheduler_factory.h"
+
+using namespace versa;
+
+int main() {
+  std::printf(
+      "Extension: SparseLU (24x24 blocks of 256^2 floats, density 0.4)\n"
+      "8 SMP + 2 GPU; hybrid versions where supported\n\n");
+
+  TablePrinter table({"scheduler", "elapsed (ms)", "tasks", "fill-in",
+                      "lu0 gpu/smp", "bmod gpu/smp"});
+  for (const std::string& scheduler : scheduler_names()) {
+    const Machine machine = make_minotauro_node(8, 2);
+    RuntimeConfig config;
+    config.backend = Backend::kSim;
+    config.scheduler = scheduler;
+    config.profile.lambda = 2;
+    Runtime rt(machine, config);
+
+    apps::SparseLuParams params;
+    params.blocks = 24;
+    params.block_size = 256;
+    params.density = 0.4;
+    params.hybrid = true;
+    apps::SparseLuApp app(rt, params);
+    app.run();
+
+    auto split = [&](TaskTypeId type) {
+      std::uint64_t gpu = 0, smp = 0;
+      for (const VersionId v : rt.version_registry().versions(type)) {
+        const auto& version = rt.version_registry().version(v);
+        (version.device == DeviceKind::kCuda ? gpu : smp) +=
+            rt.run_stats().count(v);
+      }
+      return std::to_string(gpu) + "/" + std::to_string(smp);
+    };
+    table.add_row({scheduler, format_double(rt.elapsed() * 1e3, 2),
+                   std::to_string(app.task_count()),
+                   std::to_string(app.fill_in_count()),
+                   split(app.lu0_type()), split(app.bmod_type())});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "lu0 gains little from the GPU (latency-bound), bmod gains ~70x;\n"
+      "only the versioning schedulers discover the per-type split.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 10 — Data transferred for Cholesky factorization.
+//
+// Same categories as Figure 7, for potrf-gpu under the two baseline
+// schedulers and potrf-hyb under the versioning scheduler.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "perf/report.h"
+
+using namespace versa;
+using namespace versa::bench;
+
+namespace {
+
+std::string cell(std::uint64_t bytes) {
+  return format_bytes(static_cast<double>(bytes));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 10: data transferred for Cholesky\n\n");
+
+  TablePrinter table({"config", "series", "Input Tx", "Output Tx",
+                      "Device Tx", "total"});
+  for (const ResourceConfig& rc : paper_configs()) {
+    RunOptions options;
+    options.smp = rc.smp;
+    options.gpus = rc.gpus;
+
+    options.scheduler = "affinity";
+    const AppResult ga = run_cholesky(options, apps::PotrfVariant::kGpu);
+    options.scheduler = "dep-aware";
+    const AppResult gd = run_cholesky(options, apps::PotrfVariant::kGpu);
+    options.scheduler = "versioning";
+    const AppResult hv = run_cholesky(options, apps::PotrfVariant::kHybrid);
+
+    const struct {
+      const char* name;
+      const TransferStats* tx;
+    } rows[] = {{"GA", &ga.transfers}, {"GD", &gd.transfers},
+                {"HV", &hv.transfers}};
+    for (const auto& row : rows) {
+      table.add_row({config_label(rc), row.name, cell(row.tx->input_bytes),
+                     cell(row.tx->output_bytes), cell(row.tx->device_bytes),
+                     cell(row.tx->total_bytes())});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

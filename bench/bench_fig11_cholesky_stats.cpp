@@ -1,0 +1,37 @@
+// Figure 11 — Cholesky task statistics for the versioning scheduler: the
+// share of potrf tasks run by the GPU (MAGMA) and SMP (CBLAS) versions in
+// the potrf-hyb application. The paper observes that Cholesky's dependency
+// graph leaves too little look-ahead to feed the slow SMP version, so the
+// GPUs take (almost) all potrf executions.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "perf/report.h"
+
+using namespace versa;
+using namespace versa::bench;
+
+int main() {
+  std::printf(
+      "Figure 11: Cholesky potrf task statistics for the versioning "
+      "scheduler\n(percentage of potrf tasks per implementation)\n\n");
+
+  TablePrinter table({"config", "GPU(MAGMA) %", "SMP(CBLAS) %", "potrf tasks"});
+  for (const ResourceConfig& rc : paper_configs()) {
+    RunOptions options;
+    options.smp = rc.smp;
+    options.gpus = rc.gpus;
+    options.scheduler = "versioning";
+    const AppResult result =
+        run_cholesky(options, apps::PotrfVariant::kHybrid);
+    const std::uint64_t potrf_tasks =
+        result.shares[0].count + result.shares[1].count;
+    table.add_row({config_label(rc),
+                   format_double(result.shares[0].percent, 1),
+                   format_double(result.shares[1].percent, 1),
+                   std::to_string(potrf_tasks)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

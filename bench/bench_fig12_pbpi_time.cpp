@@ -1,0 +1,53 @@
+// Figure 12 — PBPI execution time (lower is better; PBPI has no
+// floating-point-rate metric, §V-B3).
+//
+// Series: pbpi-smp and pbpi-gpu under the baseline schedulers, pbpi-hyb
+// under the versioning scheduler. Dataset: 500 MB / 50000 elements;
+// generation count scaled down (constant per-generation structure), which
+// rescales every series identically.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "perf/report.h"
+
+using namespace versa;
+using namespace versa::bench;
+
+int main() {
+  std::printf("Figure 12: PBPI execution time (seconds, lower is better)\n");
+  std::printf("dataset 500 MB, 50 generations (scaled run)\n\n");
+
+  TablePrinter table({"config", "pbpi-smp-dep", "pbpi-gpu-dep",
+                      "pbpi-gpu-aff", "pbpi-hyb-ver"});
+  CsvWriter csv;
+  csv.add_row({"smp", "gpus", "pbpi_smp", "pbpi_gpu_dep", "pbpi_gpu_aff",
+               "pbpi_hyb_ver"});
+  for (const ResourceConfig& rc : paper_configs()) {
+    RunOptions options;
+    options.smp = rc.smp;
+    options.gpus = rc.gpus;
+
+    options.scheduler = "dep-aware";
+    const AppResult smp = run_pbpi(options, apps::PbpiVariant::kSmp);
+    const AppResult gpu_dep = run_pbpi(options, apps::PbpiVariant::kGpu);
+    options.scheduler = "affinity";
+    const AppResult gpu_aff = run_pbpi(options, apps::PbpiVariant::kGpu);
+    options.scheduler = "versioning";
+    const AppResult hyb = run_pbpi(options, apps::PbpiVariant::kHybrid);
+
+    table.add_row({config_label(rc),
+                   format_double(smp.elapsed_seconds, 2),
+                   format_double(gpu_dep.elapsed_seconds, 2),
+                   format_double(gpu_aff.elapsed_seconds, 2),
+                   format_double(hyb.elapsed_seconds, 2)});
+    csv.add_row({std::to_string(rc.smp), std::to_string(rc.gpus),
+                 format_double(smp.elapsed_seconds, 4),
+                 format_double(gpu_dep.elapsed_seconds, 4),
+                 format_double(gpu_aff.elapsed_seconds, 4),
+                 format_double(hyb.elapsed_seconds, 4)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  maybe_write_csv("fig12_pbpi_time", csv);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 13 — Data transferred for PBPI. pbpi-smp moves nothing (all data
+// stays in host memory); pbpi-gpu pays the per-generation chunk round
+// trips; pbpi-hyb transfers the most in absolute bytes but overlaps them
+// (§V-B3).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "perf/report.h"
+
+using namespace versa;
+using namespace versa::bench;
+
+namespace {
+
+std::string cell(std::uint64_t bytes) {
+  return format_bytes(static_cast<double>(bytes));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 13: data transferred for PBPI\n\n");
+
+  TablePrinter table({"config", "series", "Input Tx", "Output Tx",
+                      "Device Tx", "total"});
+  for (const ResourceConfig& rc : paper_configs()) {
+    RunOptions options;
+    options.smp = rc.smp;
+    options.gpus = rc.gpus;
+
+    options.scheduler = "dep-aware";
+    const AppResult smp = run_pbpi(options, apps::PbpiVariant::kSmp);
+    const AppResult gpu = run_pbpi(options, apps::PbpiVariant::kGpu);
+    options.scheduler = "versioning";
+    const AppResult hyb = run_pbpi(options, apps::PbpiVariant::kHybrid);
+
+    const struct {
+      const char* name;
+      const TransferStats* tx;
+    } rows[] = {{"SMP", &smp.transfers}, {"GPU", &gpu.transfers},
+                {"HYB", &hyb.transfers}};
+    for (const auto& row : rows) {
+      table.add_row({config_label(rc), row.name, cell(row.tx->input_bytes),
+                     cell(row.tx->output_bytes), cell(row.tx->device_bytes),
+                     cell(row.tx->total_bytes())});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 14 — PBPI task statistics (first computational loop) for the
+// versioning scheduler: share of loop-1 tasks executed by the GPU and SMP
+// versions of pbpi-hyb. The paper observes loop 1 goes to the GPU most of
+// the time.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "perf/report.h"
+
+using namespace versa;
+using namespace versa::bench;
+
+int main() {
+  std::printf(
+      "Figure 14: PBPI loop-1 task statistics for the versioning "
+      "scheduler\n(percentage of loop-1 tasks per implementation)\n\n");
+
+  TablePrinter table({"config", "GPU %", "SMP %", "loop-1 tasks"});
+  for (const ResourceConfig& rc : paper_configs()) {
+    RunOptions options;
+    options.smp = rc.smp;
+    options.gpus = rc.gpus;
+    options.scheduler = "versioning";
+    const AppResult result =
+        run_pbpi(options, apps::PbpiVariant::kHybrid, /*loop_of_interest=*/1);
+    table.add_row({config_label(rc),
+                   format_double(result.shares[0].percent, 1),
+                   format_double(result.shares[1].percent, 1),
+                   std::to_string(result.shares[0].count +
+                                  result.shares[1].count)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

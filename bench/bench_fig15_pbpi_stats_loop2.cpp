@@ -1,0 +1,36 @@
+// Figure 15 — PBPI task statistics (second computational loop) for the
+// versioning scheduler: share of loop-2 tasks executed by the GPU and SMP
+// versions of pbpi-hyb. The paper observes the loop-2 work is *shared*
+// between GPU and SMP workers — thousands of SMP executions that balance
+// the transfer/compute trade-off.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "perf/report.h"
+
+using namespace versa;
+using namespace versa::bench;
+
+int main() {
+  std::printf(
+      "Figure 15: PBPI loop-2 task statistics for the versioning "
+      "scheduler\n(percentage of loop-2 tasks per implementation)\n\n");
+
+  TablePrinter table({"config", "GPU %", "SMP %", "loop-2 tasks"});
+  for (const ResourceConfig& rc : paper_configs()) {
+    RunOptions options;
+    options.smp = rc.smp;
+    options.gpus = rc.gpus;
+    options.scheduler = "versioning";
+    const AppResult result =
+        run_pbpi(options, apps::PbpiVariant::kHybrid, /*loop_of_interest=*/2);
+    table.add_row({config_label(rc),
+                   format_double(result.shares[0].percent, 1),
+                   format_double(result.shares[1].percent, 1),
+                   std::to_string(result.shares[0].count +
+                                  result.shares[1].count)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

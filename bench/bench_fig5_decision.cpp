@@ -1,0 +1,76 @@
+// Figure 5 — Scheduling decisions: earliest executor vs. fastest executor.
+//
+// Sets up the paper's scenario: one GPU worker (the *fastest* executor of
+// the task) plus idle SMP workers, then releases a burst of ready tasks.
+// The versioning scheduler keeps the GPU queue saturated but, once the
+// GPU's estimated busy time exceeds the SMP version's mean, it assigns
+// tasks to the idle SMP workers — they are the *earliest* executors even
+// though their version is slower. The timeline below makes the decision
+// visible per task.
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "machine/presets.h"
+#include "perf/report.h"
+#include "runtime/runtime.h"
+
+using namespace versa;
+
+int main() {
+  const Machine machine = make_minotauro_node(2, 1);
+  RuntimeConfig config;
+  config.backend = Backend::kSim;
+  config.scheduler = "versioning";
+  config.profile.lambda = 1;
+  config.noise.kind = sim::NoiseKind::kNone;
+
+  Runtime rt(machine, config);
+  const TaskTypeId t = rt.declare_task("work");
+  rt.add_version(t, DeviceKind::kCuda, "gpu-fast", nullptr,
+                 make_constant_cost(1e-3));
+  rt.add_version(t, DeviceKind::kSmp, "smp-slow", nullptr,
+                 make_constant_cost(3e-3));
+
+  // Learning warm-up: one run of each version.
+  const RegionId r = rt.register_data("r", 1 << 20);
+  rt.submit(t, {Access::in(r)});
+  rt.submit(t, {Access::in(r)});
+  rt.taskwait();
+
+  // Burst of 12 independent ready tasks: watch the decisions.
+  for (int i = 0; i < 12; ++i) {
+    rt.submit(t, {Access::in(r)});
+  }
+  rt.taskwait();
+
+  std::printf(
+      "Figure 5: scheduling decisions (gpu mean 1 ms, smp mean 3 ms)\n"
+      "The GPU is the fastest executor; overflow tasks go to idle SMP\n"
+      "workers when those would finish earlier.\n\n");
+  TablePrinter table({"task", "version", "worker", "start (ms)", "finish (ms)"});
+  for (const Task& task : rt.task_graph().tasks()) {
+    if (task.id < 2) continue;  // skip the warm-up tasks
+    const auto& version = rt.version_registry().version(task.chosen_version);
+    table.add_row({std::to_string(task.id), version.name,
+                   machine.worker(task.assigned_worker).name,
+                   format_double(task.start_time * 1e3, 3),
+                   format_double(task.finish_time * 1e3, 3)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::uint64_t gpu_count = 0, smp_count = 0;
+  for (const Task& task : rt.task_graph().tasks()) {
+    if (task.id < 2) continue;
+    if (rt.version_registry().version(task.chosen_version).device ==
+        DeviceKind::kCuda) {
+      ++gpu_count;
+    } else {
+      ++smp_count;
+    }
+  }
+  std::printf("decision split: %llu tasks to the fastest executor (GPU), "
+              "%llu to earlier SMP workers\n",
+              static_cast<unsigned long long>(gpu_count),
+              static_cast<unsigned long long>(smp_count));
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 6 — Matrix multiplication performance (GFLOP/s).
+//
+// Reproduces the series of the paper's Figure 6: the mm-gpu application
+// under the dependency-aware (mm-gpu-dep) and affinity (mm-gpu-aff)
+// schedulers, and the hybrid mm-hyb application under the versioning
+// scheduler (mm-hyb-ver), across 1-8 SMP worker threads and 1-2 GPUs.
+// Matrix: 16384 x 16384 doubles (2 GB), tiles of 1024 x 1024 (8 MB).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "perf/report.h"
+
+using namespace versa;
+using namespace versa::bench;
+
+int main() {
+  std::printf("Figure 6: matrix multiplication performance (GFLOP/s)\n");
+  std::printf("matrix 16384x16384 doubles, tile 1024 (8 MB)\n\n");
+
+  TablePrinter table({"config", "mm-gpu-dep", "mm-gpu-aff", "mm-hyb-ver"});
+  CsvWriter csv;
+  csv.add_row({"smp", "gpus", "mm_gpu_dep", "mm_gpu_aff", "mm_hyb_ver"});
+  for (const ResourceConfig& rc : paper_configs()) {
+    RunOptions options;
+    options.smp = rc.smp;
+    options.gpus = rc.gpus;
+
+    options.scheduler = "dep-aware";
+    const AppResult dep = run_matmul(options, /*hybrid=*/false);
+    options.scheduler = "affinity";
+    const AppResult aff = run_matmul(options, /*hybrid=*/false);
+    options.scheduler = "versioning";
+    const AppResult ver = run_matmul(options, /*hybrid=*/true);
+
+    table.add_row({config_label(rc), format_double(dep.gflops, 1),
+                   format_double(aff.gflops, 1),
+                   format_double(ver.gflops, 1)});
+    csv.add_row({std::to_string(rc.smp), std::to_string(rc.gpus),
+                 format_double(dep.gflops, 3), format_double(aff.gflops, 3),
+                 format_double(ver.gflops, 3)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  maybe_write_csv("fig6_matmul_perf", csv);
+  return 0;
+}

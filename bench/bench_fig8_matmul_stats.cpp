@@ -1,0 +1,35 @@
+// Figure 8 — Matrix multiplication task statistics for the versioning
+// scheduler: the share of mm-hyb tile tasks executed by each of the three
+// implementations (CUBLAS on GPU, hand-coded CUDA on GPU, CBLAS on SMP)
+// for every resource configuration.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "perf/report.h"
+
+using namespace versa;
+using namespace versa::bench;
+
+int main() {
+  std::printf(
+      "Figure 8: matmul task statistics for the versioning scheduler\n"
+      "(percentage of mm-hyb tile tasks run by each implementation)\n\n");
+
+  TablePrinter table({"config", "CUBLAS %", "CUDA %", "SMP(CBLAS) %",
+                      "tasks"});
+  for (const ResourceConfig& rc : paper_configs()) {
+    RunOptions options;
+    options.smp = rc.smp;
+    options.gpus = rc.gpus;
+    options.scheduler = "versioning";
+    const AppResult result = run_matmul(options, /*hybrid=*/true);
+    table.add_row({config_label(rc),
+                   format_double(result.shares[0].percent, 1),
+                   format_double(result.shares[1].percent, 1),
+                   format_double(result.shares[2].percent, 1),
+                   std::to_string(result.tasks)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 9 — Cholesky factorization performance (GFLOP/s).
+//
+// Series as in the paper: potrf-smp and potrf-gpu under the baseline
+// schedulers (dependency-aware, affinity) and potrf-hyb under the
+// versioning scheduler. Matrix: 32768 x 32768 floats (4 GB), blocks of
+// 2048 x 2048 (16 MB); trsm/syrk/gemm are always GPU tasks.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "perf/report.h"
+
+using namespace versa;
+using namespace versa::bench;
+
+int main() {
+  std::printf("Figure 9: Cholesky factorization performance (GFLOP/s)\n");
+  std::printf("matrix 32768x32768 floats, block 2048 (16 MB)\n\n");
+
+  TablePrinter table({"config", "potrf-smp-dep", "potrf-smp-aff",
+                      "potrf-gpu-dep", "potrf-gpu-aff", "potrf-hyb-ver"});
+  for (const ResourceConfig& rc : paper_configs()) {
+    RunOptions options;
+    options.smp = rc.smp;
+    options.gpus = rc.gpus;
+
+    options.scheduler = "dep-aware";
+    const AppResult smp_dep = run_cholesky(options, apps::PotrfVariant::kSmp);
+    const AppResult gpu_dep = run_cholesky(options, apps::PotrfVariant::kGpu);
+    options.scheduler = "affinity";
+    const AppResult smp_aff = run_cholesky(options, apps::PotrfVariant::kSmp);
+    const AppResult gpu_aff = run_cholesky(options, apps::PotrfVariant::kGpu);
+    options.scheduler = "versioning";
+    const AppResult hyb =
+        run_cholesky(options, apps::PotrfVariant::kHybrid);
+
+    table.add_row({config_label(rc), format_double(smp_dep.gflops, 1),
+                   format_double(smp_aff.gflops, 1),
+                   format_double(gpu_dep.gflops, 1),
+                   format_double(gpu_aff.gflops, 1),
+                   format_double(hyb.gflops, 1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

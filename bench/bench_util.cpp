@@ -1,0 +1,134 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "machine/presets.h"
+#include "perf/run_stats.h"
+#include "runtime/runtime.h"
+
+namespace versa::bench {
+
+const std::vector<ResourceConfig>& paper_configs() {
+  static const std::vector<ResourceConfig> configs = {
+      {1, 1}, {2, 1}, {4, 1}, {8, 1}, {1, 2}, {2, 2}, {4, 2}, {8, 2},
+  };
+  return configs;
+}
+
+std::string config_label(const ResourceConfig& config) {
+  return std::to_string(config.smp) + " SMP + " + std::to_string(config.gpus) +
+         " GPU";
+}
+
+RuntimeConfig make_runtime_config(const RunOptions& options) {
+  RuntimeConfig config;
+  config.backend = Backend::kSim;
+  config.scheduler = options.scheduler;
+  config.seed = options.seed;
+  config.prefetch = options.prefetch;
+  config.profile = options.profile;
+  config.noise.kind = options.noise_magnitude > 0.0
+                          ? sim::NoiseKind::kLognormal
+                          : sim::NoiseKind::kNone;
+  config.noise.magnitude = options.noise_magnitude;
+  return config;
+}
+
+namespace {
+
+VersionShare share_of(const Runtime& rt, TaskTypeId type, VersionId version) {
+  VersionShare share;
+  if (version == kInvalidVersion) return share;
+  share.name = rt.version_registry().version(version).name;
+  share.count = rt.run_stats().count(version);
+  share.percent = rt.run_stats().percent(type, version);
+  return share;
+}
+
+}  // namespace
+
+AppResult run_matmul(const RunOptions& options, bool hybrid, std::size_t n,
+                     std::size_t tile) {
+  const Machine machine = make_minotauro_node(options.smp, options.gpus);
+  Runtime rt(machine, make_runtime_config(options));
+  apps::MatmulParams params;
+  params.n = n;
+  params.tile = tile;
+  params.hybrid = hybrid;
+  apps::MatmulApp app(rt, params);
+  app.run();
+
+  AppResult result;
+  result.elapsed_seconds = rt.elapsed();
+  result.gflops = gflops(app.total_flops(), rt.elapsed());
+  result.transfers = rt.transfer_stats();
+  result.tasks = rt.run_stats().total_tasks();
+  result.shares = {
+      share_of(rt, app.task_type(), app.cublas_version()),
+      share_of(rt, app.task_type(), app.cuda_version()),
+      share_of(rt, app.task_type(), app.cblas_version()),
+  };
+  return result;
+}
+
+AppResult run_cholesky(const RunOptions& options, apps::PotrfVariant variant,
+                       std::size_t n, std::size_t block) {
+  const Machine machine = make_minotauro_node(options.smp, options.gpus);
+  Runtime rt(machine, make_runtime_config(options));
+  apps::CholeskyParams params;
+  params.n = n;
+  params.block = block;
+  params.potrf = variant;
+  apps::CholeskyApp app(rt, params);
+  app.run();
+
+  AppResult result;
+  result.elapsed_seconds = rt.elapsed();
+  result.gflops = gflops(app.total_flops(), rt.elapsed());
+  result.transfers = rt.transfer_stats();
+  result.tasks = rt.run_stats().total_tasks();
+  result.shares = {
+      share_of(rt, app.potrf_type(), app.potrf_gpu_version()),
+      share_of(rt, app.potrf_type(), app.potrf_smp_version()),
+  };
+  return result;
+}
+
+AppResult run_pbpi(const RunOptions& options, apps::PbpiVariant variant,
+                   int loop_of_interest, std::size_t generations) {
+  const Machine machine = make_minotauro_node(options.smp, options.gpus);
+  Runtime rt(machine, make_runtime_config(options));
+  apps::PbpiParams params;
+  params.variant = variant;
+  params.generations = generations;
+  apps::PbpiApp app(rt, params);
+  app.run();
+
+  AppResult result;
+  result.elapsed_seconds = rt.elapsed();
+  result.transfers = rt.transfer_stats();
+  result.tasks = rt.run_stats().total_tasks();
+  if (loop_of_interest == 1) {
+    result.shares = {share_of(rt, app.loop1_type(), app.loop1_gpu()),
+                     share_of(rt, app.loop1_type(), app.loop1_smp())};
+  } else {
+    result.shares = {share_of(rt, app.loop2_type(), app.loop2_gpu()),
+                     share_of(rt, app.loop2_type(), app.loop2_smp())};
+  }
+  return result;
+}
+
+bool maybe_write_csv(const std::string& name, const CsvWriter& csv) {
+  const char* dir = std::getenv("VERSA_CSV_DIR");
+  if (dir == nullptr || dir[0] == '\0') return false;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  if (!csv.write_file(path)) {
+    std::fprintf(stderr, "could not write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("csv written to %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace versa::bench

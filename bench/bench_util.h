@@ -1,0 +1,77 @@
+// Shared machinery for the paper-figure harnesses: the resource
+// configurations of §V (1-8 SMP worker threads x 1-2 GPUs), and one runner
+// per evaluation application that builds a MinoTauro-node runtime, executes
+// the workload in virtual time, and returns the numbers each figure plots.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/cholesky.h"
+#include "apps/matmul.h"
+#include "apps/pbpi.h"
+#include "data/transfer_stats.h"
+#include "perf/report.h"
+#include "runtime/config.h"
+
+namespace versa::bench {
+
+struct ResourceConfig {
+  std::size_t smp;
+  std::size_t gpus;
+};
+
+/// The configurations reported in Figures 6-15.
+const std::vector<ResourceConfig>& paper_configs();
+
+/// "4 SMP + 2 GPU" style label.
+std::string config_label(const ResourceConfig& config);
+
+/// Common knobs for a single experiment run.
+struct RunOptions {
+  std::string scheduler = "versioning";
+  std::size_t smp = 8;
+  std::size_t gpus = 2;
+  std::uint64_t seed = 42;
+  bool prefetch = true;
+  ProfileConfig profile;
+  double noise_magnitude = 0.03;
+};
+
+RuntimeConfig make_runtime_config(const RunOptions& options);
+
+struct VersionShare {
+  std::string name;
+  std::uint64_t count = 0;
+  double percent = 0.0;
+};
+
+struct AppResult {
+  double elapsed_seconds = 0.0;
+  double gflops = 0.0;  ///< 0 for PBPI (no FLOP metric, §V-B3)
+  TransferStats transfers;
+  std::vector<VersionShare> shares;  ///< per tracked task type, in order
+  std::uint64_t tasks = 0;
+};
+
+/// Matrix multiplication (§V-B1). hybrid=false -> mm-gpu, true -> mm-hyb.
+AppResult run_matmul(const RunOptions& options, bool hybrid,
+                     std::size_t n = 16384, std::size_t tile = 1024);
+
+/// Cholesky factorization (§V-B2).
+AppResult run_cholesky(const RunOptions& options, apps::PotrfVariant variant,
+                       std::size_t n = 32768, std::size_t block = 2048);
+
+/// PBPI (§V-B3). `loop_of_interest` selects whose version shares are
+/// reported (1 or 2, for Figures 14/15).
+AppResult run_pbpi(const RunOptions& options, apps::PbpiVariant variant,
+                   int loop_of_interest = 1,
+                   std::size_t generations = 50);
+
+/// Machine-readable output: if $VERSA_CSV_DIR is set, write `csv` to
+/// $VERSA_CSV_DIR/<name>.csv (for plotting the figures). Returns whether
+/// a file was written.
+bool maybe_write_csv(const std::string& name, const CsvWriter& csv);
+
+}  // namespace versa::bench

@@ -1,0 +1,73 @@
+// Profile hints across runs — the paper's §VII future-work item #3.
+//
+// Run 1 learns the task-version profile from scratch and persists it on
+// exit. Run 2 loads the hints, so every data-set-size group starts in the
+// reliable-information phase: no learning-phase executions of the slow
+// version, and a shorter makespan. The printed comparison makes the
+// learning cost visible.
+#include <cstdio>
+#include <string>
+
+#include "machine/presets.h"
+#include "runtime/runtime.h"
+
+using namespace versa;
+
+namespace {
+
+struct Outcome {
+  double elapsed_ms;
+  std::uint64_t slow_runs;
+};
+
+Outcome run_once(const std::string& load_path, const std::string& save_path) {
+  const Machine machine = make_minotauro_node(2, 1);
+  RuntimeConfig config;
+  config.backend = Backend::kSim;
+  config.scheduler = "versioning";
+  config.profile.lambda = 4;
+  config.hints_load_path = load_path;
+  config.hints_save_path = save_path;
+
+  std::uint64_t slow_runs = 0;
+  double elapsed = 0.0;
+  {
+    Runtime rt(machine, config);
+    const TaskTypeId t = rt.declare_task("kernel");
+    rt.add_version(t, DeviceKind::kCuda, "fast-gpu", nullptr,
+                   make_constant_cost(1e-3));
+    const VersionId slow = rt.add_version(t, DeviceKind::kSmp, "slow-smp",
+                                          nullptr, make_constant_cost(40e-3));
+    const RegionId r = rt.register_data("data", 1 << 20);
+    for (int i = 0; i < 60; ++i) {
+      rt.submit(t, {Access::in(r)});
+    }
+    rt.taskwait();
+    slow_runs = rt.run_stats().count(slow);
+    elapsed = rt.elapsed() * 1e3;
+  }  // ~Runtime saves the hints
+  return {elapsed, slow_runs};
+}
+
+}  // namespace
+
+int main() {
+  const std::string hints = "/tmp/versa_adaptive_hints.txt";
+  std::remove(hints.c_str());
+
+  const Outcome cold = run_once(/*load=*/"", /*save=*/hints);
+  std::printf("cold run  : %.2f ms, slow-version executions: %llu\n",
+              cold.elapsed_ms,
+              static_cast<unsigned long long>(cold.slow_runs));
+
+  const Outcome warm = run_once(/*load=*/hints, /*save=*/"");
+  std::printf("hinted run: %.2f ms, slow-version executions: %llu\n",
+              warm.elapsed_ms,
+              static_cast<unsigned long long>(warm.slow_runs));
+
+  std::printf("hints skip the learning phase: %s\n",
+              (warm.slow_runs < cold.slow_runs && warm.elapsed_ms <= cold.elapsed_ms)
+                  ? "yes"
+                  : "no");
+  return warm.slow_runs < cold.slow_runs ? 0 : 1;
+}

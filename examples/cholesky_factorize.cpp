@@ -1,0 +1,57 @@
+// Tiled Cholesky factorization with a multi-version potrf task (§V-B2).
+//
+// Factorizes a real SPD matrix through the runtime (blocks actually
+// execute), prints the per-kernel task counts and where potrf ran, and
+// verifies the factorization against the original matrix. Shows the
+// critical-path effect the paper discusses: potrf placement decides how
+// much parallelism the trailing updates can exploit.
+#include <cstdio>
+
+#include "apps/cholesky.h"
+#include "machine/presets.h"
+#include "perf/trace.h"
+#include "runtime/runtime.h"
+
+using namespace versa;
+
+int main(int argc, char** argv) {
+  const bool dump_trace = argc > 1 && std::string(argv[1]) == "--trace";
+
+  const Machine machine = make_minotauro_node(4, 2);
+  RuntimeConfig config;
+  config.backend = Backend::kSim;
+  config.scheduler = "versioning";
+  config.profile.lambda = 2;
+  Runtime rt(machine, config);
+
+  apps::CholeskyParams params;
+  params.n = 128;
+  params.block = 32;
+  params.potrf = apps::PotrfVariant::kHybrid;
+  params.real_compute = true;
+  apps::CholeskyApp app(rt, params);
+
+  std::printf("Cholesky %zux%zu floats, %zux%zu blocks (%zu tasks)\n",
+              params.n, params.n, params.block, params.block,
+              app.task_count());
+  app.run();
+
+  std::printf("finished in %.2f ms of virtual time\n", rt.elapsed() * 1e3);
+  std::printf("potrf executions: %llu on GPU (MAGMA), %llu on SMP (CBLAS)\n",
+              static_cast<unsigned long long>(
+                  rt.run_stats().count(app.potrf_gpu_version())),
+              static_cast<unsigned long long>(
+                  rt.run_stats().count(app.potrf_smp_version())));
+  std::printf("transfers: %s\n", rt.transfer_stats().summary().c_str());
+
+  const double error = app.max_error();
+  std::printf("max |L*L^T - A| = %.6f\n", error);
+
+  if (dump_trace) {
+    const char* path = "cholesky_trace.json";
+    if (write_trace(path, rt.task_graph(), machine, rt.version_registry())) {
+      std::printf("timeline written to %s (open in about://tracing)\n", path);
+    }
+  }
+  return error < 1e-2 ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+// Hybrid tiled matrix multiplication — the paper's motivating example
+// (§II-A) end to end, at a laptop-friendly size with real numerics.
+//
+// Three implementations of the same `matmul_tile` task are registered:
+// CUBLAS (GPU, main), a hand-coded CUDA kernel (GPU) and CBLAS (SMP). The
+// run is repeated under every scheduler; the baselines only ever execute
+// the main implementation, while the versioning scheduler mixes all three
+// and reports the split — compare with the paper's Figure 8.
+#include <cstdio>
+
+#include "apps/matmul.h"
+#include "machine/presets.h"
+#include "perf/report.h"
+#include "runtime/runtime.h"
+#include "sched/scheduler_factory.h"
+
+using namespace versa;
+
+int main() {
+  std::printf("hybrid matmul: 512x512 doubles, 128x128 tiles, real compute\n\n");
+  TablePrinter table({"scheduler", "virtual time (ms)", "cublas", "cuda",
+                      "cblas", "max |error|"});
+
+  for (const std::string& scheduler : scheduler_names()) {
+    const Machine machine = make_minotauro_node(4, 2);
+    RuntimeConfig config;
+    config.backend = Backend::kSim;
+    config.scheduler = scheduler;
+    Runtime rt(machine, config);
+
+    apps::MatmulParams params;
+    params.n = 512;
+    params.tile = 128;
+    params.hybrid = true;
+    params.real_compute = true;
+    apps::MatmulApp app(rt, params);
+    app.run();
+
+    table.add_row({scheduler,
+                   std::to_string(rt.elapsed() * 1e3).substr(0, 6),
+                   std::to_string(rt.run_stats().count(app.cublas_version())),
+                   std::to_string(rt.run_stats().count(app.cuda_version())),
+                   std::to_string(rt.run_stats().count(app.cblas_version())),
+                   std::to_string(app.max_error()).substr(0, 8)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "note: baseline schedulers run only the main (CUBLAS) implementation;\n"
+      "      the versioning schedulers exploit all three.\n");
+  return 0;
+}

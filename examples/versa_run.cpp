@@ -1,0 +1,266 @@
+// versa_run — command-line driver over the whole library: pick an
+// application, a scheduler, a resource configuration (or an external
+// machine file) and get the paper's metrics for that single run.
+//
+//   versa_run --app matmul   --scheduler versioning --smp 8 --gpus 2
+//   versa_run --app cholesky --variant gpu --scheduler affinity
+//   versa_run --app pbpi     --variant hyb --generations 20 --utilization
+//   versa_run --app matmul --machine-file node.txt --trace out.json
+//
+// Run with --help for the full flag list.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "apps/cholesky.h"
+#include "apps/matmul.h"
+#include "apps/pbpi.h"
+#include "machine/machine_file.h"
+#include "machine/presets.h"
+#include "perf/calibrate.h"
+#include "perf/run_stats.h"
+#include "perf/timeline.h"
+#include "perf/trace.h"
+#include "perf/utilization.h"
+#include "runtime/runtime.h"
+#include "sched/scheduler_factory.h"
+
+using namespace versa;
+
+namespace {
+
+struct Options {
+  std::string app = "matmul";
+  std::string scheduler = "versioning";
+  std::string variant = "hyb";  // hyb | gpu | smp
+  std::size_t smp = 8;
+  std::size_t gpus = 2;
+  std::size_t n = 0;            // 0 = app default
+  std::size_t block = 0;
+  std::size_t generations = 50;
+  std::uint32_t lambda = 3;
+  std::uint64_t seed = 42;
+  bool prefetch = true;
+  bool utilization = false;
+  bool analyze = false;
+  std::string machine_file;
+  std::string trace_path;
+  std::string hints_load;
+  std::string hints_save;
+};
+
+void print_usage() {
+  std::printf(
+      "usage: versa_run [flags]\n"
+      "  --app <matmul|cholesky|pbpi>   workload (default matmul)\n"
+      "  --scheduler <name>             fifo | dep-aware | affinity |\n"
+      "                                 versioning | versioning-locality\n"
+      "  --variant <hyb|gpu|smp>        application version set\n"
+      "  --smp <n> --gpus <n>           MinoTauro-node resources\n"
+      "  --machine-file <path>          load machine description instead\n"
+      "  --n <elems> --block <elems>    problem/tile size override\n"
+      "  --generations <n>              PBPI generations\n"
+      "  --lambda <n>                   learning threshold\n"
+      "  --seed <n>                     simulation seed\n"
+      "  --no-prefetch                  disable transfer overlap\n"
+      "  --utilization                  print per-worker utilization\n"
+      "  --analyze                      print compute/transfer overlap\n"
+      "  --calibrate                    measure this host's kernel rates\n"
+      "                                 and exit\n"
+      "  --trace <path>                 write a Chrome trace\n"
+      "  --hints-load/--hints-save <p>  profile hints files\n");
+}
+
+bool parse_args(int argc, char** argv, Options& options) {
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* value = nullptr;
+    if (flag == "--help" || flag == "-h") {
+      print_usage();
+      std::exit(0);
+    } else if (flag == "--calibrate") {
+      const HostCalibration calibration = calibrate_host();
+      std::printf("host calibration (single core):\n");
+      std::printf("  dgemm:   %.2f GFLOP/s\n",
+                  calibration.dgemm_flops_per_second / 1e9);
+      std::printf("  stencil: %.2f GB/s\n",
+                  calibration.stencil_bytes_per_second / 1e9);
+      std::printf("  spotrf:  %.2f GFLOP/s\n",
+                  calibration.spotrf_flops_per_second / 1e9);
+      std::exit(0);
+    } else if (flag == "--no-prefetch") {
+      options.prefetch = false;
+    } else if (flag == "--utilization") {
+      options.utilization = true;
+    } else if (flag == "--analyze") {
+      options.analyze = true;
+    } else if ((value = need_value(i)) == nullptr) {
+      return false;
+    } else if (flag == "--app") {
+      options.app = value;
+    } else if (flag == "--scheduler") {
+      options.scheduler = value;
+    } else if (flag == "--variant") {
+      options.variant = value;
+    } else if (flag == "--smp") {
+      options.smp = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--gpus") {
+      options.gpus = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--n") {
+      options.n = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--block") {
+      options.block = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--generations") {
+      options.generations = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--lambda") {
+      options.lambda = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--seed") {
+      options.seed = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--machine-file") {
+      options.machine_file = value;
+    } else if (flag == "--trace") {
+      options.trace_path = value;
+    } else if (flag == "--hints-load") {
+      options.hints_load = value;
+    } else if (flag == "--hints-save") {
+      options.hints_save = value;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void print_version_split(const Runtime& rt, TaskTypeId type) {
+  for (VersionId v : rt.version_registry().versions(type)) {
+    const TaskVersion& version = rt.version_registry().version(v);
+    std::printf("    %-8s (%s): %llu runs (%.1f %%)\n", version.name.c_str(),
+                to_string(version.device),
+                static_cast<unsigned long long>(rt.run_stats().count(v)),
+                rt.run_stats().percent(type, v));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_args(argc, argv, options)) {
+    print_usage();
+    return 2;
+  }
+
+  Machine machine = [&] {
+    if (!options.machine_file.empty()) {
+      MachineParseResult parsed = load_machine(options.machine_file);
+      if (!parsed.machine) {
+        std::fprintf(stderr, "machine file error: %s\n", parsed.error.c_str());
+        std::exit(2);
+      }
+      return std::move(*parsed.machine);
+    }
+    return make_minotauro_node(options.smp, options.gpus);
+  }();
+
+  RuntimeConfig config;
+  config.backend = Backend::kSim;
+  config.scheduler = options.scheduler;
+  config.profile.lambda = options.lambda;
+  config.seed = options.seed;
+  config.prefetch = options.prefetch;
+  config.hints_load_path = options.hints_load;
+  config.hints_save_path = options.hints_save;
+  if (make_scheduler(options.scheduler) == nullptr) {
+    std::fprintf(stderr, "unknown scheduler '%s'\n",
+                 options.scheduler.c_str());
+    return 2;
+  }
+
+  Runtime rt(machine, config);
+  std::printf("machine: %s | scheduler: %s | app: %s (%s)\n",
+              machine.summary().c_str(), options.scheduler.c_str(),
+              options.app.c_str(), options.variant.c_str());
+
+  double flops = 0.0;
+  std::vector<TaskTypeId> report_types;
+  if (options.app == "matmul") {
+    apps::MatmulParams params;
+    if (options.n != 0) params.n = options.n;
+    if (options.block != 0) params.tile = options.block;
+    params.hybrid = options.variant == "hyb";
+    apps::MatmulApp app(rt, params);
+    app.run();
+    flops = app.total_flops();
+    report_types.push_back(app.task_type());
+  } else if (options.app == "cholesky") {
+    apps::CholeskyParams params;
+    if (options.n != 0) params.n = options.n;
+    if (options.block != 0) params.block = options.block;
+    params.potrf = options.variant == "hyb"   ? apps::PotrfVariant::kHybrid
+                   : options.variant == "smp" ? apps::PotrfVariant::kSmp
+                                              : apps::PotrfVariant::kGpu;
+    apps::CholeskyApp app(rt, params);
+    app.run();
+    flops = app.total_flops();
+    report_types.push_back(app.potrf_type());
+  } else if (options.app == "pbpi") {
+    apps::PbpiParams params;
+    params.generations = options.generations;
+    params.variant = options.variant == "hyb"   ? apps::PbpiVariant::kHybrid
+                     : options.variant == "smp" ? apps::PbpiVariant::kSmp
+                                                : apps::PbpiVariant::kGpu;
+    apps::PbpiApp app(rt, params);
+    app.run();
+    report_types.push_back(app.loop1_type());
+    report_types.push_back(app.loop2_type());
+  } else {
+    std::fprintf(stderr, "unknown app '%s'\n", options.app.c_str());
+    return 2;
+  }
+
+  std::printf("elapsed: %.3f s (virtual)\n", rt.elapsed());
+  if (flops > 0.0) {
+    std::printf("performance: %.1f GFLOP/s\n", gflops(flops, rt.elapsed()));
+  }
+  std::printf("tasks: %llu\n",
+              static_cast<unsigned long long>(rt.run_stats().total_tasks()));
+  std::printf("transfers: %s\n", rt.transfer_stats().summary().c_str());
+  for (const TaskTypeId type : report_types) {
+    std::printf("  %s versions:\n",
+                rt.version_registry().task_name(type).c_str());
+    print_version_split(rt, type);
+  }
+  if (options.utilization) {
+    const auto rows =
+        compute_utilization(rt.task_graph(), machine, rt.elapsed());
+    std::printf("\n%s", utilization_table(rows).c_str());
+    std::printf("mean utilization: %.1f %%\n", mean_utilization(rows) * 100.0);
+  }
+  if (options.analyze) {
+    const auto* records = rt.transfer_records();
+    if (records != nullptr) {
+      const TimelineStats stats =
+          analyze_timeline(rt.task_graph(), *records, rt.elapsed());
+      std::printf("\n%s", timeline_report(stats).c_str());
+    }
+  }
+  if (!options.trace_path.empty()) {
+    if (write_trace(options.trace_path, rt.task_graph(), machine,
+                    rt.version_registry(), rt.transfer_records())) {
+      std::printf("trace written to %s\n", options.trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "could not write trace to %s\n",
+                   options.trace_path.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Jacobi heat-diffusion stencil — a fourth workload beyond the paper's
+// three, exercising what the others do not: *array-section* dependences.
+// Each slab task reads its own slab plus one-cell halo strips of its
+// neighbours (Access::in_range on the neighbouring regions), so the
+// byte-range dependence analyzer — not whole-region tracking — decides
+// which tasks of consecutive sweeps may overlap.
+//
+// Domain: `cells` floats, ping-pong arrays A/B, split into `slabs` slab
+// regions each. Every sweep submits one task per slab; hybrid mode gives
+// each task a GPU and an SMP version, so the versioning scheduler can
+// split sweeps across devices. Coherence remains slab-granular (a halo
+// read moves the whole neighbouring slab), matching the object-granularity
+// copies of the modelled runtime.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/runtime.h"
+
+namespace versa::apps {
+
+struct JacobiParams {
+  std::size_t cells = 1 << 22;  ///< total domain cells (floats)
+  std::size_t slabs = 16;
+  std::size_t sweeps = 10;
+  bool hybrid = true;           ///< GPU+SMP versions vs GPU-only
+  bool real_compute = false;
+  std::uint64_t data_seed = 17;
+};
+
+class JacobiApp {
+ public:
+  JacobiApp(Runtime& rt, JacobiParams params);
+
+  void submit_all();
+  void run();
+
+  std::size_t task_count() const { return params_.sweeps * params_.slabs; }
+
+  TaskTypeId task_type() const { return task_type_; }
+  VersionId gpu_version() const { return v_gpu_; }
+  VersionId smp_version() const { return v_smp_; }
+
+  /// Real-compute mode: max |cell - reference| after run() (reference is a
+  /// sequential sweep of the same update rule).
+  double max_error() const;
+
+  /// Real-compute mode: checksum of the final field (quick regression).
+  double checksum() const;
+
+ private:
+  Runtime& rt_;
+  JacobiParams params_;
+  std::size_t slab_cells_;
+
+  TaskTypeId task_type_ = kInvalidTaskType;
+  VersionId v_gpu_ = kInvalidVersion;
+  VersionId v_smp_ = kInvalidVersion;
+
+  /// regions_[buffer][slab]; buffer 0 = A, 1 = B.
+  std::vector<RegionId> regions_[2];
+  std::vector<std::vector<float>> data_[2];
+  std::vector<float> initial_;  ///< real mode: copy for the reference
+
+  void register_versions();
+  void register_slabs();
+
+  /// Access list of the task updating `slab` from buffer `src` into
+  /// buffer 1-src: in own slab + neighbour halo strips, out own dst slab.
+  AccessList slab_accesses(std::size_t slab, int src) const;
+};
+
+}  // namespace versa::apps

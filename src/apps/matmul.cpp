@@ -1,0 +1,131 @@
+#include "apps/matmul.h"
+
+#include <cmath>
+
+#include "apps/kernels.h"
+#include "common/check.h"
+#include "common/random.h"
+#include "machine/kernel_models.h"
+
+namespace versa::apps {
+namespace {
+
+TaskFn make_gemm_body(std::size_t tile, bool blocked) {
+  return [tile, blocked](TaskContext& ctx) {
+    auto* a = static_cast<const double*>(ctx.arg(0));
+    auto* b = static_cast<const double*>(ctx.arg(1));
+    auto* c = static_cast<double*>(ctx.arg(2));
+    if (a == nullptr) return;  // virtual regions: timing-only task
+    if (blocked) {
+      kernels::dgemm_blocked(a, b, c, tile);
+    } else {
+      kernels::dgemm_naive(a, b, c, tile);
+    }
+  };
+}
+
+}  // namespace
+
+MatmulApp::MatmulApp(Runtime& rt, MatmulParams params)
+    : rt_(rt), params_(params) {
+  VERSA_CHECK_MSG(params_.tile > 0 && params_.n % params_.tile == 0,
+                  "matrix edge must be a multiple of the tile edge");
+  tiles_ = params_.n / params_.tile;
+  register_versions();
+  register_tiles();
+}
+
+void MatmulApp::register_versions() {
+  const std::size_t tile = params_.tile;
+  task_type_ = rt_.declare_task("matmul_tile");
+  // Main implementation: CUBLAS DGEMM (the mm-gpu task of §V-B1).
+  v_cublas_ = rt_.add_version(task_type_, DeviceKind::kCuda, "cublas",
+                              make_gemm_body(tile, true),
+                              kernels::cublas_dgemm_tile(tile));
+  if (params_.hybrid) {
+    v_cuda_ = rt_.add_version(task_type_, DeviceKind::kCuda, "cuda",
+                              make_gemm_body(tile, false),
+                              kernels::hand_cuda_dgemm_tile(tile));
+    v_cblas_ = rt_.add_version(task_type_, DeviceKind::kSmp, "cblas",
+                               make_gemm_body(tile, true),
+                               kernels::cblas_dgemm_tile(tile));
+  }
+}
+
+void MatmulApp::register_tiles() {
+  const std::size_t tile_elems = params_.tile * params_.tile;
+  const std::uint64_t tile_bytes = tile_elems * sizeof(double);
+  const std::size_t tile_count = tiles_ * tiles_;
+
+  Rng rng(params_.data_seed);
+  auto make_matrix = [&](const char* name, std::vector<RegionId>& regions,
+                         std::vector<std::vector<double>>& data,
+                         bool randomize) {
+    regions.reserve(tile_count);
+    for (std::size_t t = 0; t < tile_count; ++t) {
+      void* ptr = nullptr;
+      if (params_.real_compute) {
+        data.emplace_back(tile_elems, 0.0);
+        if (randomize) {
+          for (double& value : data.back()) {
+            value = rng.uniform(-1.0, 1.0);
+          }
+        }
+        ptr = data.back().data();
+      }
+      regions.push_back(rt_.register_data(
+          std::string(name) + "[" + std::to_string(t) + "]", tile_bytes, ptr));
+    }
+  };
+  make_matrix("A", a_regions_, a_data_, true);
+  make_matrix("B", b_regions_, b_data_, true);
+  make_matrix("C", c_regions_, c_data_, false);
+}
+
+void MatmulApp::submit_all() {
+  for (std::size_t i = 0; i < tiles_; ++i) {
+    for (std::size_t j = 0; j < tiles_; ++j) {
+      for (std::size_t k = 0; k < tiles_; ++k) {
+        rt_.submit(task_type_,
+                   {Access::in(a_regions_[i * tiles_ + k]),
+                    Access::in(b_regions_[k * tiles_ + j]),
+                    Access::inout(c_regions_[i * tiles_ + j])});
+      }
+    }
+  }
+}
+
+void MatmulApp::run() {
+  submit_all();
+  rt_.taskwait();
+}
+
+double MatmulApp::total_flops() const {
+  const double n = static_cast<double>(params_.n);
+  return 2.0 * n * n * n;
+}
+
+double MatmulApp::max_error() const {
+  VERSA_CHECK_MSG(params_.real_compute, "max_error needs real compute");
+  const std::size_t tile = params_.tile;
+  double worst = 0.0;
+  // Recompute each C tile with the naive kernel from scratch and compare.
+  std::vector<double> reference(tile * tile);
+  for (std::size_t i = 0; i < tiles_; ++i) {
+    for (std::size_t j = 0; j < tiles_; ++j) {
+      std::fill(reference.begin(), reference.end(), 0.0);
+      for (std::size_t k = 0; k < tiles_; ++k) {
+        kernels::dgemm_naive(a_data_[i * tiles_ + k].data(),
+                             b_data_[k * tiles_ + j].data(), reference.data(),
+                             tile);
+      }
+      const std::vector<double>& computed = c_data_[i * tiles_ + j];
+      for (std::size_t e = 0; e < reference.size(); ++e) {
+        worst = std::max(worst, std::fabs(reference[e] - computed[e]));
+      }
+    }
+  }
+  return worst;
+}
+
+}  // namespace versa::apps

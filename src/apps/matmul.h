@@ -1,0 +1,72 @@
+// Tiled dense matrix multiplication — the paper's first evaluation
+// application (§V-B1): C = A * B on square matrices of `n` x `n` doubles
+// stored as `tile` x `tile` tiles; each tile product is one task.
+//
+// Two application variants, as evaluated in the paper:
+//  * mm-gpu (hybrid=false): single CUBLAS (GPU) task version.
+//  * mm-hyb (hybrid=true):  CUBLAS (GPU, main) + hand-coded CUDA (GPU) +
+//                           CBLAS (SMP) versions of the same task.
+//
+// In real-compute mode (small n) the tiles are backed by actual storage,
+// the bodies execute, and the result can be checked against a reference.
+// At paper scale the tiles are virtual and only cost models drive timing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/runtime.h"
+
+namespace versa::apps {
+
+struct MatmulParams {
+  std::size_t n = 16384;    ///< matrix edge, elements (paper: 16384)
+  std::size_t tile = 1024;  ///< tile edge, elements (paper: 1024)
+  bool hybrid = true;       ///< mm-hyb when true, mm-gpu otherwise
+  bool real_compute = false;
+  std::uint64_t data_seed = 7;  ///< real-compute initialization
+};
+
+class MatmulApp {
+ public:
+  MatmulApp(Runtime& rt, MatmulParams params);
+
+  /// Submit every tile task (t^3 tasks for t = n / tile).
+  void submit_all();
+
+  /// submit_all + taskwait.
+  void run();
+
+  /// 2 n^3 — FLOPs of the whole multiplication.
+  double total_flops() const;
+
+  std::size_t tiles_per_edge() const { return tiles_; }
+  std::size_t task_count() const { return tiles_ * tiles_ * tiles_; }
+
+  TaskTypeId task_type() const { return task_type_; }
+  VersionId cublas_version() const { return v_cublas_; }
+  VersionId cuda_version() const { return v_cuda_; }
+  VersionId cblas_version() const { return v_cblas_; }  ///< kInvalidVersion for mm-gpu
+
+  /// Real-compute mode: max |C - C_ref| over a deterministic sample of
+  /// tiles. Requires run() to have completed.
+  double max_error() const;
+
+ private:
+  Runtime& rt_;
+  MatmulParams params_;
+  std::size_t tiles_;
+  TaskTypeId task_type_ = kInvalidTaskType;
+  VersionId v_cublas_ = kInvalidVersion;
+  VersionId v_cuda_ = kInvalidVersion;
+  VersionId v_cblas_ = kInvalidVersion;
+
+  std::vector<RegionId> a_regions_, b_regions_, c_regions_;
+  // Real-compute backing storage, one vector per tile (empty otherwise).
+  std::vector<std::vector<double>> a_data_, b_data_, c_data_;
+
+  void register_versions();
+  void register_tiles();
+};
+
+}  // namespace versa::apps

@@ -1,0 +1,218 @@
+#include "apps/pbpi.h"
+
+#include <algorithm>
+
+#include "apps/kernels.h"
+#include "common/check.h"
+#include "common/random.h"
+#include "machine/kernel_models.h"
+
+namespace versa::apps {
+
+const char* to_string(PbpiVariant variant) {
+  switch (variant) {
+    case PbpiVariant::kSmp:
+      return "pbpi-smp";
+    case PbpiVariant::kGpu:
+      return "pbpi-gpu";
+    case PbpiVariant::kHybrid:
+      return "pbpi-hyb";
+  }
+  return "?";
+}
+
+namespace {
+
+// loop3 body: accumulate the log-likelihood over every chunk, then
+// renormalize the chunks (which is what forces them back out to the GPUs
+// on the next generation). Chunk args come first, the accumulator last.
+void loop3_body(TaskContext& ctx, std::size_t chunk_count,
+                std::size_t chunk_elems) {
+  if (ctx.arg(0) == nullptr) return;
+  auto* acc = static_cast<double*>(ctx.arg(chunk_count));
+  double log_likelihood = 0.0;
+  for (std::size_t c = 0; c < chunk_count; ++c) {
+    auto* chunk = static_cast<float*>(ctx.arg(c));
+    log_likelihood += kernels::pbpi_accumulate(chunk, chunk_elems);
+    for (std::size_t e = 0; e < chunk_elems; ++e) {
+      chunk[e] = 0.5f * (chunk[e] + 1.0f);
+    }
+  }
+  *acc += log_likelihood;
+}
+
+}  // namespace
+
+PbpiApp::PbpiApp(Runtime& rt, PbpiParams params) : rt_(rt), params_(params) {
+  VERSA_CHECK(params_.slices >= 1 && params_.chunks >= 1);
+  slice_elems_ = params_.sites_bytes / sizeof(float) / params_.slices;
+  chunk_elems_ = params_.chunks_bytes / sizeof(float) / params_.chunks;
+  VERSA_CHECK(slice_elems_ >= 1 && chunk_elems_ >= 1);
+  register_versions();
+  register_data();
+}
+
+void PbpiApp::register_versions() {
+  using kernels::PbpiCosts;
+  const std::size_t slice_elems = slice_elems_;
+  const std::size_t chunk_elems = chunk_elems_;
+
+  const TaskFn loop1_body = [slice_elems](TaskContext& ctx) {
+    auto* sites = static_cast<const float*>(ctx.arg(0));
+    auto* partials = static_cast<float*>(ctx.arg(1));
+    if (sites == nullptr) return;
+    kernels::pbpi_partial_likelihood(sites, partials, slice_elems);
+  };
+  const TaskFn loop2_body = [slice_elems, chunk_elems](TaskContext& ctx) {
+    auto* partials = static_cast<const float*>(ctx.arg(0));
+    auto* chunk = static_cast<float*>(ctx.arg(1));
+    if (partials == nullptr) return;
+    kernels::pbpi_partial_likelihood(partials, chunk,
+                                     std::min(slice_elems, chunk_elems));
+  };
+
+  t_loop1_ = rt_.declare_task("pbpi_loop1");
+  if (params_.variant != PbpiVariant::kSmp) {
+    v_loop1_gpu_ =
+        rt_.add_version(t_loop1_, DeviceKind::kCuda, "cuda", loop1_body,
+                        make_constant_cost(PbpiCosts::kLoop1Gpu));
+  }
+  if (params_.variant != PbpiVariant::kGpu) {
+    v_loop1_smp_ = rt_.add_version(t_loop1_, DeviceKind::kSmp, "smp",
+                                   loop1_body,
+                                   make_constant_cost(PbpiCosts::kLoop1Smp));
+  }
+
+  t_loop2_ = rt_.declare_task("pbpi_loop2");
+  if (params_.variant != PbpiVariant::kSmp) {
+    v_loop2_gpu_ =
+        rt_.add_version(t_loop2_, DeviceKind::kCuda, "cuda", loop2_body,
+                        make_constant_cost(PbpiCosts::kLoop2Gpu));
+  }
+  if (params_.variant != PbpiVariant::kGpu) {
+    v_loop2_smp_ = rt_.add_version(t_loop2_, DeviceKind::kSmp, "smp",
+                                   loop2_body,
+                                   make_constant_cost(PbpiCosts::kLoop2Smp));
+  }
+
+  t_loop3_ = rt_.declare_task("pbpi_loop3");
+  const std::size_t chunk_count = params_.chunks;
+  rt_.add_version(
+      t_loop3_, DeviceKind::kSmp, "smp",
+      [chunk_count, chunk_elems](TaskContext& ctx) {
+        loop3_body(ctx, chunk_count, chunk_elems);
+      },
+      make_constant_cost(kernels::PbpiCosts::kLoop3Smp));
+}
+
+void PbpiApp::register_data() {
+  Rng rng(params_.data_seed);
+  const std::uint64_t slice_bytes = slice_elems_ * sizeof(float);
+  const std::uint64_t chunk_bytes = chunk_elems_ * sizeof(float);
+
+  for (std::size_t s = 0; s < params_.slices; ++s) {
+    void* sites_ptr = nullptr;
+    void* partials_ptr = nullptr;
+    if (params_.real_compute) {
+      sites_.emplace_back(slice_elems_);
+      for (float& value : sites_.back()) {
+        value = static_cast<float>(rng.uniform(0.0, 2.0));
+      }
+      partials_.emplace_back(slice_elems_, 1.0f);
+      sites_ptr = sites_.back().data();
+      partials_ptr = partials_.back().data();
+    }
+    site_regions_.push_back(rt_.register_data(
+        "sites[" + std::to_string(s) + "]", slice_bytes, sites_ptr));
+    partial_regions_.push_back(rt_.register_data(
+        "partials[" + std::to_string(s) + "]", slice_bytes, partials_ptr));
+  }
+  for (std::size_t c = 0; c < params_.chunks; ++c) {
+    void* ptr = nullptr;
+    if (params_.real_compute) {
+      chunks_.emplace_back(chunk_elems_, 1.0f);
+      ptr = chunks_.back().data();
+    }
+    chunk_regions_.push_back(rt_.register_data(
+        "chunk[" + std::to_string(c) + "]", chunk_bytes, ptr));
+  }
+  acc_region_ = rt_.register_data("likelihood", sizeof(double),
+                                  params_.real_compute ? &acc_ : nullptr);
+}
+
+void PbpiApp::submit_all() {
+  for (std::size_t g = 0; g < params_.generations; ++g) {
+    // loop1: update partials from the site data; reading the accumulator
+    // serializes generations behind the previous loop3 (the MCMC chain).
+    for (std::size_t s = 0; s < params_.slices; ++s) {
+      rt_.submit(t_loop1_,
+                 {Access::in(site_regions_[s]),
+                  Access::inout(partial_regions_[s]),
+                  Access::in(acc_region_)},
+                 "loop1");
+    }
+    // loop2: refine chunks from their slice's partials.
+    for (std::size_t c = 0; c < params_.chunks; ++c) {
+      rt_.submit(t_loop2_,
+                 {Access::in(partial_regions_[c % params_.slices]),
+                  Access::inout(chunk_regions_[c])},
+                 "loop2");
+    }
+    // loop3: accumulate + renormalize every chunk on the host.
+    AccessList loop3_accesses;
+    loop3_accesses.reserve(params_.chunks + 1);
+    for (std::size_t c = 0; c < params_.chunks; ++c) {
+      loop3_accesses.push_back(Access::inout(chunk_regions_[c]));
+    }
+    loop3_accesses.push_back(Access::inout(acc_region_));
+    rt_.submit(t_loop3_, std::move(loop3_accesses), "loop3");
+  }
+}
+
+void PbpiApp::run() {
+  submit_all();
+  rt_.taskwait();
+}
+
+double PbpiApp::likelihood() const {
+  VERSA_CHECK_MSG(params_.real_compute, "likelihood needs real compute");
+  return acc_;
+}
+
+double PbpiApp::reference_likelihood() const {
+  VERSA_CHECK_MSG(params_.real_compute, "reference needs real compute");
+  // Re-run the exact pipeline sequentially on private copies.
+  std::vector<std::vector<float>> partials;
+  std::vector<std::vector<float>> chunks;
+  partials.reserve(params_.slices);
+  for (std::size_t s = 0; s < params_.slices; ++s) {
+    partials.emplace_back(slice_elems_, 1.0f);
+  }
+  chunks.reserve(params_.chunks);
+  for (std::size_t c = 0; c < params_.chunks; ++c) {
+    chunks.emplace_back(chunk_elems_, 1.0f);
+  }
+  double acc = 0.0;
+  const std::size_t loop2_count = std::min(slice_elems_, chunk_elems_);
+  for (std::size_t g = 0; g < params_.generations; ++g) {
+    for (std::size_t s = 0; s < params_.slices; ++s) {
+      kernels::pbpi_partial_likelihood(sites_[s].data(), partials[s].data(),
+                                       slice_elems_);
+    }
+    for (std::size_t c = 0; c < params_.chunks; ++c) {
+      kernels::pbpi_partial_likelihood(partials[c % params_.slices].data(),
+                                       chunks[c].data(), loop2_count);
+    }
+    double log_likelihood = 0.0;
+    for (std::size_t c = 0; c < params_.chunks; ++c) {
+      log_likelihood += kernels::pbpi_accumulate(chunks[c].data(), chunk_elems_);
+      for (std::size_t e = 0; e < chunk_elems_; ++e) {
+        chunks[c][e] = 0.5f * (chunks[c][e] + 1.0f);
+      }
+    }
+    acc += log_likelihood;
+  }
+  return acc;
+}
+
+}  // namespace versa::apps

@@ -1,0 +1,92 @@
+// PBPI-shaped workload — the paper's third evaluation application (§V-B3):
+// Bayesian phylogenetic inference by MCMC sampling. Each generation of the
+// Markov chain runs three computational loops, taskified as in the paper:
+//
+//   loop1 — per-slice partial-likelihood update  (GPU and/or SMP versions)
+//   loop2 — per-chunk refinement, the bulk of the tasks (GPU and/or SMP)
+//   loop3 — likelihood accumulation + normalization, SMP-only; it both
+//           reads and rewrites every chunk, so chunks must travel back to
+//           the host every generation and out again if loop2 runs on GPUs
+//           — the "back and forth" that makes pbpi-gpu lose to pbpi-smp.
+//
+// The real phylogenetic arithmetic is replaced by an elementwise
+// likelihood-like transform (apps/kernels.h) with the paper's data volume
+// (500 MB dataset) and relative task costs (SMP 3-4x the GPU versions).
+// Generation count is scaled down; per-generation structure is preserved,
+// and the figures report percentages/relative times, which scaling leaves
+// unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/runtime.h"
+
+namespace versa::apps {
+
+enum class PbpiVariant : std::uint8_t { kSmp, kGpu, kHybrid };
+
+const char* to_string(PbpiVariant variant);
+
+struct PbpiParams {
+  std::uint64_t sites_bytes = 500ull << 20;   ///< dataset (paper: 500 MB)
+  std::uint64_t chunks_bytes = 200ull << 20;  ///< loop2 working set
+  std::size_t slices = 40;                    ///< loop1/loop3 granularity
+  std::size_t chunks = 200;                   ///< loop2 tasks per generation
+  std::size_t generations = 50;
+  PbpiVariant variant = PbpiVariant::kHybrid;
+  bool real_compute = false;
+  std::uint64_t data_seed = 13;
+};
+
+class PbpiApp {
+ public:
+  PbpiApp(Runtime& rt, PbpiParams params);
+
+  void submit_all();
+  void run();
+
+  std::size_t task_count() const {
+    return params_.generations * (params_.slices + params_.chunks + 1);
+  }
+
+  TaskTypeId loop1_type() const { return t_loop1_; }
+  TaskTypeId loop2_type() const { return t_loop2_; }
+  TaskTypeId loop3_type() const { return t_loop3_; }
+  VersionId loop1_gpu() const { return v_loop1_gpu_; }
+  VersionId loop1_smp() const { return v_loop1_smp_; }
+  VersionId loop2_gpu() const { return v_loop2_gpu_; }
+  VersionId loop2_smp() const { return v_loop2_smp_; }
+
+  /// Final accumulated log-likelihood (real-compute mode, after run()).
+  double likelihood() const;
+
+  /// Sequential re-execution of the whole pipeline; must equal
+  /// likelihood() exactly (same elementwise operations, same order).
+  double reference_likelihood() const;
+
+ private:
+  Runtime& rt_;
+  PbpiParams params_;
+  std::size_t slice_elems_;
+  std::size_t chunk_elems_;
+
+  TaskTypeId t_loop1_ = kInvalidTaskType;
+  TaskTypeId t_loop2_ = kInvalidTaskType;
+  TaskTypeId t_loop3_ = kInvalidTaskType;
+  VersionId v_loop1_gpu_ = kInvalidVersion;
+  VersionId v_loop1_smp_ = kInvalidVersion;
+  VersionId v_loop2_gpu_ = kInvalidVersion;
+  VersionId v_loop2_smp_ = kInvalidVersion;
+
+  std::vector<RegionId> site_regions_, partial_regions_, chunk_regions_;
+  RegionId acc_region_ = 0;
+
+  std::vector<std::vector<float>> sites_, partials_, chunks_;
+  double acc_ = 0.0;
+
+  void register_versions();
+  void register_data();
+};
+
+}  // namespace versa::apps

@@ -1,0 +1,42 @@
+// Lightweight invariant checking used across the runtime.
+//
+// VERSA_CHECK aborts with a message on violation in every build type;
+// VERSA_DCHECK compiles out in NDEBUG builds. Both print file:line and the
+// failed expression so that test logs point straight at the broken invariant.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace versa::detail {
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr, const char* msg) {
+  std::fprintf(stderr, "versa: CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace versa::detail
+
+#define VERSA_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::versa::detail::check_failed(__FILE__, __LINE__, #expr, "");    \
+    }                                                                  \
+  } while (0)
+
+#define VERSA_CHECK_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::versa::detail::check_failed(__FILE__, __LINE__, #expr, (msg)); \
+    }                                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define VERSA_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define VERSA_DCHECK(expr) VERSA_CHECK(expr)
+#endif

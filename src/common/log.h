@@ -1,0 +1,54 @@
+// Minimal leveled logger. Controlled by the VERSA_LOG environment variable
+// (error|warn|info|debug|trace); defaults to warn so tests stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace versa {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kTrace = 4,
+};
+
+/// Global log threshold, initialized once from $VERSA_LOG.
+LogLevel log_threshold();
+
+/// Override the threshold programmatically (tests use this).
+void set_log_threshold(LogLevel level);
+
+/// Emit one formatted line to stderr. Thread-safe (single write call).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace versa
+
+#define VERSA_LOG(level)                                 \
+  if (::versa::LogLevel::level > ::versa::log_threshold()) { \
+  } else                                                 \
+    ::versa::detail::LogMessage(::versa::LogLevel::level)

@@ -1,0 +1,44 @@
+// Deterministic, fast pseudo-random generator (xoshiro256++) plus the
+// distributions the simulator needs. Seeded runs reproduce bit-identically,
+// which the benchmark harnesses rely on.
+#pragma once
+
+#include <cstdint>
+
+namespace versa {
+
+/// xoshiro256++ by Blackman & Vigna (public domain reference algorithm),
+/// implemented from the published description.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t next_below(std::uint64_t n);
+
+  /// Standard normal variate (polar Box–Muller, cached spare).
+  double next_gaussian();
+
+  /// Lognormal variate with the given parameters of the underlying normal.
+  double next_lognormal(double mu, double sigma);
+
+  /// Split off an independently-seeded child generator (for per-worker
+  /// streams that stay deterministic regardless of interleaving).
+  Rng split();
+
+ private:
+  std::uint64_t state_[4];
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace versa

@@ -1,0 +1,44 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace versa {
+
+RunningMean::RunningMean(MeanKind kind, double ema_alpha)
+    : kind_(kind), ema_alpha_(ema_alpha) {
+  VERSA_CHECK(ema_alpha > 0.0 && ema_alpha <= 1.0);
+}
+
+void RunningMean::add(double value) {
+  ++count_;
+  if (kind_ == MeanKind::kArithmetic) {
+    mean_ += (value - mean_) / static_cast<double>(count_);
+  } else {
+    mean_ = (count_ == 1) ? value : mean_ + ema_alpha_ * (value - mean_);
+  }
+}
+
+void Welford::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double Welford::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Welford::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace versa

@@ -1,0 +1,64 @@
+// Running statistics used by the profiling tables and the reporters.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace versa {
+
+/// How a task-version profile averages observed execution times.
+/// The paper uses the plain arithmetic mean (§IV-B); footnote 3 suggests a
+/// weighted mean favouring recent observations, which we expose as an
+/// exponential moving average.
+enum class MeanKind : std::uint8_t {
+  kArithmetic,
+  kExponential,
+};
+
+/// Running mean of a stream of durations. Supports both averaging policies;
+/// the count is tracked either way (the learning phase needs it).
+class RunningMean {
+ public:
+  explicit RunningMean(MeanKind kind = MeanKind::kArithmetic,
+                       double ema_alpha = 0.25);
+
+  void add(double value);
+
+  /// Mean of all observations (or EMA). Zero if no observations yet.
+  double mean() const { return mean_; }
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  MeanKind kind() const { return kind_; }
+
+ private:
+  MeanKind kind_;
+  double ema_alpha_;
+  double mean_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+/// Welford online mean/variance accumulator, for reporting jitter and for
+/// the property tests that validate the noise model.
+class Welford {
+ public:
+  void add(double value);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace versa

@@ -1,0 +1,84 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "common/types.h"
+
+namespace versa {
+
+const char* to_string(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kSmp:
+      return "smp";
+    case DeviceKind::kCuda:
+      return "cuda";
+  }
+  return "unknown";
+}
+
+std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+namespace {
+
+std::string printf_to_string(const char* fmt, double value, const char* unit) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), fmt, value, unit);
+  return buffer;
+}
+
+}  // namespace
+
+std::string format_bytes(double bytes) {
+  static constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 4) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  return printf_to_string(unit == 0 ? "%.0f %s" : "%.2f %s", bytes,
+                          kUnits[unit]);
+}
+
+std::string format_duration(double seconds) {
+  if (seconds >= 1.0) return printf_to_string("%.3f %s", seconds, "s");
+  if (seconds >= 1e-3) return printf_to_string("%.3f %s", seconds * 1e3, "ms");
+  if (seconds >= 1e-6) return printf_to_string("%.3f %s", seconds * 1e6, "us");
+  return printf_to_string("%.1f %s", seconds * 1e9, "ns");
+}
+
+std::string format_double(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+}  // namespace versa

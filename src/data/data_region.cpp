@@ -1,0 +1,3 @@
+#include "data/data_region.h"
+
+// RegionDesc is plain data; directory.cpp holds the region table logic.

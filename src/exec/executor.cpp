@@ -1,0 +1,4 @@
+#include "exec/executor.h"
+
+// Interface-only translation unit; concrete backends live in
+// sim_executor.cpp and thread_executor.cpp.

@@ -1,0 +1,89 @@
+// Execution backends.
+//
+// An Executor realizes the scheduler's decisions: it pops tasks from worker
+// queues, satisfies their copy clauses (through the directory), runs or
+// models their bodies, and reports completions. Two implementations:
+//
+//  * SimExecutor    — discrete-event virtual time; task durations come from
+//                     version cost models perturbed by a noise model, and
+//                     transfers occupy modelled interconnect links. This is
+//                     the backend every paper figure is produced with.
+//  * ThreadExecutor — one std::thread per worker; bodies really execute and
+//                     durations are wall-clock. Functional/concurrency
+//                     backend (the CI host has a single core, so wall-clock
+//                     speedups are not meaningful there).
+//
+// The runtime implements ExecutorPort; all port calls happen under the
+// runtime lock (a recursive mutex exposed via port_mutex()).
+#pragma once
+
+#include <mutex>
+
+#include "data/directory.h"
+#include "data/transfer_engine.h"
+#include "machine/machine.h"
+#include "sched/scheduler.h"
+#include "task/task_graph.h"
+#include "task/version_registry.h"
+
+namespace versa {
+
+class ExecutorPort {
+ public:
+  virtual ~ExecutorPort() = default;
+  virtual Scheduler& port_scheduler() = 0;
+  virtual TaskGraph& port_graph() = 0;
+  virtual DataDirectory& port_directory() = 0;
+  virtual const VersionRegistry& port_registry() = 0;
+  virtual const Machine& port_machine() = 0;
+  /// Report a finished task; the runtime releases successors, notifies the
+  /// scheduler, and re-pokes the executor.
+  virtual void port_complete(TaskId task, WorkerId worker, Time start,
+                             Time finish) = 0;
+
+  /// Report a transiently failed attempt; the runtime notifies the
+  /// scheduler and makes the task ready again for another attempt.
+  virtual void port_failed(TaskId task, WorkerId worker, Time start,
+                           Time finish) = 0;
+  virtual std::recursive_mutex& port_mutex() = 0;
+};
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  virtual void attach(ExecutorPort& port) { port_ = &port; }
+
+  /// A scheduler placed `task` on `worker`'s queue (prefetch hook).
+  virtual void task_assigned(TaskId task, WorkerId worker) = 0;
+
+  /// Ready work may exist for idle workers (pull-style schedulers).
+  virtual void work_available() = 0;
+
+  /// Block until every submitted task finished. Must be called from the
+  /// master thread without holding the runtime lock.
+  virtual void wait_all() = 0;
+
+  /// Block until one task finished (taskwait on(...)).
+  virtual void wait_task(TaskId task) = 0;
+
+  /// Task currently executing on the calling context (kInvalidTask when
+  /// called from the master thread). Used to attribute nested submissions.
+  virtual TaskId current_task() const { return kInvalidTask; }
+
+  /// Children-scoped taskwait: block until `parent`'s live_children hits
+  /// zero. Called from inside `parent`'s body; implementations keep the
+  /// worker productive (or the simulation progressing) meanwhile.
+  virtual void wait_children(TaskId parent) = 0;
+
+  /// Current time: virtual (sim) or wall seconds since construction.
+  virtual Time now() const = 0;
+
+  /// Realize taskwait flush copies; returns their completion time.
+  virtual Time flush(const TransferList& ops) = 0;
+
+ protected:
+  ExecutorPort* port_ = nullptr;
+};
+
+}  // namespace versa

@@ -1,0 +1,80 @@
+// Discrete-event (virtual time) execution backend.
+//
+// Single-threaded by design: events fire in deterministic order, durations
+// come from version cost models through per-worker noise streams, and
+// transfers occupy interconnect links via the TransferEngine. Task bodies,
+// when present, really execute (virtually instantaneous) so functional
+// results remain correct under simulation.
+#pragma once
+
+#include <vector>
+
+#include "exec/executor.h"
+#include "sim/event_queue.h"
+#include "sim/noise.h"
+
+namespace versa {
+
+struct SimExecutorConfig {
+  sim::NoiseConfig noise;
+  std::uint64_t seed = 42;
+  /// Acquire and launch a task's copies the moment it lands on a worker
+  /// queue (transfer/compute overlap + prefetch, as enabled in §V-A).
+  /// When false, copies start only when the worker picks the task up.
+  bool prefetch = true;
+  /// Virtual duration of versions lacking a cost model.
+  Duration default_task_duration = 1e-3;
+  /// Failure injection: probability that a task attempt fails transiently
+  /// (device hiccup). Failed attempts burn part of the task's time on the
+  /// worker, then the task is rescheduled — possibly to another version.
+  double failure_rate = 0.0;
+  /// Attempts after which an attempt is forced to succeed, bounding
+  /// worst-case retries. Must be >= 1.
+  std::uint32_t max_attempts = 4;
+};
+
+class SimExecutor final : public Executor {
+ public:
+  SimExecutor(const Machine& machine, SimExecutorConfig config);
+
+  void attach(ExecutorPort& port) override;
+  void task_assigned(TaskId task, WorkerId worker) override;
+  void work_available() override;
+  void wait_all() override;
+  void wait_task(TaskId task) override;
+  TaskId current_task() const override { return current_task_; }
+  void wait_children(TaskId parent) override;
+  Time now() const override;
+  Time flush(const TransferList& ops) override;
+
+  /// Completion time of everything modelled so far, including flush
+  /// copies that finish after the last task.
+  Time horizon() const { return horizon_; }
+
+  const TransferEngine& transfer_engine() const { return engine_; }
+
+ private:
+  const Machine& machine_;
+  SimExecutorConfig config_;
+  sim::EventQueue queue_;
+  TransferEngine engine_;
+  std::vector<sim::NoiseModel> noise_;
+  std::vector<bool> busy_;
+  Time horizon_ = 0.0;
+  TaskId current_task_ = kInvalidTask;
+  Rng failure_rng_;
+
+  /// Acquire `task`'s data for `space` and record its transfer-done time.
+  void acquire_for(Task& task, SpaceId space);
+
+  /// Pop work for every idle worker until nothing moves.
+  void pump();
+
+  /// Launch `id` on `worker`. `occupy_worker` is false when a worker
+  /// blocked in a nested taskwait inline-executes its own queued children
+  /// (it is already marked busy by the waiting parent).
+  void start_task(WorkerId worker, TaskId id, bool occupy_worker = true);
+  void run_until_done(TaskId task_or_invalid);
+};
+
+}  // namespace versa

@@ -1,0 +1,149 @@
+#include "exec/thread_executor.h"
+
+#include <thread>
+
+#include "common/check.h"
+
+namespace versa {
+
+ThreadExecutor::ThreadExecutor(const Machine& machine,
+                               ThreadExecutorConfig config)
+    : machine_(machine),
+      config_(config),
+      epoch_(std::chrono::steady_clock::now()) {
+  VERSA_CHECK(config.time_scale > 0.0);
+}
+
+ThreadExecutor::~ThreadExecutor() {
+  if (port_ != nullptr) {
+    {
+      std::lock_guard lock(port_->port_mutex());
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+  }
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadExecutor::attach(ExecutorPort& port) {
+  Executor::attach(port);
+  threads_.reserve(machine_.worker_count());
+  for (WorkerId w = 0; w < machine_.worker_count(); ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+Time ThreadExecutor::now() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double>(elapsed).count();
+}
+
+void ThreadExecutor::task_assigned(TaskId, WorkerId) {
+  // Queues live in the scheduler; just wake sleepers. notify with the port
+  // lock held by the caller is correct (and keeps wakeups orderly).
+  work_cv_.notify_all();
+}
+
+void ThreadExecutor::work_available() { work_cv_.notify_all(); }
+
+namespace {
+
+/// Task identity of the calling thread's in-flight body (nested-submission
+/// attribution); kInvalidTask on the master and on idle workers.
+thread_local TaskId tls_current_task = kInvalidTask;
+
+}  // namespace
+
+TaskId ThreadExecutor::current_task() const { return tls_current_task; }
+
+bool ThreadExecutor::run_one(WorkerId worker,
+                             std::unique_lock<std::recursive_mutex>& lock) {
+  const TaskId id = port_->port_scheduler().pop_task(worker);
+  if (id == kInvalidTask) return false;
+
+  const SpaceId space = machine_.worker(worker).space;
+  Task& task = port_->port_graph().task(id);
+  VERSA_CHECK(task.state == TaskState::kQueued);
+  if (task.acquired_space != space) {
+    TransferList ops;  // accounting only — data lives in host storage
+    port_->port_directory().acquire(task.accesses, space, ops);
+    task.acquired_space = space;
+  }
+  const TaskVersion& version =
+      port_->port_registry().version(task.chosen_version);
+  task.state = TaskState::kRunning;
+  // Resolve argument pointers while still holding the lock; the body then
+  // runs without touching shared runtime structures.
+  TaskContext ctx(task.accesses, port_->port_directory(), worker,
+                  version.device);
+  const Time start = now();
+
+  lock.unlock();
+  const TaskId previous = tls_current_task;
+  tls_current_task = id;
+  if (version.fn) {
+    version.fn(ctx);
+  }
+  tls_current_task = previous;
+  if (config_.emulate_costs && version.cost != nullptr) {
+    // Device-speed emulation: pad the attempt out to the modelled
+    // duration so wall-clock measurements carry the modelled ratios.
+    const Duration modelled = version.cost->mean_duration(task.data_set_size) *
+                              config_.time_scale;
+    const Duration spent = now() - start;
+    if (modelled > spent) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(modelled - spent));
+    }
+  }
+  const Time finish = now();
+  lock.lock();
+
+  port_->port_complete(id, worker, start, finish);
+  done_cv_.notify_all();
+  return true;
+}
+
+void ThreadExecutor::worker_loop(WorkerId worker) {
+  std::unique_lock lock(port_->port_mutex());
+  while (!stop_) {
+    if (!run_one(worker, lock)) {
+      work_cv_.wait(lock);
+    }
+  }
+}
+
+void ThreadExecutor::wait_children(TaskId parent) {
+  // Called from inside `parent`'s body on its worker thread. Work while
+  // waiting (the OmpSs task-switching behaviour): execute queued tasks —
+  // children included — instead of blocking the worker.
+  const WorkerId worker = port_->port_graph().task(parent).assigned_worker;
+  std::unique_lock lock(port_->port_mutex());
+  while (port_->port_graph().task(parent).live_children > 0) {
+    if (!run_one(worker, lock)) {
+      done_cv_.wait(lock);
+    }
+  }
+}
+
+void ThreadExecutor::wait_all() {
+  std::unique_lock lock(port_->port_mutex());
+  done_cv_.wait(lock, [this] { return port_->port_graph().all_finished(); });
+}
+
+void ThreadExecutor::wait_task(TaskId task) {
+  std::unique_lock lock(port_->port_mutex());
+  done_cv_.wait(lock, [this, task] {
+    return port_->port_graph().task(task).state == TaskState::kFinished;
+  });
+}
+
+Time ThreadExecutor::flush(const TransferList&) {
+  // Host storage is authoritative in this backend; flushes are pure
+  // accounting (already recorded by the directory).
+  return now();
+}
+
+}  // namespace versa

@@ -1,0 +1,60 @@
+// Real-thread execution backend: one std::thread per modelled worker.
+//
+// Task bodies execute for real (simulated accelerator workers run the same
+// host code — the directory still accounts the transfers their memory
+// spaces would need) and durations are measured with the steady clock, so
+// the versioning scheduler learns from genuine measurements. This backend
+// validates functional correctness and the concurrency of the runtime; the
+// timing figures come from SimExecutor.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <thread>
+#include <vector>
+
+#include "exec/executor.h"
+
+namespace versa {
+
+struct ThreadExecutorConfig {
+  /// Sleep each task to cost_model * time_scale (device-speed emulation);
+  /// tasks without a cost model run at native speed either way.
+  bool emulate_costs = false;
+  double time_scale = 1.0;
+};
+
+class ThreadExecutor final : public Executor {
+ public:
+  explicit ThreadExecutor(const Machine& machine,
+                          ThreadExecutorConfig config = {});
+  ~ThreadExecutor() override;
+
+  void attach(ExecutorPort& port) override;
+  void task_assigned(TaskId task, WorkerId worker) override;
+  void work_available() override;
+  void wait_all() override;
+  void wait_task(TaskId task) override;
+  TaskId current_task() const override;
+  void wait_children(TaskId parent) override;
+  Time now() const override;
+  Time flush(const TransferList& ops) override;
+
+ private:
+  const Machine& machine_;
+  ThreadExecutorConfig config_;
+  std::vector<std::thread> threads_;
+  std::condition_variable_any work_cv_;
+  std::condition_variable_any done_cv_;
+  bool stop_ = false;
+  std::chrono::steady_clock::time_point epoch_;
+
+  void worker_loop(WorkerId worker);
+
+  /// Pop and execute one task for `worker`. `lock` must hold the port
+  /// mutex; it is released around the body and re-acquired. Returns false
+  /// if no task was available.
+  bool run_one(WorkerId worker, std::unique_lock<std::recursive_mutex>& lock);
+};
+
+}  // namespace versa

@@ -1,0 +1,42 @@
+#include "machine/cost_model.h"
+
+#include "common/check.h"
+
+namespace versa {
+
+ConstantCost::ConstantCost(Duration duration) : duration_(duration) {
+  VERSA_CHECK(duration >= 0.0);
+}
+
+Duration ConstantCost::mean_duration(std::uint64_t) const { return duration_; }
+
+LinearCost::LinearCost(Duration base, Duration per_byte)
+    : base_(base), per_byte_(per_byte) {
+  VERSA_CHECK(base >= 0.0 && per_byte >= 0.0);
+}
+
+Duration LinearCost::mean_duration(std::uint64_t data_bytes) const {
+  return base_ + per_byte_ * static_cast<double>(data_bytes);
+}
+
+CallableCost::CallableCost(Fn fn) : fn_(std::move(fn)) {
+  VERSA_CHECK(fn_ != nullptr);
+}
+
+Duration CallableCost::mean_duration(std::uint64_t data_bytes) const {
+  return fn_(data_bytes);
+}
+
+CostModelPtr make_constant_cost(Duration duration) {
+  return std::make_shared<ConstantCost>(duration);
+}
+
+CostModelPtr make_linear_cost(Duration base, Duration per_byte) {
+  return std::make_shared<LinearCost>(base, per_byte);
+}
+
+CostModelPtr make_callable_cost(CallableCost::Fn fn) {
+  return std::make_shared<CallableCost>(std::move(fn));
+}
+
+}  // namespace versa

@@ -1,0 +1,67 @@
+// Cost models: the expected execution time of a task version as a function
+// of its data-set size.
+//
+// In simulation mode every task version carries a CostModel; the sim
+// executor samples the modelled mean through the worker's noise model to
+// produce a "measured" duration. The scheduler never sees the model — it
+// only sees measured durations, exactly as on real hardware.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/types.h"
+
+namespace versa {
+
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  /// Expected (mean) duration for a task instance whose data-set size is
+  /// `data_bytes` (sum of parameter sizes, each counted once — matching the
+  /// paper's definition of a data-set-size group).
+  virtual Duration mean_duration(std::uint64_t data_bytes) const = 0;
+};
+
+/// Fixed duration regardless of data size.
+class ConstantCost final : public CostModel {
+ public:
+  explicit ConstantCost(Duration duration);
+  Duration mean_duration(std::uint64_t data_bytes) const override;
+
+ private:
+  Duration duration_;
+};
+
+/// base + bytes * per_byte — models memory-bound kernels.
+class LinearCost final : public CostModel {
+ public:
+  LinearCost(Duration base, Duration per_byte);
+  Duration mean_duration(std::uint64_t data_bytes) const override;
+
+ private:
+  Duration base_;
+  Duration per_byte_;
+};
+
+/// Arbitrary callable — used by the application workload generators whose
+/// analytic models (GEMM, POTRF, ...) depend on tile geometry, not only on
+/// total bytes.
+class CallableCost final : public CostModel {
+ public:
+  using Fn = std::function<Duration(std::uint64_t)>;
+  explicit CallableCost(Fn fn);
+  Duration mean_duration(std::uint64_t data_bytes) const override;
+
+ private:
+  Fn fn_;
+};
+
+using CostModelPtr = std::shared_ptr<const CostModel>;
+
+CostModelPtr make_constant_cost(Duration duration);
+CostModelPtr make_linear_cost(Duration base, Duration per_byte);
+CostModelPtr make_callable_cost(CallableCost::Fn fn);
+
+}  // namespace versa

@@ -1,0 +1,4 @@
+#include "machine/device.h"
+
+// Descriptors are plain data; this TU exists so the module has a stable
+// object file even if inline definitions move.

@@ -1,0 +1,36 @@
+// Device and worker descriptors for the modelled machine.
+//
+// As in Nanos++, every runtime worker thread is devoted to exactly one
+// device: an SMP worker drives one CPU core, a CUDA worker drives one GPU
+// (issuing kernels and transfers for it). Workers, not devices, own task
+// queues.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace versa {
+
+struct DeviceDesc {
+  DeviceId id = kInvalidDevice;
+  DeviceKind kind = DeviceKind::kSmp;
+  /// Memory space the device computes from. All SMP cores share the host
+  /// space; each GPU has a private space.
+  SpaceId space = kHostSpace;
+  std::string name;
+  /// Peak floating-point rate in FLOP/s (double precision); used only for
+  /// reporting "percent of machine peak" figures, never for scheduling.
+  double peak_flops = 0.0;
+};
+
+struct WorkerDesc {
+  WorkerId id = kInvalidWorker;
+  DeviceId device = kInvalidDevice;
+  DeviceKind kind = DeviceKind::kSmp;
+  SpaceId space = kHostSpace;
+  std::string name;
+};
+
+}  // namespace versa

@@ -1,0 +1,43 @@
+#include "machine/interconnect.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace versa {
+
+void Interconnect::add_link(const LinkDesc& link) {
+  VERSA_CHECK(link.from != link.to);
+  VERSA_CHECK(link.bandwidth > 0.0);
+  VERSA_CHECK(link.latency >= 0.0);
+  auto it = std::find_if(links_.begin(), links_.end(), [&](const LinkDesc& l) {
+    return l.from == link.from && l.to == link.to;
+  });
+  if (it != links_.end()) {
+    *it = link;
+  } else {
+    links_.push_back(link);
+  }
+}
+
+void Interconnect::add_bidi_link(SpaceId a, SpaceId b, double bandwidth,
+                                 Duration latency) {
+  add_link(LinkDesc{a, b, bandwidth, latency});
+  add_link(LinkDesc{b, a, bandwidth, latency});
+}
+
+const LinkDesc* Interconnect::find(SpaceId from, SpaceId to) const {
+  auto it = std::find_if(links_.begin(), links_.end(), [&](const LinkDesc& l) {
+    return l.from == from && l.to == to;
+  });
+  return it == links_.end() ? nullptr : &*it;
+}
+
+Duration Interconnect::transfer_time(SpaceId from, SpaceId to,
+                                     std::uint64_t bytes) const {
+  const LinkDesc* link = find(from, to);
+  VERSA_CHECK_MSG(link != nullptr, "no direct link between spaces");
+  return link->latency + static_cast<double>(bytes) / link->bandwidth;
+}
+
+}  // namespace versa

@@ -1,0 +1,46 @@
+// Point-to-point link model between memory spaces.
+//
+// A transfer of S bytes over a link costs latency + S / bandwidth and the
+// link is occupied for that whole span (transfers on the same link
+// serialize; transfers on different links overlap — this is what lets the
+// runtime hide copies behind compute, as the paper's evaluation enables).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace versa {
+
+struct LinkDesc {
+  SpaceId from = kInvalidSpace;
+  SpaceId to = kInvalidSpace;
+  double bandwidth = 0.0;  ///< bytes per second
+  Duration latency = 0.0;  ///< per-transfer fixed cost, seconds
+};
+
+class Interconnect {
+ public:
+  /// Register a unidirectional link. Adding a duplicate (same from/to)
+  /// replaces the previous description.
+  void add_link(const LinkDesc& link);
+
+  /// Convenience: register both directions with identical parameters.
+  void add_bidi_link(SpaceId a, SpaceId b, double bandwidth, Duration latency);
+
+  /// Look up the direct link from -> to. Returns nullptr if none exists
+  /// (the transfer engine then stages the copy through the host space).
+  const LinkDesc* find(SpaceId from, SpaceId to) const;
+
+  /// Pure cost of moving `bytes` over the direct link (no queueing).
+  /// Checks that the link exists.
+  Duration transfer_time(SpaceId from, SpaceId to, std::uint64_t bytes) const;
+
+  std::size_t link_count() const { return links_.size(); }
+
+ private:
+  std::vector<LinkDesc> links_;
+};
+
+}  // namespace versa

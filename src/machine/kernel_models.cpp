@@ -1,0 +1,52 @@
+#include "machine/kernel_models.h"
+
+namespace versa::kernels {
+namespace {
+
+CostModelPtr rate_model(std::uint64_t flops, double flops_per_second) {
+  return make_constant_cost(static_cast<double>(flops) / flops_per_second);
+}
+
+}  // namespace
+
+std::uint64_t gemm_flops(std::uint64_t n) { return 2 * n * n * n; }
+
+std::uint64_t potrf_flops(std::uint64_t n) { return n * n * n / 3; }
+
+std::uint64_t trsm_flops(std::uint64_t n) { return n * n * n; }
+
+std::uint64_t syrk_flops(std::uint64_t n) { return n * n * n; }
+
+CostModelPtr cublas_dgemm_tile(std::uint64_t n) {
+  return rate_model(gemm_flops(n), Throughput::kCublasDgemm);
+}
+
+CostModelPtr hand_cuda_dgemm_tile(std::uint64_t n) {
+  return rate_model(gemm_flops(n), Throughput::kHandCudaDgemm);
+}
+
+CostModelPtr cblas_dgemm_tile(std::uint64_t n) {
+  return rate_model(gemm_flops(n), Throughput::kCblasDgemmCore);
+}
+
+CostModelPtr magma_spotrf_block(std::uint64_t n) {
+  return rate_model(potrf_flops(n), Throughput::kMagmaSpotrf);
+}
+
+CostModelPtr cblas_spotrf_block(std::uint64_t n) {
+  return rate_model(potrf_flops(n), Throughput::kCblasSpotrfCore);
+}
+
+CostModelPtr magma_sgemm_block(std::uint64_t n) {
+  return rate_model(gemm_flops(n), Throughput::kMagmaSgemm);
+}
+
+CostModelPtr cublas_ssyrk_block(std::uint64_t n) {
+  return rate_model(syrk_flops(n), Throughput::kCublasSsyrk);
+}
+
+CostModelPtr cublas_strsm_block(std::uint64_t n) {
+  return rate_model(trsm_flops(n), Throughput::kCublasStrsm);
+}
+
+}  // namespace versa::kernels

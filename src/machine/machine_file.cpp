@@ -1,0 +1,218 @@
+#include "machine/machine_file.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace versa {
+namespace {
+
+std::optional<double> parse_double_prefix(std::string_view text,
+                                          std::size_t* consumed) {
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(std::string(text), &pos);
+    *consumed = pos;
+    return value;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::optional<double> parse_quantity(std::string_view text, bool decimal) {
+  std::size_t consumed = 0;
+  const auto value = parse_double_prefix(text, &consumed);
+  if (!value || *value < 0.0) return std::nullopt;
+  const std::string_view suffix = trim(text.substr(consumed));
+  const double unit = decimal ? 1000.0 : 1024.0;
+  if (suffix.empty()) return *value;
+  if (suffix == "K" || suffix == "k") return *value * unit;
+  if (suffix == "M") return *value * unit * unit;
+  if (suffix == "G") return *value * unit * unit * unit;
+  if (suffix == "T") return *value * unit * unit * unit * unit;
+  return std::nullopt;
+}
+
+std::optional<double> parse_time(std::string_view text) {
+  std::size_t consumed = 0;
+  const auto value = parse_double_prefix(text, &consumed);
+  if (!value || *value < 0.0) return std::nullopt;
+  const std::string_view suffix = trim(text.substr(consumed));
+  if (suffix.empty() || suffix == "s") return *value;
+  if (suffix == "ms") return *value * 1e-3;
+  if (suffix == "us") return *value * 1e-6;
+  if (suffix == "ns") return *value * 1e-9;
+  return std::nullopt;
+}
+
+MachineParseResult parse_machine(std::string_view text) {
+  Machine::Builder builder;
+  std::map<std::string, SpaceId, std::less<>> spaces{{"host", kHostSpace}};
+  std::map<std::string, DeviceId, std::less<>> devices;
+  bool has_worker = false;
+
+  int line_number = 0;
+  for (const std::string& raw : split(text, '\n')) {
+    ++line_number;
+    const std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+
+    auto fail = [&](const std::string& message) {
+      MachineParseResult result;
+      result.error =
+          "line " + std::to_string(line_number) + ": " + message;
+      return result;
+    };
+
+    std::istringstream in{std::string(line)};
+    std::string keyword;
+    in >> keyword;
+
+    if (keyword == "host") {
+      std::string field, quantity;
+      in >> field >> quantity;
+      if (in.fail() || field != "capacity") {
+        return fail("expected: host capacity <bytes>");
+      }
+      const auto bytes = parse_quantity(quantity, /*decimal=*/false);
+      if (!bytes) return fail("bad capacity '" + quantity + "'");
+      builder.set_host_capacity(static_cast<std::uint64_t>(*bytes));
+    } else if (keyword == "space") {
+      std::string name, field, quantity;
+      in >> name >> field >> quantity;
+      if (in.fail() || field != "capacity") {
+        return fail("expected: space <name> capacity <bytes>");
+      }
+      if (spaces.count(name) != 0) return fail("duplicate space '" + name + "'");
+      const auto bytes = parse_quantity(quantity, /*decimal=*/false);
+      if (!bytes) return fail("bad capacity '" + quantity + "'");
+      spaces[name] =
+          builder.add_space(name, static_cast<std::uint64_t>(*bytes));
+    } else if (keyword == "device") {
+      std::string name, kind_kw, kind, space_kw, space, peak_kw, peak;
+      in >> name >> kind_kw >> kind >> space_kw >> space >> peak_kw >> peak;
+      if (in.fail() || kind_kw != "kind" || space_kw != "space" ||
+          peak_kw != "peak") {
+        return fail(
+            "expected: device <name> kind <smp|cuda> space <name> peak <flops>");
+      }
+      if (devices.count(name) != 0) {
+        return fail("duplicate device '" + name + "'");
+      }
+      DeviceKind device_kind;
+      if (kind == "smp") {
+        device_kind = DeviceKind::kSmp;
+      } else if (kind == "cuda") {
+        device_kind = DeviceKind::kCuda;
+      } else {
+        return fail("unknown device kind '" + kind + "'");
+      }
+      const auto space_it = spaces.find(space);
+      if (space_it == spaces.end()) return fail("unknown space '" + space + "'");
+      const auto flops = parse_quantity(peak, /*decimal=*/true);
+      if (!flops) return fail("bad peak '" + peak + "'");
+      devices[name] =
+          builder.add_device(device_kind, space_it->second, name, *flops);
+    } else if (keyword == "worker") {
+      std::string device, worker_name;
+      in >> device;
+      if (in.fail()) return fail("expected: worker <device> [name]");
+      in >> worker_name;  // optional
+      const auto device_it = devices.find(device);
+      if (device_it == devices.end()) {
+        return fail("unknown device '" + device + "'");
+      }
+      builder.add_worker(device_it->second, worker_name);
+      has_worker = true;
+    } else if (keyword == "link") {
+      std::string a, b, bw_kw, bw, lat_kw, lat;
+      in >> a >> b >> bw_kw >> bw >> lat_kw >> lat;
+      if (in.fail() || bw_kw != "bandwidth" || lat_kw != "latency") {
+        return fail(
+            "expected: link <space> <space> bandwidth <B/s> latency <time>");
+      }
+      const auto a_it = spaces.find(a);
+      const auto b_it = spaces.find(b);
+      if (a_it == spaces.end()) return fail("unknown space '" + a + "'");
+      if (b_it == spaces.end()) return fail("unknown space '" + b + "'");
+      const auto bandwidth = parse_quantity(bw, /*decimal=*/true);
+      if (!bandwidth || *bandwidth <= 0.0) return fail("bad bandwidth '" + bw + "'");
+      const auto latency = parse_time(lat);
+      if (!latency) return fail("bad latency '" + lat + "'");
+      builder.add_bidi_link(a_it->second, b_it->second, *bandwidth, *latency);
+    } else {
+      return fail("unknown statement '" + keyword + "'");
+    }
+  }
+
+  if (!has_worker) {
+    MachineParseResult result;
+    result.error = "machine has no workers";
+    return result;
+  }
+  MachineParseResult result;
+  result.machine = builder.build();
+  return result;
+}
+
+MachineParseResult load_machine(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    MachineParseResult result;
+    result.error = "cannot open '" + path + "'";
+    return result;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_machine(buffer.str());
+}
+
+std::string serialize_machine(const Machine& machine) {
+  std::string out = "# versa machine v1\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "host capacity %llu\n",
+                static_cast<unsigned long long>(
+                    machine.space(kHostSpace).capacity));
+  out += line;
+  for (const MemorySpaceDesc& space : machine.spaces()) {
+    if (space.is_host) continue;
+    std::snprintf(line, sizeof(line), "space %s capacity %llu\n",
+                  space.name.c_str(),
+                  static_cast<unsigned long long>(space.capacity));
+    out += line;
+  }
+  for (const DeviceDesc& device : machine.devices()) {
+    std::snprintf(line, sizeof(line), "device %s kind %s space %s peak %g\n",
+                  device.name.c_str(), to_string(device.kind),
+                  machine.space(device.space).name.c_str(), device.peak_flops);
+    out += line;
+  }
+  for (const WorkerDesc& worker : machine.workers()) {
+    std::snprintf(line, sizeof(line), "worker %s %s\n",
+                  machine.device(worker.device).name.c_str(),
+                  worker.name.c_str());
+    out += line;
+  }
+  // Links: emit each unordered pair once (they were added bidirectionally;
+  // emit the a<b direction).
+  for (SpaceId a = 0; a < machine.space_count(); ++a) {
+    for (SpaceId b = a + 1; b < machine.space_count(); ++b) {
+      const LinkDesc* link = machine.interconnect().find(a, b);
+      if (link == nullptr) continue;
+      std::snprintf(line, sizeof(line),
+                    "link %s %s bandwidth %g latency %g\n",
+                    machine.space(a).name.c_str(),
+                    machine.space(b).name.c_str(), link->bandwidth,
+                    link->latency);
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace versa

@@ -1,0 +1,49 @@
+// Machine description files: build a Machine from a line-oriented text
+// format instead of code, so benchmark nodes can be described externally
+// (the same spirit as Nanos++'s runtime configuration arguments).
+//
+// Format (one statement per line; '#' starts a comment):
+//
+//   # versa machine v1
+//   host capacity 24G
+//   space  <name> capacity <bytes>
+//   device <name> kind <smp|cuda> space <host|space-name> peak <flops>
+//   worker <device-name> [worker-name]
+//   link   <space-a> <space-b> bandwidth <bytes/s> latency <seconds>
+//
+// Quantities accept K/M/G/T suffixes (powers of 1024 for capacities,
+// powers of 1000 for rates) and us/ms/s time suffixes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "machine/machine.h"
+
+namespace versa {
+
+struct MachineParseResult {
+  std::optional<Machine> machine;  ///< empty on error
+  std::string error;               ///< first error, with line number
+};
+
+/// Parse a machine description from text.
+MachineParseResult parse_machine(std::string_view text);
+
+/// Load from a file; error mentions the path on I/O failure.
+MachineParseResult load_machine(const std::string& path);
+
+/// Serialize a Machine back to the file format (round-trips through
+/// parse_machine up to formatting).
+std::string serialize_machine(const Machine& machine);
+
+/// Parse "6G", "512M", "1.5G" into bytes (powers of 1024); also used for
+/// FLOP rates and bandwidths with powers of 1000 when `decimal` is true.
+/// Returns nullopt on malformed input.
+std::optional<double> parse_quantity(std::string_view text, bool decimal);
+
+/// Parse "15us", "1.5ms", "2s" into seconds.
+std::optional<double> parse_time(std::string_view text);
+
+}  // namespace versa

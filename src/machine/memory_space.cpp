@@ -1,0 +1,3 @@
+#include "machine/memory_space.h"
+
+// Descriptors are plain data; implementation lives in data/directory.cpp.

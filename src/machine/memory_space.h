@@ -1,0 +1,21 @@
+// Memory space descriptors. Space 0 is always host main memory; every GPU
+// contributes one private space. The data directory tracks which spaces
+// hold valid copies of each region.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace versa {
+
+struct MemorySpaceDesc {
+  SpaceId id = kInvalidSpace;
+  std::string name;
+  /// Capacity in bytes (the M2090 has 6 GB). The directory refuses to
+  /// over-commit a space and evicts clean copies when pressed.
+  std::uint64_t capacity = 0;
+  bool is_host = false;
+};
+
+}  // namespace versa

@@ -1,0 +1,116 @@
+#include "machine/presets.h"
+
+#include "common/check.h"
+#include "machine/kernel_models.h"
+
+namespace versa {
+namespace {
+
+// PCIe 2.0 x16 effective rates measured on MinoTauro-class nodes.
+constexpr double kPcieBandwidth = 6.0e9;    // bytes/s, per direction
+constexpr Duration kPcieLatency = 15e-6;    // per transfer
+// GPU<->GPU copies on Fermi stage through the host; slightly lower rate.
+constexpr double kPeerBandwidth = 5.0e9;
+constexpr Duration kPeerLatency = 25e-6;
+
+}  // namespace
+
+Machine make_minotauro_node(std::size_t smp_workers, std::size_t gpus) {
+  VERSA_CHECK_MSG(smp_workers >= 1 && smp_workers <= 12,
+                  "MinoTauro node has 12 cores");
+  VERSA_CHECK_MSG(gpus <= 2, "MinoTauro node has 2 GPUs");
+
+  Machine::Builder builder;
+  builder.set_host_capacity(24ull << 30);
+
+  for (std::size_t i = 0; i < smp_workers; ++i) {
+    const DeviceId core =
+        builder.add_device(DeviceKind::kSmp, kHostSpace,
+                           "xeon-core-" + std::to_string(i),
+                           kernels::Peak::kXeonE5649Core);
+    builder.add_worker(core, "smp-" + std::to_string(i));
+  }
+
+  std::vector<SpaceId> gpu_spaces;
+  for (std::size_t g = 0; g < gpus; ++g) {
+    const SpaceId space =
+        builder.add_space("gpu-mem-" + std::to_string(g), 6ull << 30);
+    const DeviceId dev =
+        builder.add_device(DeviceKind::kCuda, space,
+                           "m2090-" + std::to_string(g), kernels::Peak::kM2090);
+    builder.add_worker(dev, "gpu-" + std::to_string(g));
+    builder.add_bidi_link(kHostSpace, space, kPcieBandwidth, kPcieLatency);
+    gpu_spaces.push_back(space);
+  }
+  for (std::size_t a = 0; a < gpu_spaces.size(); ++a) {
+    for (std::size_t b = a + 1; b < gpu_spaces.size(); ++b) {
+      builder.add_bidi_link(gpu_spaces[a], gpu_spaces[b], kPeerBandwidth,
+                            kPeerLatency);
+    }
+  }
+  return builder.build();
+}
+
+Machine make_gpu_cluster(std::size_t nodes, std::size_t smp_per_node,
+                         std::size_t gpus_per_node) {
+  VERSA_CHECK(nodes >= 1 && smp_per_node >= 1);
+  // QDR InfiniBand-class network between node host spaces.
+  constexpr double kNetBandwidth = 3.2e9;  // bytes/s effective
+  constexpr Duration kNetLatency = 2e-6;
+
+  Machine::Builder builder;
+  builder.set_host_capacity(24ull << 30);
+  std::vector<SpaceId> node_hosts;
+
+  for (std::size_t n = 0; n < nodes; ++n) {
+    const SpaceId node_host =
+        n == 0 ? kHostSpace
+               : builder.add_space("node" + std::to_string(n) + "-mem",
+                                   24ull << 30);
+    node_hosts.push_back(node_host);
+    for (std::size_t c = 0; c < smp_per_node; ++c) {
+      const DeviceId core = builder.add_device(
+          DeviceKind::kSmp, node_host,
+          "n" + std::to_string(n) + "-core-" + std::to_string(c),
+          kernels::Peak::kXeonE5649Core);
+      builder.add_worker(core,
+                         "n" + std::to_string(n) + "-smp-" + std::to_string(c));
+    }
+    for (std::size_t g = 0; g < gpus_per_node; ++g) {
+      const SpaceId gpu_mem = builder.add_space(
+          "n" + std::to_string(n) + "-gpu-mem-" + std::to_string(g),
+          6ull << 30);
+      const DeviceId gpu = builder.add_device(
+          DeviceKind::kCuda, gpu_mem,
+          "n" + std::to_string(n) + "-m2090-" + std::to_string(g),
+          kernels::Peak::kM2090);
+      builder.add_worker(gpu,
+                         "n" + std::to_string(n) + "-gpu-" + std::to_string(g));
+      builder.add_bidi_link(node_host, gpu_mem, kPcieBandwidth, kPcieLatency);
+    }
+  }
+  // Full network mesh between node host spaces. GPU spaces on different
+  // nodes have no direct link: the transfer engine stages those copies
+  // through space 0, modelling GPU -> host -> network -> host -> GPU.
+  for (std::size_t a = 0; a < node_hosts.size(); ++a) {
+    for (std::size_t b = a + 1; b < node_hosts.size(); ++b) {
+      builder.add_bidi_link(node_hosts[a], node_hosts[b], kNetBandwidth,
+                            kNetLatency);
+    }
+  }
+  return builder.build();
+}
+
+Machine make_smp_machine(std::size_t smp_workers) {
+  VERSA_CHECK(smp_workers >= 1);
+  Machine::Builder builder;
+  for (std::size_t i = 0; i < smp_workers; ++i) {
+    const DeviceId core = builder.add_device(
+        DeviceKind::kSmp, kHostSpace, "core-" + std::to_string(i),
+        kernels::Peak::kXeonE5649Core);
+    builder.add_worker(core, "smp-" + std::to_string(i));
+  }
+  return builder.build();
+}
+
+}  // namespace versa

@@ -1,0 +1,29 @@
+// Machine presets, most importantly the MinoTauro node the paper evaluated
+// on: 2x Intel Xeon E5649 6-core 2.53 GHz (24 GB) + 2x NVIDIA M2090 (6 GB),
+// PCIe 2.0 x16 (~6 GB/s effective per direction).
+#pragma once
+
+#include <cstddef>
+
+#include "machine/machine.h"
+
+namespace versa {
+
+/// Build a MinoTauro-like node with `smp_workers` SMP worker threads
+/// (1..12) and `gpus` CUDA workers (0..2). One worker per GPU, as in the
+/// paper. The master thread is not modelled as a worker.
+Machine make_minotauro_node(std::size_t smp_workers, std::size_t gpus);
+
+/// A small homogeneous SMP machine (unit tests).
+Machine make_smp_machine(std::size_t smp_workers);
+
+/// A cluster of MinoTauro-like nodes (the paper's intro points at OmpSs on
+/// GPU clusters as the same programming model at larger scale). Each node
+/// contributes its own "host" memory space (node 0's host is the global
+/// home space data flushes to), `smp_per_node` SMP workers and
+/// `gpus_per_node` GPUs; node host spaces are linked by an
+/// InfiniBand-class network, GPU spaces hang off their node's host.
+Machine make_gpu_cluster(std::size_t nodes, std::size_t smp_per_node,
+                         std::size_t gpus_per_node);
+
+}  // namespace versa

@@ -1,0 +1,96 @@
+#include "perf/calibrate.h"
+
+#include <chrono>
+#include <vector>
+
+#include "apps/kernels.h"
+#include "common/check.h"
+#include "common/random.h"
+#include "machine/kernel_models.h"
+
+namespace versa {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+HostCalibration calibrate_host(std::size_t tile, int repetitions) {
+  VERSA_CHECK(tile >= 16 && repetitions >= 1);
+  HostCalibration result;
+  Rng rng(2024);
+
+  // --- GEMM ---------------------------------------------------------------
+  {
+    std::vector<double> a(tile * tile), b(tile * tile), c(tile * tile, 0.0);
+    for (auto& v : a) v = rng.uniform(-1.0, 1.0);
+    for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+    double best = 0.0;
+    for (int r = 0; r < repetitions; ++r) {
+      const auto start = std::chrono::steady_clock::now();
+      kernels::dgemm_blocked(a.data(), b.data(), c.data(), tile);
+      const double elapsed = seconds_since(start);
+      const double rate =
+          static_cast<double>(kernels::gemm_flops(tile)) / elapsed;
+      best = std::max(best, rate);
+    }
+    result.dgemm_flops_per_second = best;
+  }
+
+  // --- streaming stencil ----------------------------------------------------
+  {
+    const std::size_t cells = 1 << 20;
+    std::vector<float> src(cells, 1.0f), dst(cells, 0.0f);
+    double best = 0.0;
+    for (int r = 0; r < repetitions; ++r) {
+      const auto start = std::chrono::steady_clock::now();
+      kernels::pbpi_partial_likelihood(src.data(), dst.data(), cells);
+      const double elapsed = seconds_since(start);
+      best = std::max(best, static_cast<double>(cells * sizeof(float) * 2) /
+                                elapsed);
+    }
+    result.stencil_bytes_per_second = best;
+  }
+
+  // --- SPOTRF ----------------------------------------------------------------
+  {
+    std::vector<float> block(tile * tile, 0.0f);
+    double best = 0.0;
+    for (int r = 0; r < repetitions; ++r) {
+      for (std::size_t i = 0; i < tile; ++i) {
+        for (std::size_t j = 0; j < tile; ++j) {
+          block[i * tile + j] =
+              i == j ? static_cast<float>(tile) : 0.01f * ((i + j) % 7);
+        }
+      }
+      const auto start = std::chrono::steady_clock::now();
+      VERSA_CHECK(kernels::spotrf_block(block.data(), tile));
+      const double elapsed = seconds_since(start);
+      best = std::max(best, static_cast<double>(kernels::potrf_flops(tile)) /
+                                elapsed);
+    }
+    result.spotrf_flops_per_second = best;
+  }
+  return result;
+}
+
+CostModelPtr calibrated_gemm_cost(const HostCalibration& calibration,
+                                  std::size_t n) {
+  VERSA_CHECK(calibration.dgemm_flops_per_second > 0.0);
+  return make_constant_cost(static_cast<double>(kernels::gemm_flops(n)) /
+                            calibration.dgemm_flops_per_second);
+}
+
+CostModelPtr calibrated_stream_cost(const HostCalibration& calibration) {
+  VERSA_CHECK(calibration.stencil_bytes_per_second > 0.0);
+  const double rate = calibration.stencil_bytes_per_second;
+  return make_callable_cost([rate](std::uint64_t bytes) {
+    return static_cast<double>(bytes) / rate;
+  });
+}
+
+}  // namespace versa

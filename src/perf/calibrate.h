@@ -1,0 +1,33 @@
+// Host calibration: measure the real machine's kernel throughput and
+// derive cost models from it, so simulations can be re-based on whatever
+// host runs this code instead of the paper's MinoTauro node. This is the
+// bridge between the two backends — thread-measured reality feeding the
+// virtual-time models — and doubles as the "profile written by a previous
+// execution" idea of §VII in calibrated-constant form.
+#pragma once
+
+#include <cstddef>
+
+#include "machine/cost_model.h"
+
+namespace versa {
+
+struct HostCalibration {
+  double dgemm_flops_per_second = 0.0;   ///< blocked double GEMM
+  double stencil_bytes_per_second = 0.0; ///< streaming 1D stencil
+  double spotrf_flops_per_second = 0.0;  ///< single-precision Cholesky
+};
+
+/// Measure this host's single-core throughput. `tile` is the GEMM tile
+/// edge (keep modest: the measurement runs 2*tile^3 flops per repetition);
+/// `repetitions` are averaged. Deterministic inputs, wall-clock timed.
+HostCalibration calibrate_host(std::size_t tile = 96, int repetitions = 3);
+
+/// Cost model for an n x n double GEMM tile at the calibrated rate.
+CostModelPtr calibrated_gemm_cost(const HostCalibration& calibration,
+                                  std::size_t n);
+
+/// Cost model for a byte-streaming kernel at the calibrated rate.
+CostModelPtr calibrated_stream_cost(const HostCalibration& calibration);
+
+}  // namespace versa

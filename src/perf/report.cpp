@@ -1,0 +1,74 @@
+#include "perf/report.h"
+
+#include <algorithm>
+#include <fstream>
+
+namespace versa {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out += cell;
+      out.append(widths[c] - cell.size(), ' ');
+      out += (c + 1 < widths.size()) ? "  " : "";
+    }
+    out += '\n';
+  };
+  std::string out;
+  emit_row(headers_, out);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(rule, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    emit_row(row, out);
+  }
+  return out;
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const std::string& cell = cells[c];
+    const bool quote = cell.find_first_of(",\"\n") != std::string::npos;
+    if (quote) {
+      out_ += '"';
+      for (char ch : cell) {
+        if (ch == '"') out_ += '"';
+        out_ += ch;
+      }
+      out_ += '"';
+    } else {
+      out_ += cell;
+    }
+    out_ += (c + 1 < cells.size()) ? "," : "";
+  }
+  out_ += '\n';
+}
+
+bool CsvWriter::write_file(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << out_;
+  return static_cast<bool>(file);
+}
+
+}  // namespace versa

@@ -1,0 +1,38 @@
+// Plain-text table and CSV emitters for the benchmark harnesses, so every
+// bench prints the same rows/series the corresponding paper artifact shows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace versa {
+
+/// Column-aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header rule. Missing cells render empty.
+  std::string to_string() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Minimal CSV writer (quotes fields containing separators/quotes).
+class CsvWriter {
+ public:
+  void add_row(const std::vector<std::string>& cells);
+  const std::string& str() const { return out_; }
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::string out_;
+};
+
+}  // namespace versa

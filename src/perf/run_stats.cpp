@@ -1,0 +1,57 @@
+#include "perf/run_stats.h"
+
+#include "common/check.h"
+
+namespace versa {
+
+void RunStatsCollector::on_complete(TaskTypeId type, VersionId version,
+                                    Duration measured) {
+  Value& value = stats_[Key{type, version}];
+  ++value.count;
+  value.total += measured;
+  ++total_tasks_;
+}
+
+std::uint64_t RunStatsCollector::count(VersionId version) const {
+  std::uint64_t total = 0;
+  for (const auto& [key, value] : stats_) {
+    if (key.version == version) total += value.count;
+  }
+  return total;
+}
+
+Duration RunStatsCollector::total_time(VersionId version) const {
+  Duration total = 0.0;
+  for (const auto& [key, value] : stats_) {
+    if (key.version == version) total += value.total;
+  }
+  return total;
+}
+
+std::uint64_t RunStatsCollector::type_count(TaskTypeId type) const {
+  std::uint64_t total = 0;
+  for (const auto& [key, value] : stats_) {
+    if (key.type == type) total += value.count;
+  }
+  return total;
+}
+
+double RunStatsCollector::percent(TaskTypeId type, VersionId version) const {
+  const std::uint64_t all = type_count(type);
+  if (all == 0) return 0.0;
+  auto it = stats_.find(Key{type, version});
+  const std::uint64_t mine = it == stats_.end() ? 0 : it->second.count;
+  return 100.0 * static_cast<double>(mine) / static_cast<double>(all);
+}
+
+void RunStatsCollector::reset() {
+  stats_.clear();
+  total_tasks_ = 0;
+}
+
+double gflops(double flops, Duration elapsed) {
+  VERSA_CHECK(elapsed > 0.0);
+  return flops / elapsed / 1e9;
+}
+
+}  // namespace versa

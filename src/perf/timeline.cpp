@@ -1,0 +1,95 @@
+#include "perf/timeline.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace versa {
+
+std::vector<Interval> merge_intervals(std::vector<Interval> intervals) {
+  intervals.erase(std::remove_if(intervals.begin(), intervals.end(),
+                                 [](const Interval& i) {
+                                   return i.end <= i.begin;
+                                 }),
+                  intervals.end());
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.begin < b.begin;
+            });
+  std::vector<Interval> merged;
+  for (const Interval& interval : intervals) {
+    if (!merged.empty() && interval.begin <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, interval.end);
+    } else {
+      merged.push_back(interval);
+    }
+  }
+  return merged;
+}
+
+Duration total_length(const std::vector<Interval>& merged) {
+  Duration total = 0.0;
+  for (const Interval& interval : merged) {
+    total += interval.end - interval.begin;
+  }
+  return total;
+}
+
+Duration intersection_length(const std::vector<Interval>& a,
+                             const std::vector<Interval>& b) {
+  Duration total = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const Time lo = std::max(a[i].begin, b[j].begin);
+    const Time hi = std::min(a[i].end, b[j].end);
+    if (hi > lo) total += hi - lo;
+    if (a[i].end < b[j].end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return total;
+}
+
+TimelineStats analyze_timeline(const TaskGraph& graph,
+                               const std::vector<TransferRecord>& transfers,
+                               Time makespan) {
+  std::vector<Interval> compute;
+  for (const Task& task : graph.tasks()) {
+    if (task.state != TaskState::kFinished) continue;
+    compute.push_back(Interval{task.start_time, task.finish_time});
+  }
+  std::vector<Interval> movement;
+  movement.reserve(transfers.size());
+  for (const TransferRecord& record : transfers) {
+    movement.push_back(Interval{record.start, record.end});
+  }
+
+  TimelineStats stats;
+  stats.makespan = makespan;
+  const std::vector<Interval> compute_merged = merge_intervals(std::move(compute));
+  const std::vector<Interval> movement_merged =
+      merge_intervals(std::move(movement));
+  stats.compute_wall = total_length(compute_merged);
+  stats.transfer_wall = total_length(movement_merged);
+  stats.overlapped_wall = intersection_length(compute_merged, movement_merged);
+  stats.exposed_transfer = stats.transfer_wall - stats.overlapped_wall;
+  stats.overlap_fraction =
+      stats.transfer_wall > 0.0 ? stats.overlapped_wall / stats.transfer_wall
+                                : 0.0;
+  return stats;
+}
+
+std::string timeline_report(const TimelineStats& stats) {
+  std::string out;
+  out += "makespan:          " + format_duration(stats.makespan) + "\n";
+  out += "compute (wall):    " + format_duration(stats.compute_wall) + "\n";
+  out += "transfers (wall):  " + format_duration(stats.transfer_wall) + "\n";
+  out += "  hidden behind compute: " +
+         format_double(stats.overlap_fraction * 100.0, 1) + " %\n";
+  out += "  exposed:         " + format_duration(stats.exposed_transfer) + "\n";
+  return out;
+}
+
+}  // namespace versa

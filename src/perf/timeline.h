@@ -1,0 +1,54 @@
+// Timeline analysis: how much of the modelled run was compute, how much
+// was data movement, and how much of the movement hid behind compute —
+// the quantitative form of the paper's §V-A claim that transfers "still
+// represent a significant amount of execution time" unless overlapped.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "data/transfer_engine.h"
+#include "task/task_graph.h"
+
+namespace versa {
+
+/// Half-open time interval [begin, end).
+struct Interval {
+  Time begin = 0.0;
+  Time end = 0.0;
+};
+
+/// Sort + merge overlapping/adjacent intervals. Empty intervals dropped.
+std::vector<Interval> merge_intervals(std::vector<Interval> intervals);
+
+/// Total length of a merged interval set.
+Duration total_length(const std::vector<Interval>& merged);
+
+/// Total length of the intersection of two merged interval sets.
+Duration intersection_length(const std::vector<Interval>& a,
+                             const std::vector<Interval>& b);
+
+struct TimelineStats {
+  Time makespan = 0.0;
+  /// Wall-clock union of task execution (any worker computing).
+  Duration compute_wall = 0.0;
+  /// Wall-clock union of data movement (any link busy).
+  Duration transfer_wall = 0.0;
+  /// Wall-clock during which movement coincided with compute.
+  Duration overlapped_wall = 0.0;
+  /// overlapped / transfer_wall in [0, 1]; 1 = all movement hidden.
+  double overlap_fraction = 0.0;
+  /// transfer_wall - overlapped: time the run was *only* moving data.
+  Duration exposed_transfer = 0.0;
+};
+
+/// Analyze a finished run. `makespan` is the runtime's elapsed().
+TimelineStats analyze_timeline(const TaskGraph& graph,
+                               const std::vector<TransferRecord>& transfers,
+                               Time makespan);
+
+/// Small human-readable report.
+std::string timeline_report(const TimelineStats& stats);
+
+}  // namespace versa

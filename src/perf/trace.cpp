@@ -1,0 +1,83 @@
+#include "perf/trace.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace versa {
+namespace {
+
+void append_escaped(std::string& out, const std::string& text) {
+  for (char ch : text) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    out += ch;
+  }
+}
+
+}  // namespace
+
+std::string trace_json(const TaskGraph& graph, const Machine& machine,
+                       const VersionRegistry& registry,
+                       const std::vector<TransferRecord>* transfers) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buffer[192];
+  for (const Task& task : graph.tasks()) {
+    if (task.state != TaskState::kFinished) continue;
+    if (!first) out += ',';
+    first = false;
+    const TaskVersion& version = registry.version(task.chosen_version);
+    out += "{\"name\":\"";
+    append_escaped(out, registry.task_name(task.type) + "/" + version.name);
+    out += "\",\"cat\":\"task\",\"ph\":\"X\"";
+    // Times in microseconds, as the trace format expects.
+    std::snprintf(buffer, sizeof(buffer),
+                  ",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%u",
+                  task.start_time * 1e6,
+                  (task.finish_time - task.start_time) * 1e6,
+                  task.assigned_worker);
+    out += buffer;
+    out += "}";
+  }
+  // Transfer lanes: one per (from, to) link pair, under pid 1.
+  if (transfers != nullptr) {
+    for (const TransferRecord& record : *transfers) {
+      out += first ? "" : ",";
+      first = false;
+      out += "{\"name\":\"";
+      append_escaped(out, machine.space(record.from).name + "->" +
+                              machine.space(record.to).name);
+      out += "\",\"cat\":\"transfer\",\"ph\":\"X\"";
+      std::snprintf(buffer, sizeof(buffer),
+                    ",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u,"
+                    "\"args\":{\"bytes\":%llu}",
+                    record.start * 1e6, (record.end - record.start) * 1e6,
+                    static_cast<unsigned>(record.from * 64 + record.to),
+                    static_cast<unsigned long long>(record.bytes));
+      out += buffer;
+      out += "}";
+    }
+  }
+  // Name the worker lanes.
+  for (const WorkerDesc& w : machine.workers()) {
+    out += first ? "" : ",";
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+    out += std::to_string(w.id);
+    out += ",\"args\":{\"name\":\"";
+    append_escaped(out, w.name);
+    out += "\"}}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_trace(const std::string& path, const TaskGraph& graph,
+                 const Machine& machine, const VersionRegistry& registry,
+                 const std::vector<TransferRecord>* transfers) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << trace_json(graph, machine, registry, transfers);
+  return static_cast<bool>(file);
+}
+
+}  // namespace versa

@@ -1,0 +1,28 @@
+// Chrome-trace (about://tracing, Perfetto) export of a run's task timeline:
+// one lane per worker, one complete event per task. Handy for eyeballing
+// how the versioning scheduler interleaves SMP and GPU work.
+#pragma once
+
+#include <string>
+
+#include "data/transfer_engine.h"
+#include "machine/machine.h"
+#include "task/task_graph.h"
+#include "task/version_registry.h"
+
+namespace versa {
+
+/// Serialize the finished tasks of `graph` as a Chrome trace JSON string.
+/// When `transfers` is non-null, each interconnect link gets its own lane
+/// (pid 1) with one event per modelled copy hop, so transfer/compute
+/// overlap is visible at a glance.
+std::string trace_json(const TaskGraph& graph, const Machine& machine,
+                       const VersionRegistry& registry,
+                       const std::vector<TransferRecord>* transfers = nullptr);
+
+/// Write trace_json() to a file. Returns false on I/O failure.
+bool write_trace(const std::string& path, const TaskGraph& graph,
+                 const Machine& machine, const VersionRegistry& registry,
+                 const std::vector<TransferRecord>* transfers = nullptr);
+
+}  // namespace versa

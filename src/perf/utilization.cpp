@@ -1,0 +1,50 @@
+#include "perf/utilization.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "perf/report.h"
+
+namespace versa {
+
+std::vector<WorkerUtilization> compute_utilization(const TaskGraph& graph,
+                                                   const Machine& machine,
+                                                   Time makespan) {
+  VERSA_CHECK(makespan > 0.0);
+  std::vector<WorkerUtilization> rows(machine.worker_count());
+  for (WorkerId w = 0; w < machine.worker_count(); ++w) {
+    rows[w].worker = w;
+    rows[w].name = machine.worker(w).name;
+  }
+  for (const Task& task : graph.tasks()) {
+    if (task.state != TaskState::kFinished) continue;
+    VERSA_CHECK(task.assigned_worker < rows.size());
+    WorkerUtilization& row = rows[task.assigned_worker];
+    row.busy += task.finish_time - task.start_time;
+    ++row.tasks;
+  }
+  for (WorkerUtilization& row : rows) {
+    row.fraction = row.busy / makespan;
+  }
+  return rows;
+}
+
+double mean_utilization(const std::vector<WorkerUtilization>& rows) {
+  if (rows.empty()) return 0.0;
+  double total = 0.0;
+  for (const WorkerUtilization& row : rows) {
+    total += row.fraction;
+  }
+  return total / static_cast<double>(rows.size());
+}
+
+std::string utilization_table(const std::vector<WorkerUtilization>& rows) {
+  TablePrinter table({"worker", "tasks", "busy", "utilization"});
+  for (const WorkerUtilization& row : rows) {
+    table.add_row({row.name, std::to_string(row.tasks),
+                   format_duration(row.busy),
+                   format_double(row.fraction * 100.0, 1) + " %"});
+  }
+  return table.to_string();
+}
+
+}  // namespace versa

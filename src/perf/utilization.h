@@ -1,0 +1,36 @@
+// Per-worker utilization derived from the executed task timeline: how busy
+// each worker was, how many tasks it ran, and the machine-wide average.
+// Useful for diagnosing why a scheduler wins (e.g. the versioning
+// scheduler's gain in Figure 6 is exactly the SMP workers' non-zero
+// utilization).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "machine/machine.h"
+#include "task/task_graph.h"
+
+namespace versa {
+
+struct WorkerUtilization {
+  WorkerId worker = kInvalidWorker;
+  std::string name;
+  Duration busy = 0.0;        ///< sum of task durations executed
+  std::uint64_t tasks = 0;
+  double fraction = 0.0;      ///< busy / makespan, in [0, 1]
+};
+
+/// Compute per-worker utilization over [0, makespan]. Unfinished tasks are
+/// ignored. makespan must be > 0.
+std::vector<WorkerUtilization> compute_utilization(const TaskGraph& graph,
+                                                   const Machine& machine,
+                                                   Time makespan);
+
+/// Machine-wide mean utilization fraction (unweighted across workers).
+double mean_utilization(const std::vector<WorkerUtilization>& rows);
+
+/// Column-aligned summary table.
+std::string utilization_table(const std::vector<WorkerUtilization>& rows);
+
+}  // namespace versa

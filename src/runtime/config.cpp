@@ -1,0 +1,30 @@
+#include "runtime/config.h"
+
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace versa {
+
+RuntimeConfig apply_env_overrides(RuntimeConfig config) {
+  if (const char* name = std::getenv("VERSA_SCHEDULER")) {
+    config.scheduler = name;
+  }
+  if (const char* lambda = std::getenv("VERSA_LAMBDA")) {
+    const long value = std::strtol(lambda, nullptr, 10);
+    if (value >= 1) {
+      config.profile.lambda = static_cast<std::uint32_t>(value);
+    } else {
+      VERSA_LOG(kWarn) << "ignoring invalid VERSA_LAMBDA=" << lambda;
+    }
+  }
+  if (const char* prefetch = std::getenv("VERSA_PREFETCH")) {
+    config.prefetch = std::string(prefetch) != "0";
+  }
+  if (const char* seed = std::getenv("VERSA_SEED")) {
+    config.seed = std::strtoull(seed, nullptr, 10);
+  }
+  return config;
+}
+
+}  // namespace versa

@@ -1,0 +1,63 @@
+// Runtime configuration. As in Nanos++, most knobs can also be set through
+// environment variables so the same binary can be re-run under different
+// schedulers without recompiling (§III):
+//
+//   VERSA_SCHEDULER  — scheduler name (fifo / dep-aware / affinity /
+//                      versioning / versioning-locality)
+//   VERSA_LAMBDA     — learning-phase threshold λ
+//   VERSA_PREFETCH   — 0/1, transfer overlap + prefetch
+//   VERSA_SEED       — simulation RNG seed
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sched/profile_table.h"
+#include "sim/noise.h"
+
+namespace versa {
+
+enum class Backend : std::uint8_t {
+  kSim,      ///< discrete-event virtual time (paper figures)
+  kThreads,  ///< real std::thread pool (functional runs)
+};
+
+struct RuntimeConfig {
+  std::string scheduler = "versioning";
+  ProfileConfig profile;
+  Backend backend = Backend::kSim;
+
+  /// Overlap data transfers with computation and prefetch task data as
+  /// soon as tasks are assigned (§V-A enables both for all schedulers).
+  bool prefetch = true;
+
+  sim::NoiseConfig noise;
+  std::uint64_t seed = 42;
+
+  /// Fallback virtual duration for versions without a cost model (sim).
+  Duration default_task_duration = 1e-3;
+
+  /// Failure injection (sim backend): per-attempt transient failure
+  /// probability, and the attempt number at which success is forced.
+  double failure_rate = 0.0;
+  std::uint32_t max_attempts = 4;
+
+  /// Thread backend: emulate modelled device speeds by sleeping each task
+  /// to its cost model's duration (scaled by emulation_time_scale). This
+  /// lets real-thread runs reproduce the simulated figures' *shape* in
+  /// wall-clock time — simulated "GPU" workers really finish tasks faster
+  /// than SMP workers, so the versioning scheduler learns the same
+  /// ratios. Off by default (bodies run at native speed).
+  bool emulate_costs = false;
+  double emulation_time_scale = 1.0;
+
+  /// Profile hints (§VII future work #3): loaded before the first task,
+  /// saved after the last taskwait. Empty = disabled.
+  std::string hints_load_path;
+  std::string hints_save_path;
+};
+
+/// Overlay environment-variable overrides onto `config`.
+RuntimeConfig apply_env_overrides(RuntimeConfig config);
+
+}  // namespace versa

@@ -1,0 +1,303 @@
+#include "runtime/runtime.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "exec/sim_executor.h"
+#include "exec/thread_executor.h"
+#include "sched/hints_file.h"
+#include "sched/scheduler_factory.h"
+#include "sched/versioning_scheduler.h"
+#include "sched/xml_hints.h"
+
+namespace versa {
+
+Runtime::Runtime(const Machine& machine, RuntimeConfig config)
+    : machine_(machine),
+      config_(apply_env_overrides(std::move(config))),
+      directory_(machine_) {
+  scheduler_ = make_scheduler(config_.scheduler, config_.profile);
+  VERSA_CHECK_MSG(scheduler_ != nullptr, "unknown scheduler name");
+  scheduler_->attach(*this);
+
+  switch (config_.backend) {
+    case Backend::kSim: {
+      SimExecutorConfig sim_config;
+      sim_config.noise = config_.noise;
+      sim_config.seed = config_.seed;
+      sim_config.prefetch = config_.prefetch;
+      sim_config.default_task_duration = config_.default_task_duration;
+      sim_config.failure_rate = config_.failure_rate;
+      sim_config.max_attempts = config_.max_attempts;
+      executor_ = std::make_unique<SimExecutor>(machine_, sim_config);
+      break;
+    }
+    case Backend::kThreads: {
+      ThreadExecutorConfig thread_config;
+      thread_config.emulate_costs = config_.emulate_costs;
+      thread_config.time_scale = config_.emulation_time_scale;
+      executor_ = std::make_unique<ThreadExecutor>(machine_, thread_config);
+      break;
+    }
+  }
+  executor_->attach(*this);
+  VERSA_LOG(kInfo) << "runtime up: " << machine_.summary() << ", scheduler="
+                   << scheduler_->name();
+}
+
+Runtime::~Runtime() {
+  // Join worker threads before anything else is torn down, then persist
+  // the learned profile if requested.
+  executor_.reset();
+  maybe_save_hints();
+}
+
+TaskTypeId Runtime::declare_task(std::string name) {
+  std::lock_guard lock(mutex_);
+  return registry_.declare_task(std::move(name));
+}
+
+VersionId Runtime::add_version(TaskTypeId type, DeviceKind device,
+                               std::string name, TaskFn fn,
+                               CostModelPtr cost) {
+  std::lock_guard lock(mutex_);
+  return registry_.add_version(type, device, std::move(name), std::move(fn),
+                               std::move(cost));
+}
+
+RegionId Runtime::register_data(std::string name, std::uint64_t size,
+                                void* host_ptr) {
+  std::lock_guard lock(mutex_);
+  return directory_.register_region(std::move(name), size, host_ptr);
+}
+
+namespace {
+
+/// §VII names an XML file explicitly; pick the format by extension.
+bool is_xml_path(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".xml") == 0;
+}
+
+}  // namespace
+
+void Runtime::unregister_data(RegionId region) {
+  std::lock_guard lock(mutex_);
+  // Guard against use-after-free at the task level: no live task may still
+  // reference the region. (Linear scan: deregistration is a coarse event,
+  // typically after a taskwait.)
+  for (const Task& task : graph_.tasks()) {
+    if (task.state == TaskState::kFinished) continue;
+    for (const Access& access : task.accesses) {
+      VERSA_CHECK_MSG(access.region != region,
+                      "unregistering a region with unfinished tasks");
+    }
+  }
+  analyzer_.clear_region(region);
+  directory_.unregister_region(region);
+}
+
+void Runtime::maybe_load_hints() {
+  if (hints_loaded_) return;
+  hints_loaded_ = true;
+  if (config_.hints_load_path.empty()) return;
+  auto* versioning = dynamic_cast<VersioningScheduler*>(scheduler_.get());
+  if (versioning == nullptr) {
+    VERSA_LOG(kWarn) << "hints file ignored: scheduler has no profile table";
+    return;
+  }
+  const int applied =
+      is_xml_path(config_.hints_load_path)
+          ? load_xml_hints(config_.hints_load_path, registry_,
+                           versioning->mutable_profile())
+          : load_hints(config_.hints_load_path, registry_,
+                       versioning->mutable_profile());
+  if (applied < 0) {
+    VERSA_LOG(kWarn) << "could not load hints from "
+                     << config_.hints_load_path;
+  } else {
+    VERSA_LOG(kInfo) << "loaded " << applied << " hints from "
+                     << config_.hints_load_path;
+  }
+}
+
+void Runtime::maybe_save_hints() {
+  if (config_.hints_save_path.empty()) return;
+  auto* versioning = dynamic_cast<VersioningScheduler*>(scheduler_.get());
+  if (versioning == nullptr) return;
+  const bool saved =
+      is_xml_path(config_.hints_save_path)
+          ? save_xml_hints(config_.hints_save_path, registry_,
+                           versioning->profile())
+          : save_hints(config_.hints_save_path, registry_,
+                       versioning->profile());
+  if (!saved) {
+    VERSA_LOG(kWarn) << "could not save hints to " << config_.hints_save_path;
+  }
+}
+
+TaskId Runtime::submit(TaskTypeId type, AccessList accesses, std::string label,
+                       int priority) {
+  std::lock_guard lock(mutex_);
+  maybe_load_hints();
+
+  // Resolve open-ended lengths and compute the data-set size with every
+  // region counted once (paper footnote 2).
+  std::set<RegionId> seen;
+  std::uint64_t data_set_size = 0;
+  for (Access& access : accesses) {
+    const RegionDesc& desc = directory_.region(access.region);
+    if (access.length == 0) {
+      VERSA_CHECK_MSG(access.offset < desc.size, "access offset out of range");
+      access.length = desc.size - access.offset;
+    }
+    VERSA_CHECK_MSG(access.offset + access.length <= desc.size,
+                    "access range exceeds region");
+    if (seen.insert(access.region).second) {
+      data_set_size += desc.size;
+    }
+  }
+
+  Task& task = graph_.create_task(type, std::move(accesses), data_set_size,
+                                  std::move(label));
+  task.priority = priority;
+  task.submit_time = now();
+
+  // Nested submission: attribute the child to the submitting task so a
+  // taskwait inside that body can wait for exactly its children.
+  const TaskId parent = executor_->current_task();
+  if (parent != kInvalidTask) {
+    task.parent = parent;
+    ++graph_.task(parent).live_children;
+  }
+
+  std::vector<TaskId> preds;
+  analyzer_.add_task(task.id, task.accesses, preds);
+  const std::uint32_t live = graph_.add_dependencies(task, preds);
+  if (live == 0) {
+    release_ready({task.id});
+  }
+  return task.id;
+}
+
+void Runtime::release_ready(const std::vector<TaskId>& ready) {
+  for (TaskId id : ready) {
+    Task& task = graph_.task(id);
+    VERSA_CHECK(task.state == TaskState::kCreated);
+    task.state = TaskState::kReady;
+    task.ready_time = now();
+    scheduler_->task_ready(task);
+  }
+  if (!ready.empty()) {
+    scheduler_->ready_batch_done();
+    executor_->work_available();
+  }
+}
+
+void Runtime::port_complete(TaskId id, WorkerId worker, Time start,
+                            Time finish) {
+  std::lock_guard lock(mutex_);
+  Task& task = graph_.task(id);
+  task.start_time = start;
+  task.measured_duration = finish - start;
+
+  std::vector<TaskId> newly_ready;
+  graph_.mark_finished(id, finish, newly_ready);
+  makespan_ = std::max(makespan_, finish);
+  if (task.parent != kInvalidTask) {
+    Task& parent = graph_.task(task.parent);
+    VERSA_CHECK(parent.live_children > 0);
+    --parent.live_children;
+  }
+
+  scheduler_->task_completed(task, worker, task.measured_duration);
+  run_stats_.on_complete(task.type, task.chosen_version,
+                         task.measured_duration);
+  release_ready(newly_ready);
+}
+
+void Runtime::port_failed(TaskId id, WorkerId worker, Time /*start*/,
+                          Time finish) {
+  std::lock_guard lock(mutex_);
+  Task& task = graph_.task(id);
+  VERSA_CHECK(task.state == TaskState::kRunning);
+  ++failed_attempts_;
+  makespan_ = std::max(makespan_, finish);
+  scheduler_->task_failed(task, worker);
+  // Back to ready: the scheduler re-decides version and worker, now aware
+  // (through its busy estimates) that the failed worker lost time.
+  task.state = TaskState::kReady;
+  task.ready_time = finish;
+  scheduler_->task_ready(task);
+  scheduler_->ready_batch_done();
+  executor_->work_available();
+}
+
+void Runtime::task_assigned(TaskId task, WorkerId worker) {
+  executor_->task_assigned(task, worker);
+}
+
+void Runtime::taskwait() {
+  const TaskId current = executor_->current_task();
+  if (current != kInvalidTask) {
+    // Inside a task body: children-scoped barrier, no global flush (the
+    // enclosing master-level taskwait flushes).
+    executor_->wait_children(current);
+    return;
+  }
+  executor_->wait_all();
+  std::lock_guard lock(mutex_);
+  TransferList ops;
+  directory_.flush_all(ops);
+  makespan_ = std::max(makespan_, executor_->flush(ops));
+}
+
+void Runtime::taskwait_noflush() {
+  const TaskId current = executor_->current_task();
+  if (current != kInvalidTask) {
+    executor_->wait_children(current);
+    return;
+  }
+  executor_->wait_all();
+}
+
+void Runtime::taskwait_on(RegionId region) {
+  TaskId writer = kInvalidTask;
+  {
+    std::lock_guard lock(mutex_);
+    // Latest writer = the largest task id among interval writers; the
+    // analyzer does not expose it directly, so scan the graph tail. Tasks
+    // are few enough (and this call rare enough) for a linear scan.
+    for (const Task& task : graph_.tasks()) {
+      if (task.state == TaskState::kFinished) continue;
+      for (const Access& access : task.accesses) {
+        if (access.region == region && writes(access.mode)) {
+          writer = std::max(writer == kInvalidTask ? 0 : writer, task.id);
+        }
+      }
+    }
+  }
+  if (writer != kInvalidTask) {
+    executor_->wait_task(writer);
+  }
+  std::lock_guard lock(mutex_);
+  TransferList ops;
+  directory_.flush_region(region, ops);
+  makespan_ = std::max(makespan_, executor_->flush(ops));
+}
+
+Time Runtime::now() const { return executor_->now(); }
+
+Time Runtime::elapsed() const { return makespan_; }
+
+const TransferStats& Runtime::transfer_stats() const {
+  return directory_.stats();
+}
+
+const std::vector<TransferRecord>* Runtime::transfer_records() const {
+  const auto* sim = dynamic_cast<const SimExecutor*>(executor_.get());
+  return sim == nullptr ? nullptr : &sim->transfer_engine().records();
+}
+
+}  // namespace versa

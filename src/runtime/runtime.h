@@ -1,0 +1,147 @@
+// The versa runtime facade — the OmpSs-like public API.
+//
+// Typical use (mirrors the pragma annotations of the paper's Figures 1-4):
+//
+//   Machine machine = make_minotauro_node(8, 2);
+//   Runtime rt(machine, config);
+//
+//   // "#pragma omp task inout(...) input(...)" + "implements" versions:
+//   TaskTypeId matmul = rt.declare_task("matmul_tile");
+//   rt.add_version(matmul, DeviceKind::kCuda, "cublas", body, cost);
+//   rt.add_version(matmul, DeviceKind::kCuda, "cuda",   body, cost);
+//   rt.add_version(matmul, DeviceKind::kSmp,  "cblas",  body, cost);
+//
+//   RegionId a = rt.register_data("A", bytes, ptr);
+//   rt.submit(matmul, {Access::in(a), Access::in(b), Access::inout(c)});
+//   rt.taskwait();
+//
+// Thread-safety: submit/taskwait are master-thread calls; task bodies may
+// submit nested tasks. The runtime serializes internal state with one
+// recursive lock (scheduler policies therefore need no locking of their
+// own, as stated in the Scheduler contract).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "data/directory.h"
+#include "exec/executor.h"
+#include "machine/machine.h"
+#include "perf/run_stats.h"
+#include "runtime/config.h"
+#include "sched/scheduler.h"
+#include "task/dependency_analyzer.h"
+#include "task/task_graph.h"
+#include "task/version_registry.h"
+
+namespace versa {
+
+class Runtime final : public SchedulerContext, public ExecutorPort {
+ public:
+  /// The machine is borrowed and must outlive the runtime.
+  Runtime(const Machine& machine, RuntimeConfig config = {});
+  ~Runtime() override;
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // --- task-type / version registration (the `implements` surface) ------
+  TaskTypeId declare_task(std::string name);
+  VersionId add_version(TaskTypeId type, DeviceKind device, std::string name,
+                        TaskFn fn = nullptr, CostModelPtr cost = nullptr);
+
+  // --- data registration -------------------------------------------------
+  /// Register application data the runtime manages across memory spaces.
+  /// `host_ptr` may be null for virtual (simulation-only) regions.
+  RegionId register_data(std::string name, std::uint64_t size,
+                         void* host_ptr = nullptr);
+
+  /// Stop managing a region (dynamic workloads freeing blocks). Every
+  /// unfinished task touching it must have completed — call after a
+  /// taskwait covering its last use. Dirty device copies are discarded;
+  /// taskwait_on(region) first if the host copy matters.
+  void unregister_data(RegionId region);
+
+  // --- task submission and synchronization --------------------------------
+  /// Submit one task instance (function-call analogue of an annotated
+  /// task). Dependences derive from `accesses`; readiness may be immediate.
+  /// `priority` maps to the OmpSs priority clause: higher-priority tasks
+  /// overtake lower-priority ones inside worker queues.
+  TaskId submit(TaskTypeId type, AccessList accesses, std::string label = {},
+                int priority = 0);
+
+  /// Barrier: wait for every task, then flush dirty device data to host.
+  void taskwait();
+
+  /// Barrier without flushing remote copies (taskwait noflush).
+  void taskwait_noflush();
+
+  /// Block until the last writer of `region` finished, then flush just
+  /// that region (taskwait on(...)).
+  void taskwait_on(RegionId region);
+
+  // --- results ------------------------------------------------------------
+  /// Makespan: last task finish or flush completion (virtual seconds under
+  /// the sim backend, wall seconds otherwise).
+  Time elapsed() const;
+
+  const TransferStats& transfer_stats() const;
+
+  /// Per-hop transfer timeline for the overlap analyzer (sim backend
+  /// only; nullptr under the thread backend, whose copies are virtual).
+  const std::vector<TransferRecord>* transfer_records() const;
+
+  const RunStatsCollector& run_stats() const { return run_stats_; }
+  Scheduler& scheduler() { return *scheduler_; }
+  const VersionRegistry& version_registry() const { return registry_; }
+  DataDirectory& data_directory() { return directory_; }
+  const TaskGraph& task_graph() const { return graph_; }
+  const RuntimeConfig& config() const { return config_; }
+
+  // --- SchedulerContext ---------------------------------------------------
+  const Machine& machine() const override { return machine_; }
+  const VersionRegistry& registry() const override { return registry_; }
+  DataDirectory& directory() override { return directory_; }
+  TaskGraph& graph() override { return graph_; }
+  Time now() const override;
+  void task_assigned(TaskId task, WorkerId worker) override;
+
+  // --- ExecutorPort -------------------------------------------------------
+  Scheduler& port_scheduler() override { return *scheduler_; }
+  TaskGraph& port_graph() override { return graph_; }
+  DataDirectory& port_directory() override { return directory_; }
+  const VersionRegistry& port_registry() override { return registry_; }
+  const Machine& port_machine() override { return machine_; }
+  void port_complete(TaskId task, WorkerId worker, Time start,
+                     Time finish) override;
+  void port_failed(TaskId task, WorkerId worker, Time start,
+                   Time finish) override;
+  std::recursive_mutex& port_mutex() override { return mutex_; }
+
+  /// Transient attempt failures observed so far (failure injection).
+  std::uint64_t failed_attempts() const { return failed_attempts_; }
+
+ private:
+  const Machine& machine_;
+  RuntimeConfig config_;
+  VersionRegistry registry_;
+  DataDirectory directory_;
+  DependencyAnalyzer analyzer_;
+  TaskGraph graph_;
+  RunStatsCollector run_stats_;
+  std::recursive_mutex mutex_;
+  std::unique_ptr<Scheduler> scheduler_;
+  // Destroyed first (declared last): the thread backend joins its workers
+  // in its destructor while the rest of the runtime is still alive.
+  std::unique_ptr<Executor> executor_;
+  Time makespan_ = 0.0;
+  std::uint64_t failed_attempts_ = 0;
+  bool hints_loaded_ = false;
+
+  void maybe_load_hints();
+  void maybe_save_hints();
+  void release_ready(const std::vector<TaskId>& ready);
+};
+
+}  // namespace versa

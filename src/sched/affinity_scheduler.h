@@ -1,0 +1,20 @@
+// Affinity scheduler (paper §V-A): for each ready task, evaluates the
+// amount of data that would have to be transferred to each candidate
+// device's memory space and assigns the task where that amount is minimal,
+// exploiting data locality to cut memory transfers. Main implementation
+// only; same-kind work stealing balances load (at the cost of transfers,
+// as the paper observes on Cholesky).
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace versa {
+
+class AffinityScheduler final : public QueueScheduler {
+ public:
+  AffinityScheduler();
+  const char* name() const override { return "affinity"; }
+  void task_ready(Task& task) override;
+};
+
+}  // namespace versa

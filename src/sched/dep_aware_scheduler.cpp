@@ -1,0 +1,33 @@
+#include "sched/dep_aware_scheduler.h"
+
+#include "common/check.h"
+
+namespace versa {
+
+DepAwareScheduler::DepAwareScheduler() {
+  // Chains go cold when producers and consumers target different devices;
+  // stealing keeps same-kind workers busy, at the cost of extra transfers
+  // (the behaviour the paper observes for its baselines on Cholesky).
+  set_stealing(true);
+}
+
+void DepAwareScheduler::task_completed(Task&, WorkerId worker, Duration) {
+  // The runtime calls task_ready for the released successors immediately
+  // after this, so remembering the completing worker implements a cheap
+  // "continue the chain where its input was produced" rule.
+  releasing_worker_ = worker;
+}
+
+void DepAwareScheduler::task_ready(Task& task) {
+  const TaskVersion& main = main_version_of(task);
+  // Chain rule: released by a completion on a compatible worker -> same
+  // worker. Otherwise (or for dependence-free tasks) spread by load.
+  if (releasing_worker_ != kInvalidWorker &&
+      ctx_->machine().worker(releasing_worker_).kind == main.device) {
+    push_to_worker(task, main.id, releasing_worker_);
+    return;
+  }
+  push_to_worker(task, main.id, least_loaded(compatible_workers(main)));
+}
+
+}  // namespace versa

@@ -1,0 +1,25 @@
+// Dependency-aware scheduler (paper §V-A): follows task dependency chains,
+// scheduling consecutive tasks of a chain to the worker that produced their
+// input. "Its decisions are fast, but in some cases cannot fully exploit
+// data locality." Main implementation only.
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace versa {
+
+class DepAwareScheduler final : public QueueScheduler {
+ public:
+  DepAwareScheduler();
+  const char* name() const override { return "dep-aware"; }
+  void task_ready(Task& task) override;
+  void task_completed(Task& task, WorkerId worker, Duration measured) override;
+
+ private:
+  /// Worker of the completion that released the tasks currently flowing
+  /// through task_ready (the chain head). kInvalidWorker outside that
+  /// window — e.g. for initial tasks with no predecessors.
+  WorkerId releasing_worker_ = kInvalidWorker;
+};
+
+}  // namespace versa

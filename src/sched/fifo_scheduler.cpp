@@ -1,0 +1,41 @@
+#include "sched/fifo_scheduler.h"
+
+#include "common/check.h"
+
+namespace versa {
+
+void FifoScheduler::attach(SchedulerContext& ctx) {
+  Scheduler::attach(ctx);
+  ready_.clear();
+}
+
+void FifoScheduler::task_ready(Task& task) {
+  VERSA_CHECK(task.state == TaskState::kReady);
+  // Priority insertion (stable): overtake strictly lower priorities.
+  auto it = ready_.end();
+  while (it != ready_.begin() &&
+         ctx_->graph().task(*(it - 1)).priority < task.priority) {
+    --it;
+  }
+  ready_.insert(it, task.id);
+}
+
+TaskId FifoScheduler::pop_task(WorkerId worker) {
+  const DeviceKind kind = ctx_->machine().worker(worker).kind;
+  for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+    Task& task = ctx_->graph().task(*it);
+    const TaskVersion& main = main_version_of(task);
+    if (main.device != kind) continue;
+    const TaskId id = *it;
+    ready_.erase(it);
+    task.chosen_version = main.id;
+    task.assigned_worker = worker;
+    task.state = TaskState::kQueued;
+    return id;
+  }
+  return kInvalidTask;
+}
+
+bool FifoScheduler::has_pending() const { return !ready_.empty(); }
+
+}  // namespace versa

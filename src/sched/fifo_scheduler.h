@@ -1,0 +1,25 @@
+// Breadth-first baseline: one central FIFO of ready tasks; any compatible
+// idle worker takes the oldest one. No locality, no versioning (main
+// implementation only) — the simplest correct policy, used as a control in
+// tests and ablations.
+#pragma once
+
+#include <deque>
+
+#include "sched/scheduler.h"
+
+namespace versa {
+
+class FifoScheduler final : public Scheduler {
+ public:
+  const char* name() const override { return "fifo"; }
+  void attach(SchedulerContext& ctx) override;
+  void task_ready(Task& task) override;
+  TaskId pop_task(WorkerId worker) override;
+  bool has_pending() const override;
+
+ private:
+  std::deque<TaskId> ready_;
+};
+
+}  // namespace versa

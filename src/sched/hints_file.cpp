@@ -1,0 +1,87 @@
+#include "sched/hints_file.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.h"
+#include "common/string_util.h"
+
+namespace versa {
+
+std::string serialize_hints(const VersionRegistry& registry,
+                            const ProfileTable& table) {
+  std::ostringstream out;
+  out << "# versa hints v1\n";
+  for (const ProfileTable::Entry& entry : table.entries()) {
+    if (entry.count == 0) continue;
+    char line[256];
+    std::snprintf(line, sizeof(line), "hint %s %s %llu %.9e %llu\n",
+                  registry.task_name(entry.type).c_str(),
+                  registry.version(entry.version).name.c_str(),
+                  static_cast<unsigned long long>(entry.group_key), entry.mean,
+                  static_cast<unsigned long long>(entry.count));
+    out << line;
+  }
+  return out.str();
+}
+
+int parse_hints(std::string_view text, const VersionRegistry& registry,
+                ProfileTable& table) {
+  int applied = 0;
+  for (const std::string& raw_line : split(text, '\n')) {
+    const std::string_view line = trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    std::istringstream in{std::string(line)};
+    std::string keyword, task_name, version_name;
+    unsigned long long group_key = 0, count = 0;
+    double mean = 0.0;
+    in >> keyword >> task_name >> version_name >> group_key >> mean >> count;
+    if (in.fail() || keyword != "hint") return -1;
+    if (mean < 0.0 || count == 0) return -1;
+
+    const TaskTypeId type = registry.find_task(task_name);
+    if (type == kInvalidTaskType) {
+      VERSA_LOG(kWarn) << "hints: unknown task '" << task_name << "' skipped";
+      continue;
+    }
+    VersionId version = kInvalidVersion;
+    for (VersionId v : registry.versions(type)) {
+      if (registry.version(v).name == version_name) {
+        version = v;
+        break;
+      }
+    }
+    if (version == kInvalidVersion) {
+      VERSA_LOG(kWarn) << "hints: unknown version '" << version_name
+                       << "' of task '" << task_name << "' skipped";
+      continue;
+    }
+    // Clamp the replayed count to λ: enough to mark the group reliable
+    // without letting a long-dead history dominate fresh measurements.
+    const std::uint64_t primed_count =
+        std::min<std::uint64_t>(count, table.config().lambda);
+    table.prime(type, version, group_key, mean, primed_count);
+    ++applied;
+  }
+  return applied;
+}
+
+bool save_hints(const std::string& path, const VersionRegistry& registry,
+                const ProfileTable& table) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << serialize_hints(registry, table);
+  return static_cast<bool>(out);
+}
+
+int load_hints(const std::string& path, const VersionRegistry& registry,
+               ProfileTable& table) {
+  std::ifstream in(path);
+  if (!in) return -1;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_hints(buffer.str(), registry, table);
+}
+
+}  // namespace versa

@@ -1,0 +1,43 @@
+// External scheduling hints — the paper's third future-work item (§VII):
+// "the scheduler should also offer the possibility to receive external
+// hints for task versions: for example, read a file with additional
+// information... written by the user, but it could also be written by the
+// runtime from a previous application's execution."
+//
+// Format (line-oriented text, stable across runs because entries are keyed
+// by task/version *names*):
+//
+//   # versa hints v1
+//   hint <task_name> <version_name> <group_key> <mean_seconds> <count>
+//
+// Loading primes the profile table so groups can start in the reliable
+// phase, skipping the learning phase entirely.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sched/profile_table.h"
+#include "task/version_registry.h"
+
+namespace versa {
+
+/// Serialize every profile entry. Counts are clamped to the table's λ at
+/// load time anyway, so the exact history length does not matter.
+std::string serialize_hints(const VersionRegistry& registry,
+                            const ProfileTable& table);
+
+/// Parse hints text into `table`. Unknown task/version names are skipped
+/// with a warning (applications evolve; stale hints must not be fatal).
+/// Returns the number of entries applied, or -1 on malformed input.
+int parse_hints(std::string_view text, const VersionRegistry& registry,
+                ProfileTable& table);
+
+/// File wrappers. save_hints returns false if the file cannot be written;
+/// load_hints returns -1 if it cannot be read or parsed.
+bool save_hints(const std::string& path, const VersionRegistry& registry,
+                const ProfileTable& table);
+int load_hints(const std::string& path, const VersionRegistry& registry,
+               ProfileTable& table);
+
+}  // namespace versa

@@ -1,0 +1,135 @@
+#include "sched/profile_table.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace versa {
+
+ProfileTable::ProfileTable(const VersionRegistry& registry,
+                           ProfileConfig config)
+    : registry_(registry), config_(config) {
+  VERSA_CHECK(config.lambda >= 1);
+  VERSA_CHECK(config.range_ratio > 1.0);
+}
+
+std::uint64_t ProfileTable::group_key(std::uint64_t data_set_size) const {
+  if (config_.grouping == SizeGrouping::kExact) return data_set_size;
+  if (data_set_size == 0) return 0;
+  // Bucket by log ratio: sizes whose log_{ratio} value rounds to the same
+  // integer share a group.
+  const double bucket =
+      std::log(static_cast<double>(data_set_size)) / std::log(config_.range_ratio);
+  return static_cast<std::uint64_t>(std::llround(bucket)) + 1;
+}
+
+void ProfileTable::record(TaskTypeId type, VersionId version,
+                          std::uint64_t data_set_size, Duration measured) {
+  VERSA_CHECK(measured >= 0.0);
+  Group& group = groups_[{type, group_key(data_set_size)}];
+  auto [it, inserted] = group.per_version.try_emplace(version, config_);
+  it->second.mean.add(measured);
+}
+
+const ProfileTable::VersionStats* ProfileTable::find(
+    TaskTypeId type, VersionId version, std::uint64_t data_set_size) const {
+  auto group_it = groups_.find({type, group_key(data_set_size)});
+  if (group_it == groups_.end()) return nullptr;
+  auto it = group_it->second.per_version.find(version);
+  if (it == group_it->second.per_version.end()) return nullptr;
+  return &it->second;
+}
+
+std::optional<Duration> ProfileTable::mean(TaskTypeId type, VersionId version,
+                                           std::uint64_t data_set_size) const {
+  const VersionStats* stats = find(type, version, data_set_size);
+  if (stats == nullptr || stats->mean.empty()) return std::nullopt;
+  return stats->mean.mean();
+}
+
+std::uint64_t ProfileTable::count(TaskTypeId type, VersionId version,
+                                  std::uint64_t data_set_size) const {
+  const VersionStats* stats = find(type, version, data_set_size);
+  return stats == nullptr ? 0 : stats->mean.count();
+}
+
+bool ProfileTable::reliable(TaskTypeId type,
+                            std::uint64_t data_set_size) const {
+  for (VersionId v : registry_.versions(type)) {
+    if (count(type, v, data_set_size) < config_.lambda) return false;
+  }
+  return true;
+}
+
+std::optional<VersionId> ProfileTable::fastest_version(
+    TaskTypeId type, std::uint64_t data_set_size) const {
+  std::optional<VersionId> best;
+  Duration best_mean = 0.0;
+  for (VersionId v : registry_.versions(type)) {
+    const auto m = mean(type, v, data_set_size);
+    if (!m) continue;
+    if (!best || *m < best_mean) {
+      best = v;
+      best_mean = *m;
+    }
+  }
+  return best;
+}
+
+void ProfileTable::prime(TaskTypeId type, VersionId version,
+                         std::uint64_t group_key, Duration mean,
+                         std::uint64_t count) {
+  VERSA_CHECK(count >= 1);
+  Group& group = groups_[{type, group_key}];
+  auto [it, inserted] = group.per_version.try_emplace(version, config_);
+  // Seed by replaying `count` observations of the given mean; for the
+  // arithmetic policy this reproduces (mean, count) exactly.
+  for (std::uint64_t i = 0; i < count; ++i) {
+    it->second.mean.add(mean);
+  }
+}
+
+std::string ProfileTable::dump() const {
+  std::ostringstream out;
+  out << "TaskVersionSet | DataSetSize | <VersionId, ExecTime, #Exec>\n";
+  TaskTypeId last_type = kInvalidTaskType;
+  for (const auto& [key, group] : groups_) {
+    const auto& [type, size_key] = key;
+    const std::string type_name =
+        (type == last_type) ? std::string() : registry_.task_name(type);
+    last_type = type;
+    bool first_line = true;
+    for (const auto& [version, stats] : group.per_version) {
+      out << (first_line ? type_name : std::string())
+          << (first_line ? " | " : "   ")
+          << (first_line
+                  ? (config_.grouping == SizeGrouping::kExact
+                         ? format_bytes(static_cast<double>(size_key))
+                         : "group#" + std::to_string(size_key))
+                  : std::string())
+          << (first_line ? " | " : "     ") << "<"
+          << registry_.version(version).name << ", "
+          << format_duration(stats.mean.mean()) << ", " << stats.mean.count()
+          << ">\n";
+      first_line = false;
+    }
+  }
+  return out.str();
+}
+
+std::vector<ProfileTable::Entry> ProfileTable::entries() const {
+  std::vector<Entry> out;
+  for (const auto& [key, group] : groups_) {
+    for (const auto& [version, stats] : group.per_version) {
+      out.push_back(Entry{key.first, key.second, version, stats.mean.mean(),
+                          stats.mean.count()});
+    }
+  }
+  return out;
+}
+
+std::size_t ProfileTable::group_count() const { return groups_.size(); }
+
+}  // namespace versa

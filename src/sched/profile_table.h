@@ -1,0 +1,109 @@
+// TaskVersionSet profiling tables — the data structure of the paper's
+// Table I. For every task type, per *data-set-size group*, per version:
+// the number of executions and their mean execution time.
+//
+// Grouping policy: the paper groups by exact data-set size and lists
+// range-based grouping as future work (§VII #2); both are implemented and
+// selectable. The mean is arithmetic by default with an EMA option
+// (footnote 3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "task/version_registry.h"
+
+namespace versa {
+
+enum class SizeGrouping : std::uint8_t {
+  kExact,  ///< one group per distinct data-set size (the paper's choice)
+  kRange,  ///< sizes within a configurable ratio share a group (§VII)
+};
+
+struct ProfileConfig {
+  /// λ — minimum executions of every version of a group before the group
+  /// is considered reliable (user-configurable, paper footnote 4).
+  std::uint32_t lambda = 3;
+  MeanKind mean_kind = MeanKind::kArithmetic;
+  double ema_alpha = 0.25;
+  SizeGrouping grouping = SizeGrouping::kExact;
+  /// For kRange: sizes s1, s2 share a group iff their log-ratio bucket
+  /// matches; 1.25 means roughly ±12 % of data size join one group.
+  double range_ratio = 1.25;
+};
+
+class ProfileTable {
+ public:
+  ProfileTable(const VersionRegistry& registry, ProfileConfig config);
+
+  /// Map a data-set size to its group key under the grouping policy.
+  std::uint64_t group_key(std::uint64_t data_set_size) const;
+
+  /// Record one measured execution.
+  void record(TaskTypeId type, VersionId version, std::uint64_t data_set_size,
+              Duration measured);
+
+  /// Mean execution time of a version for the size's group, if any runs
+  /// were recorded.
+  std::optional<Duration> mean(TaskTypeId type, VersionId version,
+                               std::uint64_t data_set_size) const;
+
+  std::uint64_t count(TaskTypeId type, VersionId version,
+                      std::uint64_t data_set_size) const;
+
+  /// Reliable-information test: every registered version of `type` has run
+  /// at least λ times for this size's group.
+  bool reliable(TaskTypeId type, std::uint64_t data_set_size) const;
+
+  /// Fastest version of the group (lowest mean); nullopt before any runs.
+  std::optional<VersionId> fastest_version(TaskTypeId type,
+                                           std::uint64_t data_set_size) const;
+
+  /// Inject external information (hints files, §VII #3): seeds the version
+  /// entry with a given mean and count.
+  void prime(TaskTypeId type, VersionId version, std::uint64_t group_key,
+             Duration mean, std::uint64_t count);
+
+  const ProfileConfig& config() const { return config_; }
+
+  /// Table I-style ASCII dump.
+  std::string dump() const;
+
+  /// Iteration hook for the hints writer: (type, group_key, version,
+  /// mean, count) per entry.
+  struct Entry {
+    TaskTypeId type;
+    std::uint64_t group_key;
+    VersionId version;
+    Duration mean;
+    std::uint64_t count;
+  };
+  std::vector<Entry> entries() const;
+
+  std::size_t group_count() const;
+
+ private:
+  struct VersionStats {
+    RunningMean mean;
+    explicit VersionStats(const ProfileConfig& cfg)
+        : mean(cfg.mean_kind, cfg.ema_alpha) {}
+  };
+  using GroupKey = std::pair<TaskTypeId, std::uint64_t>;
+  struct Group {
+    std::map<VersionId, VersionStats> per_version;
+  };
+
+  const VersionRegistry& registry_;
+  ProfileConfig config_;
+  std::map<GroupKey, Group> groups_;
+
+  const VersionStats* find(TaskTypeId type, VersionId version,
+                           std::uint64_t data_set_size) const;
+};
+
+}  // namespace versa

@@ -1,0 +1,117 @@
+#include "sched/scheduler.h"
+
+#include "common/check.h"
+
+namespace versa {
+
+void Scheduler::attach(SchedulerContext& ctx) { ctx_ = &ctx; }
+
+void Scheduler::task_completed(Task&, WorkerId, Duration) {}
+
+void Scheduler::task_failed(Task&, WorkerId) {}
+
+Duration Scheduler::estimated_busy(WorkerId) const { return 0.0; }
+
+const TaskVersion& Scheduler::main_version_of(const Task& task) const {
+  VERSA_CHECK(ctx_ != nullptr);
+  return ctx_->registry().version(ctx_->registry().main_version(task.type));
+}
+
+std::vector<WorkerId> Scheduler::compatible_workers(
+    const TaskVersion& version) const {
+  VERSA_CHECK(ctx_ != nullptr);
+  std::vector<WorkerId> out;
+  for (const WorkerDesc& w : ctx_->machine().workers()) {
+    if (w.kind == version.device) out.push_back(w.id);
+  }
+  return out;
+}
+
+void QueueScheduler::attach(SchedulerContext& ctx) {
+  Scheduler::attach(ctx);
+  queues_.assign(ctx.machine().worker_count(), {});
+  pending_ = 0;
+}
+
+void QueueScheduler::push_to_worker(Task& task, VersionId version,
+                                    WorkerId worker) {
+  VERSA_CHECK(ctx_ != nullptr);
+  VERSA_CHECK(worker < queues_.size());
+  const TaskVersion& v = ctx_->registry().version(version);
+  VERSA_CHECK_MSG(v.device == ctx_->machine().worker(worker).kind,
+                  "version/worker device mismatch");
+  VERSA_CHECK(task.state == TaskState::kReady);
+  task.chosen_version = version;
+  task.assigned_worker = worker;
+  task.state = TaskState::kQueued;
+  // Priority insertion, stable within a priority level: walk back past
+  // queued tasks with strictly lower priority.
+  std::deque<TaskId>& queue = queues_[worker];
+  auto it = queue.end();
+  while (it != queue.begin() &&
+         ctx_->graph().task(*(it - 1)).priority < task.priority) {
+    --it;
+  }
+  queue.insert(it, task.id);
+  ++pending_;
+  ctx_->task_assigned(task.id, worker);
+}
+
+TaskId QueueScheduler::pop_task(WorkerId worker) {
+  VERSA_CHECK(worker < queues_.size());
+  if (!queues_[worker].empty()) {
+    const TaskId id = queues_[worker].front();
+    queues_[worker].pop_front();
+    --pending_;
+    return id;
+  }
+  if (stealing_) return steal_for(worker);
+  return kInvalidTask;
+}
+
+TaskId QueueScheduler::steal_for(WorkerId thief) {
+  const DeviceKind kind = ctx_->machine().worker(thief).kind;
+  // Steal from the back of the most loaded queue of a same-kind worker:
+  // the victim keeps its locality-friendly head-of-queue work.
+  WorkerId victim = kInvalidWorker;
+  std::size_t best = 0;
+  for (const WorkerDesc& w : ctx_->machine().workers()) {
+    if (w.id == thief || w.kind != kind) continue;
+    if (queues_[w.id].size() > best) {
+      best = queues_[w.id].size();
+      victim = w.id;
+    }
+  }
+  if (victim == kInvalidWorker || best == 0) return kInvalidTask;
+  const TaskId id = queues_[victim].back();
+  queues_[victim].pop_back();
+  --pending_;
+  // Re-home the task so the executor acquires data for the thief's space.
+  Task& task = ctx_->graph().task(id);
+  task.assigned_worker = thief;
+  return id;
+}
+
+bool QueueScheduler::has_pending() const { return pending_ > 0; }
+
+std::size_t QueueScheduler::queue_length(WorkerId worker) const {
+  VERSA_CHECK(worker < queues_.size());
+  return queues_[worker].size();
+}
+
+const std::deque<TaskId>& QueueScheduler::queue(WorkerId worker) const {
+  VERSA_CHECK(worker < queues_.size());
+  return queues_[worker];
+}
+
+WorkerId QueueScheduler::least_loaded(
+    const std::vector<WorkerId>& candidates) const {
+  VERSA_CHECK_MSG(!candidates.empty(), "no compatible worker for task");
+  WorkerId best = candidates.front();
+  for (WorkerId w : candidates) {
+    if (queues_[w].size() < queues_[best].size()) best = w;
+  }
+  return best;
+}
+
+}  // namespace versa

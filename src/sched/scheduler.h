@@ -1,0 +1,118 @@
+// Scheduler plugin interface, mirroring the Nanos++ scheduling-policy
+// plugin design the paper builds on: policies are selected by name at
+// runtime (configuration argument / environment variable), and the rest of
+// the runtime is policy-agnostic.
+//
+// Contract with the runtime:
+//  * task_ready(t)        — t's dependences are satisfied; the policy must
+//                           eventually make it poppable by some worker.
+//  * pop_task(w)          — worker w is idle and asks for work.
+//  * task_completed(t,w,d)— t finished on w with measured duration d;
+//                           called before the successors' task_ready.
+// All calls arrive under the runtime lock; policies need no internal
+// synchronization.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/directory.h"
+#include "machine/machine.h"
+#include "task/task.h"
+#include "task/task_graph.h"
+#include "task/version_registry.h"
+
+namespace versa {
+
+/// Runtime services a policy may use.
+class SchedulerContext {
+ public:
+  virtual ~SchedulerContext() = default;
+  virtual const Machine& machine() const = 0;
+  virtual const VersionRegistry& registry() const = 0;
+  virtual DataDirectory& directory() = 0;
+  virtual TaskGraph& graph() = 0;
+  virtual Time now() const = 0;
+  /// Tell the executor a task landed on `worker`'s queue (prefetch hook;
+  /// the executor may start the task's copies immediately).
+  virtual void task_assigned(TaskId task, WorkerId worker) = 0;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Called once before any task flows through the policy.
+  virtual void attach(SchedulerContext& ctx);
+
+  virtual void task_ready(Task& task) = 0;
+
+  /// Called once after each wave of task_ready calls (one submission, or
+  /// the successors released by one completion). Batch-mapping policies
+  /// (sufferage) decide here; per-task policies ignore it.
+  virtual void ready_batch_done() {}
+
+  /// Next task for an idle worker, or kInvalidTask.
+  virtual TaskId pop_task(WorkerId worker) = 0;
+
+  virtual void task_completed(Task& task, WorkerId worker, Duration measured);
+
+  /// A dispatched task failed transiently on `worker` and will be made
+  /// ready again. Policies must release any per-worker accounting; they
+  /// must NOT record the wasted time as a measurement.
+  virtual void task_failed(Task& task, WorkerId worker);
+
+  /// Estimated seconds of queued + running work on `worker` (0 when the
+  /// policy does not track it).
+  virtual Duration estimated_busy(WorkerId worker) const;
+
+  /// True if some ready task has not been handed to a worker yet.
+  virtual bool has_pending() const = 0;
+
+ protected:
+  SchedulerContext* ctx_ = nullptr;
+
+  /// Main-version helpers shared by the baseline policies (which, per the
+  /// paper, ignore `implements` and only ever run the main version).
+  const TaskVersion& main_version_of(const Task& task) const;
+
+  /// Workers whose device kind can run `version`.
+  std::vector<WorkerId> compatible_workers(const TaskVersion& version) const;
+};
+
+/// Shared per-worker FIFO queue machinery for push-style policies.
+class QueueScheduler : public Scheduler {
+ public:
+  void attach(SchedulerContext& ctx) override;
+  TaskId pop_task(WorkerId worker) override;
+  bool has_pending() const override;
+
+  /// Queue length of a worker (tie-breaking and tests).
+  std::size_t queue_length(WorkerId worker) const;
+
+  /// The tasks queued on a worker, head first (busy-time estimation).
+  const std::deque<TaskId>& queue(WorkerId worker) const;
+
+ protected:
+  /// Assign `task` to `worker` running `version`; fires the prefetch hook.
+  void push_to_worker(Task& task, VersionId version, WorkerId worker);
+
+  /// Enable same-device-kind work stealing on empty pops.
+  void set_stealing(bool enabled) { stealing_ = enabled; }
+
+  /// Least-loaded worker among `candidates` (by queue length, then id).
+  WorkerId least_loaded(const std::vector<WorkerId>& candidates) const;
+
+ private:
+  std::vector<std::deque<TaskId>> queues_;
+  std::size_t pending_ = 0;
+  bool stealing_ = false;
+
+  TaskId steal_for(WorkerId thief);
+};
+
+}  // namespace versa

@@ -1,0 +1,25 @@
+// Scheduler plugin factory. Mirrors the Nanos++ plugin mechanism the paper
+// leans on: the policy is chosen by name at runtime (configuration or the
+// VERSA_SCHEDULER environment variable) with no recompilation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/profile_table.h"
+#include "sched/scheduler.h"
+
+namespace versa {
+
+/// Create a scheduler by name: "fifo", "dep-aware", "affinity",
+/// "versioning", "versioning-locality". Returns nullptr for unknown names.
+/// `profile_config` parameterizes the versioning policies (λ, mean kind,
+/// size grouping) and is ignored by the baselines.
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
+                                          const ProfileConfig& profile_config = {});
+
+/// Names accepted by make_scheduler.
+std::vector<std::string> scheduler_names();
+
+}  // namespace versa

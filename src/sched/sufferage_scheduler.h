@@ -1,0 +1,48 @@
+// Sufferage scheduler — a classic heterogeneous batch-mapping heuristic
+// (Maheswaran et al.), included as a related-work comparison point: the
+// paper's §VI discusses model-driven runtimes (MDR/SLAC, Qilin) whose
+// mapping decisions weigh more than greedy earliest-completion. Sufferage
+// assigns, among all currently unmapped ready tasks, the one that would
+// *suffer* most from not getting its best worker (largest gap between its
+// best and second-best completion time), then repeats.
+//
+// Profiling reuses the versioning infrastructure (TaskVersionSet tables,
+// λ learning, data-set-size groups); only the reliable-phase mapping rule
+// differs: batch sufferage over the ready pool instead of per-task
+// earliest executor.
+#pragma once
+
+#include "sched/versioning_scheduler.h"
+
+namespace versa {
+
+class SufferageScheduler final : public VersioningScheduler {
+ public:
+  explicit SufferageScheduler(ProfileConfig config = {});
+
+  const char* name() const override { return "sufferage"; }
+  void task_ready(Task& task) override;
+  void ready_batch_done() override;
+  void task_completed(Task& task, WorkerId worker, Duration measured) override;
+  bool has_pending() const override {
+    return !reliable_pool_.empty() || VersioningScheduler::has_pending();
+  }
+
+ private:
+  /// Map pooled reliable tasks in sufferage order; learning-phase tasks
+  /// flow through the base-class machinery untouched.
+  void drain_reliable_pool();
+
+  std::vector<TaskId> reliable_pool_;
+
+  struct Placement {
+    VersionId version = kInvalidVersion;
+    WorkerId worker = kInvalidWorker;
+    Duration best = 0.0;
+    Duration second = 0.0;
+    bool feasible = false;
+  };
+  Placement evaluate(const Task& task) const;
+};
+
+}  // namespace versa

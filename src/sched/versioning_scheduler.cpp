@@ -1,0 +1,257 @@
+#include "sched/versioning_scheduler.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace versa {
+
+VersioningScheduler::VersioningScheduler(ProfileConfig config)
+    : config_(config) {}
+
+void VersioningScheduler::attach(SchedulerContext& ctx) {
+  QueueScheduler::attach(ctx);
+  profile_.emplace(ctx.registry(), config_);
+  pool_.clear();
+  learning_inflight_.clear();
+  rr_cursor_.clear();
+  running_estimate_.assign(ctx.machine().worker_count(), 0.0);
+}
+
+const ProfileTable& VersioningScheduler::profile() const {
+  VERSA_CHECK(profile_.has_value());
+  return *profile_;
+}
+
+ProfileTable& VersioningScheduler::mutable_profile() {
+  VERSA_CHECK(profile_.has_value());
+  return *profile_;
+}
+
+Duration VersioningScheduler::placement_penalty(const Task&, WorkerId) const {
+  return 0.0;
+}
+
+VersioningScheduler::GroupKey VersioningScheduler::group_of(
+    const Task& task) const {
+  return {task.type, profile_->group_key(task.data_set_size)};
+}
+
+bool VersioningScheduler::reliable_runnable(TaskTypeId type,
+                                            std::uint64_t size) const {
+  bool any_runnable = false;
+  for (VersionId v : ctx_->registry().versions(type)) {
+    const TaskVersion& version = ctx_->registry().version(v);
+    if (ctx_->machine().count_workers(version.device) == 0) continue;
+    any_runnable = true;
+    if (profile_->count(type, v, size) < config_.lambda) return false;
+  }
+  VERSA_CHECK_MSG(any_runnable, "no runnable version for task on this machine");
+  return true;
+}
+
+Duration VersioningScheduler::estimated_busy(WorkerId worker) const {
+  VERSA_CHECK(worker < running_estimate_.size());
+  // §IV-B: the sum of the estimated execution times of the task versions
+  // in the worker's queue — evaluated against the *current* means, so the
+  // estimate tightens as the profile learns.
+  Duration busy = running_estimate_[worker];
+  for (TaskId id : queue(worker)) {
+    const Task& task = ctx_->graph().task(id);
+    busy += profile_->mean(task.type, task.chosen_version, task.data_set_size)
+                .value_or(0.0);
+  }
+  return busy;
+}
+
+WorkerId VersioningScheduler::least_busy_worker(
+    const TaskVersion& version) const {
+  WorkerId best = kInvalidWorker;
+  Duration best_busy = 0.0;
+  for (const WorkerDesc& w : ctx_->machine().workers()) {
+    if (w.kind != version.device) continue;
+    const Duration busy = estimated_busy(w.id);
+    if (best == kInvalidWorker || busy < best_busy ||
+        (busy == best_busy && queue_length(w.id) < queue_length(best))) {
+      best = w.id;
+      best_busy = busy;
+    }
+  }
+  return best;
+}
+
+void VersioningScheduler::push_learning(Task& task, VersionId version,
+                                        WorkerId worker) {
+  ++learning_inflight_[{group_of(task), version}];
+  task.scheduler_estimate =
+      profile_->mean(task.type, version, task.data_set_size).value_or(0.0);
+  push_to_worker(task, version, worker);
+}
+
+bool VersioningScheduler::try_place(Task& task) {
+  if (reliable_runnable(task.type, task.data_set_size)) {
+    assign_earliest_executor(task);
+    return true;
+  }
+  // Learning phase: round-robin over versions that still need runs, with
+  // at most λ in-flight apiece so no version can swamp a worker before a
+  // single measurement lands.
+  const std::vector<VersionId>& versions =
+      ctx_->registry().versions(task.type);
+  const GroupKey group = group_of(task);
+  std::size_t& cursor = rr_cursor_[group];
+  for (std::size_t i = 0; i < versions.size(); ++i) {
+    const VersionId v = versions[(cursor + i) % versions.size()];
+    const std::uint32_t done = static_cast<std::uint32_t>(
+        profile_->count(task.type, v, task.data_set_size));
+    const auto inflight_it = learning_inflight_.find({group, v});
+    const std::uint32_t inflight =
+        inflight_it == learning_inflight_.end() ? 0 : inflight_it->second;
+    if (done + inflight >= config_.lambda) continue;
+    const WorkerId worker = least_busy_worker(ctx_->registry().version(v));
+    if (worker == kInvalidWorker) continue;  // device has no workers
+    cursor = (cursor + i + 1) % versions.size();
+    push_learning(task, v, worker);
+    return true;
+  }
+  return false;  // every learning slot is taken; wait in the pool
+}
+
+void VersioningScheduler::task_ready(Task& task) {
+  if (!try_place(task)) {
+    pool_.push_back(task.id);
+  }
+}
+
+void VersioningScheduler::drain_pool() {
+  std::deque<TaskId> remaining;
+  while (!pool_.empty()) {
+    const TaskId id = pool_.front();
+    pool_.pop_front();
+    Task& task = ctx_->graph().task(id);
+    if (!try_place(task)) {
+      remaining.push_back(id);
+    }
+  }
+  pool_ = std::move(remaining);
+}
+
+void VersioningScheduler::assign_earliest_executor(Task& task) {
+  // Earliest executor: minimize busy(worker) + mean(version) (+ extension
+  // penalty) over every (version, compatible worker) pair. In the
+  // fastest-executor ablation the busy term is dropped, so the fastest
+  // version always wins regardless of queue depth.
+  VersionId best_version = kInvalidVersion;
+  WorkerId best_worker = kInvalidWorker;
+  Duration best_finish = 0.0;
+  Duration best_estimate = 0.0;
+
+  for (VersionId v : ctx_->registry().versions(task.type)) {
+    const TaskVersion& version = ctx_->registry().version(v);
+    const auto mean = profile_->mean(task.type, v, task.data_set_size);
+    if (!mean) continue;  // version's device has no workers (never ran)
+    for (const WorkerDesc& w : ctx_->machine().workers()) {
+      if (w.kind != version.device) continue;
+      const Duration busy =
+          fastest_executor_only_
+              ? static_cast<Duration>(queue_length(w.id)) * 1e-12
+              : estimated_busy(w.id);
+      const Duration finish = busy + *mean + placement_penalty(task, w.id);
+      if (best_worker == kInvalidWorker || finish < best_finish) {
+        best_version = v;
+        best_worker = w.id;
+        best_finish = finish;
+        best_estimate = *mean;
+      }
+    }
+  }
+  VERSA_CHECK_MSG(best_worker != kInvalidWorker,
+                  "no runnable version for task on this machine");
+  task.scheduler_estimate = best_estimate;
+  push_to_worker(task, best_version, best_worker);
+}
+
+TaskId VersioningScheduler::pull_from_pool(WorkerId worker) {
+  const DeviceKind kind = ctx_->machine().worker(worker).kind;
+  for (auto it = pool_.begin(); it != pool_.end(); ++it) {
+    Task& task = ctx_->graph().task(*it);
+    // Candidate versions of this task runnable on the idle worker.
+    VersionId under_sampled = kInvalidVersion;
+    VersionId fastest = kInvalidVersion;
+    Duration fastest_mean = 0.0;
+    for (VersionId v : ctx_->registry().versions(task.type)) {
+      if (ctx_->registry().version(v).device != kind) continue;
+      if (profile_->count(task.type, v, task.data_set_size) < config_.lambda &&
+          under_sampled == kInvalidVersion) {
+        under_sampled = v;
+      }
+      const auto mean = profile_->mean(task.type, v, task.data_set_size);
+      if (mean && (fastest == kInvalidVersion || *mean < fastest_mean)) {
+        fastest = v;
+        fastest_mean = *mean;
+      }
+    }
+    VersionId choice = under_sampled != kInvalidVersion ? under_sampled
+                                                        : fastest;
+    if (choice == kInvalidVersion) {
+      // No mean yet and nothing under-sampled can only happen when some
+      // other device is still learning; run any version of our kind.
+      for (VersionId v : ctx_->registry().versions(task.type)) {
+        if (ctx_->registry().version(v).device == kind) {
+          choice = v;
+          break;
+        }
+      }
+    }
+    if (choice == kInvalidVersion) continue;  // task not for this device
+    pool_.erase(it);
+    push_learning(task, choice, worker);
+    return QueueScheduler::pop_task(worker);
+  }
+  return kInvalidTask;
+}
+
+TaskId VersioningScheduler::pop_task(WorkerId worker) {
+  TaskId id = QueueScheduler::pop_task(worker);
+  if (id == kInvalidTask && !pool_.empty()) {
+    id = pull_from_pool(worker);
+  }
+  if (id != kInvalidTask) {
+    const Task& task = ctx_->graph().task(id);
+    running_estimate_[worker] =
+        profile_->mean(task.type, task.chosen_version, task.data_set_size)
+            .value_or(0.0);
+  }
+  return id;
+}
+
+void VersioningScheduler::task_completed(Task& task, WorkerId worker,
+                                         Duration measured) {
+  // The scheduler is always learning (§IV-B): record in both phases.
+  profile_->record(task.type, task.chosen_version, task.data_set_size,
+                   measured);
+  running_estimate_[worker] = 0.0;
+  auto it = learning_inflight_.find({group_of(task), task.chosen_version});
+  if (it != learning_inflight_.end() && it->second > 0) {
+    --it->second;
+  }
+  drain_pool();
+}
+
+void VersioningScheduler::task_failed(Task& task, WorkerId worker) {
+  // Release the per-worker accounting without recording the wasted time
+  // as a measurement (the attempt tells us nothing about the version's
+  // true cost, only that the device hiccupped).
+  running_estimate_[worker] = 0.0;
+  auto it = learning_inflight_.find({group_of(task), task.chosen_version});
+  if (it != learning_inflight_.end() && it->second > 0) {
+    --it->second;
+  }
+}
+
+bool VersioningScheduler::has_pending() const {
+  return QueueScheduler::has_pending() || !pool_.empty();
+}
+
+}  // namespace versa

@@ -1,0 +1,301 @@
+#include "sched/xml_hints.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "common/log.h"
+#include "common/string_util.h"
+
+namespace versa {
+namespace {
+
+/// Minimal XML subset tokenizer: yields element-open (with attributes),
+/// element-close, and self-closing events. Text content, comments and
+/// declarations are skipped. Attribute values must be double-quoted.
+class XmlReader {
+ public:
+  explicit XmlReader(std::string_view text) : text_(text) {}
+
+  struct Element {
+    std::string name;
+    std::map<std::string, std::string> attributes;
+    bool self_closing = false;
+    bool closing = false;  ///< </name>
+  };
+
+  /// Next element event; nullopt at end. ok() turns false on error.
+  std::optional<Element> next() {
+    while (true) {
+      skip_until('<');
+      if (done() || !ok_) return std::nullopt;
+      ++pos_;  // consume '<'
+      if (peek() == '?') {  // declaration
+        skip_past("?>");
+        continue;
+      }
+      if (starts_with(text_.substr(pos_), "!--")) {  // comment
+        skip_past("-->");
+        continue;
+      }
+      Element element;
+      if (peek() == '/') {
+        ++pos_;
+        element.closing = true;
+      }
+      element.name = read_name();
+      if (element.name.empty()) return fail("expected element name");
+      skip_spaces();
+      while (ok_ && !done() && peek() != '>' && peek() != '/') {
+        const std::string key = read_name();
+        if (key.empty()) return fail("expected attribute name");
+        skip_spaces();
+        if (done() || peek() != '=') return fail("expected '='");
+        ++pos_;
+        skip_spaces();
+        if (done() || peek() != '"') return fail("expected '\"'");
+        ++pos_;
+        const std::size_t end = text_.find('"', pos_);
+        if (end == std::string_view::npos) return fail("unterminated value");
+        element.attributes[key] = std::string(text_.substr(pos_, end - pos_));
+        pos_ = end + 1;
+        skip_spaces();
+      }
+      if (!ok_) return std::nullopt;
+      if (!done() && peek() == '/') {
+        element.self_closing = true;
+        ++pos_;
+      }
+      if (done() || peek() != '>') return fail("expected '>'");
+      ++pos_;
+      return element;
+    }
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+  int line() const { return line_; }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool ok_ = true;
+  std::string error_;
+
+  bool done() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  void advance_line_counter(char ch) {
+    if (ch == '\n') ++line_;
+  }
+
+  void skip_until(char target) {
+    while (!done() && text_[pos_] != target) {
+      advance_line_counter(text_[pos_]);
+      ++pos_;
+    }
+  }
+
+  void skip_past(std::string_view marker) {
+    const std::size_t found = text_.find(marker, pos_);
+    if (found == std::string_view::npos) {
+      ok_ = false;
+      error_ = "unterminated construct";
+      pos_ = text_.size();
+      return;
+    }
+    for (std::size_t i = pos_; i < found; ++i) {
+      advance_line_counter(text_[i]);
+    }
+    pos_ = found + marker.size();
+  }
+
+  void skip_spaces() {
+    while (!done() && std::isspace(static_cast<unsigned char>(peek()))) {
+      advance_line_counter(peek());
+      ++pos_;
+    }
+  }
+
+  std::string read_name() {
+    const std::size_t start = pos_;
+    while (!done() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_' ||
+            peek() == '-' || peek() == ':')) {
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::optional<Element> fail(const std::string& message) {
+    ok_ = false;
+    error_ = message + " (line " + std::to_string(line_) + ")";
+    return std::nullopt;
+  }
+};
+
+}  // namespace
+
+std::string serialize_xml_hints(const VersionRegistry& registry,
+                                const ProfileTable& table) {
+  // Group entries per (task, group) to nest them as the schema expects.
+  std::map<std::pair<TaskTypeId, std::uint64_t>,
+           std::vector<ProfileTable::Entry>>
+      grouped;
+  for (const ProfileTable::Entry& entry : table.entries()) {
+    if (entry.count == 0) continue;
+    grouped[{entry.type, entry.group_key}].push_back(entry);
+  }
+
+  std::ostringstream out;
+  out << "<?xml version=\"1.0\"?>\n<hints>\n";
+  TaskTypeId open_task = kInvalidTaskType;
+  for (const auto& [key, entries] : grouped) {
+    if (key.first != open_task) {
+      if (open_task != kInvalidTaskType) out << "  </task>\n";
+      out << "  <task name=\"" << registry.task_name(key.first) << "\">\n";
+      open_task = key.first;
+    }
+    out << "    <group size=\"" << key.second << "\">\n";
+    for (const ProfileTable::Entry& entry : entries) {
+      char line[192];
+      std::snprintf(line, sizeof(line),
+                    "      <version name=\"%s\" mean=\"%.9e\" count=\"%llu\"/>\n",
+                    registry.version(entry.version).name.c_str(), entry.mean,
+                    static_cast<unsigned long long>(entry.count));
+      out << line;
+    }
+    out << "    </group>\n";
+  }
+  if (open_task != kInvalidTaskType) out << "  </task>\n";
+  out << "</hints>\n";
+  return out.str();
+}
+
+int parse_xml_hints(std::string_view text, const VersionRegistry& registry,
+                    ProfileTable& table, std::string* error) {
+  XmlReader reader(text);
+  int applied = 0;
+  TaskTypeId current_task = kInvalidTaskType;
+  bool task_known = false;
+  std::uint64_t current_group = 0;
+  bool group_open = false;
+
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return -1;
+  };
+
+  while (auto element = reader.next()) {
+    if (element->closing) {
+      if (element->name == "task") {
+        current_task = kInvalidTaskType;
+        task_known = false;
+      } else if (element->name == "group") {
+        group_open = false;
+      }
+      continue;
+    }
+    if (element->name == "hints") continue;
+    if (element->name == "task") {
+      const auto name = element->attributes.find("name");
+      if (name == element->attributes.end()) {
+        return fail("task element without name attribute");
+      }
+      current_task = registry.find_task(name->second);
+      task_known = current_task != kInvalidTaskType;
+      if (!task_known) {
+        VERSA_LOG(kWarn) << "xml hints: unknown task '" << name->second
+                         << "' skipped";
+      }
+      continue;
+    }
+    if (element->name == "group") {
+      const auto size = element->attributes.find("size");
+      if (size == element->attributes.end()) {
+        return fail("group element without size attribute");
+      }
+      try {
+        current_group = std::stoull(size->second);
+        group_open = true;
+      } catch (...) {
+        return fail("bad group size '" + size->second + "'");
+      }
+      continue;
+    }
+    if (element->name == "version") {
+      if (!group_open) {
+        return fail("version element outside a group");
+      }
+      const auto name = element->attributes.find("name");
+      const auto mean = element->attributes.find("mean");
+      const auto count = element->attributes.find("count");
+      if (name == element->attributes.end() ||
+          mean == element->attributes.end() ||
+          count == element->attributes.end()) {
+        return fail("version element missing name/mean/count");
+      }
+      if (!task_known) continue;  // whole task skipped
+      double mean_value = 0.0;
+      unsigned long long count_value = 0;
+      try {
+        mean_value = std::stod(mean->second);
+        count_value = std::stoull(count->second);
+      } catch (...) {
+        return fail("bad mean/count in version element");
+      }
+      if (mean_value < 0.0 || count_value == 0) {
+        return fail("non-positive mean/count in version element");
+      }
+      VersionId version = kInvalidVersion;
+      for (VersionId v : registry.versions(current_task)) {
+        if (registry.version(v).name == name->second) {
+          version = v;
+          break;
+        }
+      }
+      if (version == kInvalidVersion) {
+        VERSA_LOG(kWarn) << "xml hints: unknown version '" << name->second
+                         << "' skipped";
+        continue;
+      }
+      const std::uint64_t primed = std::min<std::uint64_t>(
+          count_value, table.config().lambda);
+      table.prime(current_task, version, current_group, mean_value,
+                  primed);
+      ++applied;
+      continue;
+    }
+    return fail("unexpected element <" + element->name + ">");
+  }
+  if (!reader.ok()) return fail(reader.error());
+  return applied;
+}
+
+bool save_xml_hints(const std::string& path, const VersionRegistry& registry,
+                    const ProfileTable& table) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << serialize_xml_hints(registry, table);
+  return static_cast<bool>(out);
+}
+
+int load_xml_hints(const std::string& path, const VersionRegistry& registry,
+                   ProfileTable& table) {
+  std::ifstream in(path);
+  if (!in) return -1;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  const int applied = parse_xml_hints(buffer.str(), registry, table, &error);
+  if (applied < 0) {
+    VERSA_LOG(kWarn) << "xml hints: " << error;
+  }
+  return applied;
+}
+
+}  // namespace versa

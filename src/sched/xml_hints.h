@@ -1,0 +1,49 @@
+// XML hints files — the paper's §VII wording verbatim: "read an XML file
+// with additional information about tasks versions. This file can be
+// written by the user, but it could also be written by OmpSs runtime from
+// a previous application's execution."
+//
+// Format:
+//
+//   <?xml version="1.0"?>
+//   <hints>
+//     <task name="matmul_tile">
+//       <group size="25165824">
+//         <version name="cublas" mean="5.2e-3" count="40"/>
+//         <version name="cblas"  mean="0.31"   count="12"/>
+//       </group>
+//     </task>
+//   </hints>
+//
+// The parser is a deliberately small, self-contained XML subset reader
+// (elements, attributes, self-closing tags, comments, declarations) —
+// enough for this schema, with line-numbered error reporting. The plain
+// text format in hints_file.h remains the default; Runtime picks XML for
+// paths ending in ".xml".
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sched/profile_table.h"
+#include "task/version_registry.h"
+
+namespace versa {
+
+/// Serialize every profile entry as the XML schema above.
+std::string serialize_xml_hints(const VersionRegistry& registry,
+                                const ProfileTable& table);
+
+/// Parse XML hints into `table`. Unknown task/version names are skipped
+/// with a warning; malformed XML returns -1 (with the reason in *error if
+/// provided). Returns the number of entries applied.
+int parse_xml_hints(std::string_view text, const VersionRegistry& registry,
+                    ProfileTable& table, std::string* error = nullptr);
+
+/// File wrappers, mirroring hints_file.h.
+bool save_xml_hints(const std::string& path, const VersionRegistry& registry,
+                    const ProfileTable& table);
+int load_xml_hints(const std::string& path, const VersionRegistry& registry,
+                   ProfileTable& table);
+
+}  // namespace versa

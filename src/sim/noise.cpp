@@ -1,0 +1,41 @@
+#include "sim/noise.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace versa::sim {
+
+NoiseModel::NoiseModel(NoiseConfig config, Rng rng)
+    : config_(config), rng_(rng) {
+  VERSA_CHECK(config.magnitude >= 0.0 && config.magnitude < 1.0);
+  if (config_.kind == NoiseKind::kLognormal) {
+    // Choose (mu, sigma) so that the multiplicative factor has mean 1 and
+    // coefficient of variation `magnitude`: for lognormal,
+    // cv^2 = exp(sigma^2) - 1 and mean = exp(mu + sigma^2/2).
+    const double cv = config_.magnitude;
+    const double sigma2 = std::log(1.0 + cv * cv);
+    lognormal_sigma_ = std::sqrt(sigma2);
+    lognormal_mu_ = -0.5 * sigma2;
+  }
+}
+
+Duration NoiseModel::apply(Duration mean_duration) {
+  VERSA_CHECK(mean_duration >= 0.0);
+  if (mean_duration == 0.0) return 0.0;
+  double factor = 1.0;
+  switch (config_.kind) {
+    case NoiseKind::kNone:
+      break;
+    case NoiseKind::kLognormal:
+      factor = rng_.next_lognormal(lognormal_mu_, lognormal_sigma_);
+      break;
+    case NoiseKind::kUniform:
+      factor = rng_.uniform(1.0 - config_.magnitude, 1.0 + config_.magnitude);
+      break;
+  }
+  return std::max(mean_duration * factor, 1e-12);
+}
+
+}  // namespace versa::sim

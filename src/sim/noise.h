@@ -1,0 +1,44 @@
+// Execution-time noise models for the simulated machine.
+//
+// Real kernels never take exactly their mean time: measured durations jitter
+// with cache state, DVFS, and transfer contention. The versioning scheduler
+// must learn through that jitter, so the simulator perturbs every modelled
+// duration with a configurable multiplicative noise source.
+#pragma once
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace versa::sim {
+
+enum class NoiseKind {
+  kNone,       ///< Durations are exactly the model mean (unit tests).
+  kLognormal,  ///< Multiplicative lognormal jitter (default).
+  kUniform,    ///< Uniform in [1-a, 1+a] — stress-tests the profiler.
+};
+
+struct NoiseConfig {
+  NoiseKind kind = NoiseKind::kLognormal;
+  /// Coefficient of variation for lognormal / half-width for uniform.
+  double magnitude = 0.03;
+};
+
+/// Stateful noise source; one per simulated worker so event interleaving
+/// does not perturb the random streams of other workers.
+class NoiseModel {
+ public:
+  NoiseModel(NoiseConfig config, Rng rng);
+
+  /// Perturb a mean duration. Always returns a strictly positive value.
+  Duration apply(Duration mean_duration);
+
+  const NoiseConfig& config() const { return config_; }
+
+ private:
+  NoiseConfig config_;
+  Rng rng_;
+  double lognormal_mu_ = 0.0;
+  double lognormal_sigma_ = 0.0;
+};
+
+}  // namespace versa::sim

@@ -1,0 +1,17 @@
+#include "task/access.h"
+
+namespace versa {
+
+const char* to_string(AccessMode mode) {
+  switch (mode) {
+    case AccessMode::kIn:
+      return "in";
+    case AccessMode::kOut:
+      return "out";
+    case AccessMode::kInOut:
+      return "inout";
+  }
+  return "?";
+}
+
+}  // namespace versa

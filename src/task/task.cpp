@@ -1,0 +1,50 @@
+#include "task/task.h"
+
+#include "common/check.h"
+#include "data/directory.h"
+
+namespace versa {
+
+const char* to_string(TaskState state) {
+  switch (state) {
+    case TaskState::kCreated:
+      return "created";
+    case TaskState::kReady:
+      return "ready";
+    case TaskState::kQueued:
+      return "queued";
+    case TaskState::kRunning:
+      return "running";
+    case TaskState::kFinished:
+      return "finished";
+  }
+  return "?";
+}
+
+TaskContext::TaskContext(const AccessList& accesses,
+                         const DataDirectory& directory, WorkerId worker,
+                         DeviceKind device)
+    : worker_(worker), device_(device) {
+  args_.reserve(accesses.size());
+  for (const Access& access : accesses) {
+    const RegionDesc& desc = directory.region(access.region);
+    void* ptr = desc.host_ptr == nullptr
+                    ? nullptr
+                    : static_cast<char*>(desc.host_ptr) + access.offset;
+    const std::uint64_t size =
+        access.length != 0 ? access.length : desc.size - access.offset;
+    args_.push_back(ResolvedArg{ptr, size});
+  }
+}
+
+void* TaskContext::arg(std::size_t index) const {
+  VERSA_CHECK(index < args_.size());
+  return args_[index].ptr;
+}
+
+std::uint64_t TaskContext::arg_size(std::size_t index) const {
+  VERSA_CHECK(index < args_.size());
+  return args_[index].size;
+}
+
+}  // namespace versa

@@ -1,0 +1,120 @@
+// Task instances.
+//
+// A Task is one invocation of a multi-version task type: its dependence
+// clauses, the version the scheduler chose, dependency bookkeeping, and the
+// timestamps the reporters consume. Task bodies receive a TaskContext that
+// exposes the accessed regions (and their host storage, when present).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "task/access.h"
+
+namespace versa {
+
+class DataDirectory;
+
+enum class TaskState : std::uint8_t {
+  kCreated,   ///< submitted, dependencies unsatisfied
+  kReady,     ///< dependencies satisfied, waiting for the scheduler
+  kQueued,    ///< assigned to a worker queue
+  kRunning,   ///< executing
+  kFinished,  ///< done
+};
+
+const char* to_string(TaskState state);
+
+/// Execution-time view handed to task bodies. Argument pointers/sizes are
+/// resolved at construction (under the runtime lock); bodies then run
+/// lock-free on the thread backend without touching shared structures.
+class TaskContext {
+ public:
+  TaskContext(const AccessList& accesses, const DataDirectory& directory,
+              WorkerId worker, DeviceKind device);
+
+  /// Host pointer of the i-th access clause (nullptr for virtual regions).
+  void* arg(std::size_t index) const;
+
+  /// Byte size of the i-th access clause.
+  std::uint64_t arg_size(std::size_t index) const;
+
+  std::size_t arg_count() const { return args_.size(); }
+
+  WorkerId worker() const { return worker_; }
+  DeviceKind device() const { return device_; }
+
+ private:
+  struct ResolvedArg {
+    void* ptr;
+    std::uint64_t size;
+  };
+  std::vector<ResolvedArg> args_;
+  WorkerId worker_;
+  DeviceKind device_;
+};
+
+/// A task body. May be empty (synthetic workloads driven purely by cost
+/// models in simulation).
+using TaskFn = std::function<void(TaskContext&)>;
+
+struct Task {
+  TaskId id = kInvalidTask;
+  TaskTypeId type = kInvalidTaskType;
+  AccessList accesses;
+  /// Sum of accessed region sizes, each region counted once even when it
+  /// appears in several clauses (paper §IV-B footnote 2). This is the key
+  /// of the profile's data-set-size group.
+  std::uint64_t data_set_size = 0;
+  std::string label;
+
+  /// OmpSs `priority` clause analogue: higher runs earlier among tasks
+  /// queued on the same worker. Useful for critical-path tasks like
+  /// Cholesky's potrf (§V-B2: "it acts like a bottleneck and if it is not
+  /// run as soon as its data dependencies are satisfied, there is less
+  /// parallelism to exploit").
+  int priority = 0;
+
+  TaskState state = TaskState::kCreated;
+  VersionId chosen_version = kInvalidVersion;
+  WorkerId assigned_worker = kInvalidWorker;
+
+  /// Nesting: the task whose body submitted this one (kInvalidTask for
+  /// master-thread submissions) and the number of direct children still
+  /// unfinished — a taskwait inside a task body waits for exactly these
+  /// (OmpSs taskwait is children-scoped, not a global barrier).
+  TaskId parent = kInvalidTask;
+  std::uint32_t live_children = 0;
+
+  /// Dependency bookkeeping (guarded by the runtime lock).
+  std::uint32_t remaining_deps = 0;
+  std::vector<TaskId> successors;
+
+  /// Timeline (virtual time under SimExecutor, wall time otherwise).
+  Time submit_time = 0.0;
+  Time ready_time = 0.0;
+  Time start_time = 0.0;
+  Time finish_time = 0.0;
+  Duration measured_duration = 0.0;
+
+  /// Completion time of this task's prefetched transfers (sim backend).
+  Time transfers_ready_time = 0.0;
+  /// Space the directory acquire ran against (kInvalidSpace = not yet).
+  /// Work stealing re-homes a task; the executor re-acquires if this does
+  /// not match the executing worker's space.
+  SpaceId acquired_space = kInvalidSpace;
+
+  /// Execution-time estimate the scheduler charged to the assigned worker's
+  /// busy time; subtracted back on completion (versioning scheduler).
+  Duration scheduler_estimate = 0.0;
+
+  /// Execution attempts so far (failure injection: transient device
+  /// errors make the runtime reschedule the task; see
+  /// SimExecutorConfig::failure_rate).
+  std::uint32_t attempts = 0;
+};
+
+}  // namespace versa

@@ -1,0 +1,71 @@
+#include "task/task_graph.h"
+
+#include "common/check.h"
+
+namespace versa {
+
+Task& TaskGraph::create_task(TaskTypeId type, AccessList accesses,
+                             std::uint64_t data_set_size, std::string label) {
+  Task task;
+  task.id = static_cast<TaskId>(tasks_.size());
+  task.type = type;
+  task.accesses = std::move(accesses);
+  task.data_set_size = data_set_size;
+  task.label = std::move(label);
+  tasks_.push_back(std::move(task));
+  ++unfinished_;
+  return tasks_.back();
+}
+
+std::uint32_t TaskGraph::add_dependencies(Task& task,
+                                          const std::vector<TaskId>& preds) {
+  VERSA_CHECK(task.state == TaskState::kCreated);
+  std::uint32_t live = 0;
+  for (TaskId pred_id : preds) {
+    VERSA_CHECK(pred_id < tasks_.size());
+    VERSA_CHECK_MSG(pred_id != task.id, "task cannot depend on itself");
+    Task& pred = tasks_[pred_id];
+    if (pred.state == TaskState::kFinished) continue;
+    pred.successors.push_back(task.id);
+    ++live;
+    ++edges_;
+  }
+  task.remaining_deps = live;
+  return live;
+}
+
+void TaskGraph::mark_finished(TaskId id, Time now,
+                              std::vector<TaskId>& newly_ready) {
+  Task& task = this->task(id);
+  VERSA_CHECK_MSG(task.state == TaskState::kRunning,
+                  "finishing a task that was not running");
+  task.state = TaskState::kFinished;
+  task.finish_time = now;
+  VERSA_CHECK(unfinished_ > 0);
+  --unfinished_;
+  for (TaskId succ_id : task.successors) {
+    Task& succ = tasks_[succ_id];
+    VERSA_CHECK(succ.remaining_deps > 0);
+    if (--succ.remaining_deps == 0) {
+      newly_ready.push_back(succ_id);
+    }
+  }
+}
+
+Task& TaskGraph::task(TaskId id) {
+  VERSA_CHECK(id < tasks_.size());
+  return tasks_[id];
+}
+
+const Task& TaskGraph::task(TaskId id) const {
+  VERSA_CHECK(id < tasks_.size());
+  return tasks_[id];
+}
+
+void TaskGraph::reset() {
+  tasks_.clear();
+  unfinished_ = 0;
+  edges_ = 0;
+}
+
+}  // namespace versa

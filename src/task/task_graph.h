@@ -1,0 +1,54 @@
+// Task graph bookkeeping: storage, dependence edges, readiness propagation.
+//
+// The graph owns every submitted Task for the lifetime of a run (ids are
+// indices), counts unsatisfied predecessors, and releases successors on
+// completion. Concurrency control lives one level up, in Runtime — the
+// graph itself is single-threaded by contract.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "task/task.h"
+
+namespace versa {
+
+class TaskGraph {
+ public:
+  /// Create a task in kCreated state. Accesses must have resolved lengths.
+  Task& create_task(TaskTypeId type, AccessList accesses,
+                    std::uint64_t data_set_size, std::string label);
+
+  /// Add dependence edges from each predecessor to `task`. Predecessors
+  /// already finished contribute no edge. Returns the number of live edges
+  /// added; if zero, the caller should move the task to ready.
+  std::uint32_t add_dependencies(Task& task, const std::vector<TaskId>& preds);
+
+  /// Mark `task` finished and collect successors that became ready.
+  void mark_finished(TaskId id, Time now, std::vector<TaskId>& newly_ready);
+
+  Task& task(TaskId id);
+  const Task& task(TaskId id) const;
+
+  std::size_t size() const { return tasks_.size(); }
+  std::size_t unfinished() const { return unfinished_; }
+  bool all_finished() const { return unfinished_ == 0; }
+
+  /// Iterate all tasks (reporting).
+  const std::deque<Task>& tasks() const { return tasks_; }
+
+  /// Drop all tasks (between benchmark repetitions).
+  void reset();
+
+  /// Total dependence edges added (diagnostics).
+  std::uint64_t edge_count() const { return edges_; }
+
+ private:
+  std::deque<Task> tasks_;
+  std::size_t unfinished_ = 0;
+  std::uint64_t edges_ = 0;
+};
+
+}  // namespace versa

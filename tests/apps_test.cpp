@@ -1,0 +1,307 @@
+// Tests for the workload applications: task-graph shapes at paper scale
+// (virtual data) and functional correctness at small scale (real data,
+// results checked against references) under several schedulers/backends.
+#include <gtest/gtest.h>
+
+#include "apps/cholesky.h"
+#include "apps/matmul.h"
+#include "apps/pbpi.h"
+#include "machine/presets.h"
+#include "runtime/runtime.h"
+
+namespace versa::apps {
+namespace {
+
+RuntimeConfig quiet_sim(const std::string& scheduler = "versioning") {
+  RuntimeConfig config;
+  config.backend = Backend::kSim;
+  config.scheduler = scheduler;
+  config.noise.kind = sim::NoiseKind::kNone;
+  return config;
+}
+
+// --- matmul ----------------------------------------------------------------
+
+TEST(MatmulApp_, TaskCountIsTilesCubed) {
+  const Machine machine = make_minotauro_node(2, 2);
+  Runtime rt(machine, quiet_sim());
+  MatmulParams params;
+  params.n = 4096;
+  params.tile = 1024;
+  MatmulApp app(rt, params);
+  EXPECT_EQ(app.tiles_per_edge(), 4u);
+  EXPECT_EQ(app.task_count(), 64u);
+  app.run();
+  EXPECT_EQ(rt.run_stats().total_tasks(), 64u);
+}
+
+TEST(MatmulApp_, HybridRegistersThreeVersions) {
+  const Machine machine = make_minotauro_node(2, 2);
+  Runtime rt(machine, quiet_sim());
+  MatmulParams params;
+  params.n = 2048;
+  params.hybrid = true;
+  MatmulApp app(rt, params);
+  EXPECT_EQ(rt.version_registry().versions(app.task_type()).size(), 3u);
+  EXPECT_NE(app.cblas_version(), kInvalidVersion);
+  // CUBLAS is the main implementation.
+  EXPECT_EQ(rt.version_registry().main_version(app.task_type()),
+            app.cublas_version());
+}
+
+TEST(MatmulApp_, GpuOnlyRegistersOneVersion) {
+  const Machine machine = make_minotauro_node(2, 2);
+  Runtime rt(machine, quiet_sim("dep-aware"));
+  MatmulParams params;
+  params.n = 2048;
+  params.hybrid = false;
+  MatmulApp app(rt, params);
+  EXPECT_EQ(rt.version_registry().versions(app.task_type()).size(), 1u);
+  EXPECT_EQ(app.cblas_version(), kInvalidVersion);
+  app.run();
+  EXPECT_EQ(rt.run_stats().count(app.cublas_version()), app.task_count());
+}
+
+TEST(MatmulApp_, RealComputeMatchesReferenceOnSim) {
+  const Machine machine = make_minotauro_node(2, 1);
+  Runtime rt(machine, quiet_sim());
+  MatmulParams params;
+  params.n = 96;
+  params.tile = 32;
+  params.real_compute = true;
+  MatmulApp app(rt, params);
+  app.run();
+  EXPECT_LT(app.max_error(), 1e-9);
+}
+
+TEST(MatmulApp_, RealComputeMatchesReferenceOnThreads) {
+  const Machine machine = make_smp_machine(4);
+  RuntimeConfig config;
+  config.backend = Backend::kThreads;
+  config.scheduler = "versioning";
+  Runtime rt(machine, config);
+  MatmulParams params;
+  params.n = 96;
+  params.tile = 32;
+  params.real_compute = true;
+  params.hybrid = false;  // machine has no GPU workers
+  // CUBLAS main version targets cuda: swap to an SMP-only setup by using
+  // hybrid and letting versioning pick the runnable SMP version.
+  params.hybrid = true;
+  MatmulApp app(rt, params);
+  app.run();
+  EXPECT_LT(app.max_error(), 1e-9);
+  // Only the SMP version is runnable here.
+  EXPECT_EQ(rt.run_stats().count(app.cblas_version()), app.task_count());
+}
+
+TEST(MatmulApp_, FlopsFormula) {
+  const Machine machine = make_minotauro_node(1, 1);
+  Runtime rt(machine, quiet_sim());
+  MatmulParams params;
+  params.n = 1024;
+  MatmulApp app(rt, params);
+  EXPECT_DOUBLE_EQ(app.total_flops(), 2.0 * 1024.0 * 1024.0 * 1024.0);
+}
+
+// --- cholesky ----------------------------------------------------------------
+
+TEST(CholeskyApp_, TaskCountMatchesFormula) {
+  const Machine machine = make_minotauro_node(2, 2);
+  Runtime rt(machine, quiet_sim());
+  CholeskyParams params;
+  params.n = 8192;
+  params.block = 2048;  // 4 blocks per edge
+  CholeskyApp app(rt, params);
+  // T=4: potrf 4, trsm 3+2+1=6, syrk 6, gemm 3+1+0... sum over k of
+  // below*(below-1)/2 = 3+1+0+0 = 4. Total 20.
+  EXPECT_EQ(app.task_count(), 20u);
+  app.run();
+  EXPECT_EQ(rt.run_stats().total_tasks(), 20u);
+}
+
+TEST(CholeskyApp_, VariantsRegisterExpectedPotrfVersions) {
+  const Machine machine = make_minotauro_node(2, 2);
+  {
+    Runtime rt(machine, quiet_sim());
+    CholeskyParams params;
+    params.n = 4096;
+    params.potrf = PotrfVariant::kHybrid;
+    CholeskyApp app(rt, params);
+    EXPECT_EQ(rt.version_registry().versions(app.potrf_type()).size(), 2u);
+  }
+  {
+    Runtime rt(machine, quiet_sim("affinity"));
+    CholeskyParams params;
+    params.n = 4096;
+    params.potrf = PotrfVariant::kSmp;
+    CholeskyApp app(rt, params);
+    EXPECT_EQ(rt.version_registry().versions(app.potrf_type()).size(), 1u);
+    EXPECT_EQ(app.potrf_gpu_version(), kInvalidVersion);
+  }
+  {
+    Runtime rt(machine, quiet_sim("affinity"));
+    CholeskyParams params;
+    params.n = 4096;
+    params.potrf = PotrfVariant::kGpu;
+    CholeskyApp app(rt, params);
+    EXPECT_EQ(app.potrf_smp_version(), kInvalidVersion);
+  }
+}
+
+TEST(CholeskyApp_, RealComputeFactorizesSpdMatrix) {
+  const Machine machine = make_minotauro_node(2, 1);
+  Runtime rt(machine, quiet_sim());
+  CholeskyParams params;
+  params.n = 64;
+  params.block = 16;
+  params.real_compute = true;
+  CholeskyApp app(rt, params);
+  app.run();
+  // A has diagonal ~n with off-diagonal noise in [-0.5, 0.5]; single
+  // precision reconstruction error stays well under 1e-2.
+  EXPECT_LT(app.max_error(), 1e-2);
+}
+
+TEST(CholeskyApp_, RealComputeWorksUnderEveryVariant) {
+  for (const PotrfVariant variant :
+       {PotrfVariant::kSmp, PotrfVariant::kGpu, PotrfVariant::kHybrid}) {
+    const Machine machine = make_minotauro_node(2, 2);
+    Runtime rt(machine, quiet_sim(variant == PotrfVariant::kHybrid
+                                      ? "versioning"
+                                      : "affinity"));
+    CholeskyParams params;
+    params.n = 48;
+    params.block = 16;
+    params.real_compute = true;
+    params.potrf = variant;
+    CholeskyApp app(rt, params);
+    app.run();
+    EXPECT_LT(app.max_error(), 1e-2) << to_string(variant);
+  }
+}
+
+TEST(CholeskyApp_, PotrfSmpVariantRunsPotrfOnSmpWorkers) {
+  const Machine machine = make_minotauro_node(2, 2);
+  Runtime rt(machine, quiet_sim("dep-aware"));
+  CholeskyParams params;
+  params.n = 16384;
+  params.block = 2048;
+  params.potrf = PotrfVariant::kSmp;
+  CholeskyApp app(rt, params);
+  app.run();
+  EXPECT_EQ(rt.run_stats().count(app.potrf_smp_version()),
+            app.blocks_per_edge());
+}
+
+// --- pbpi ---------------------------------------------------------------------
+
+TEST(PbpiApp_, TaskCountMatchesStructure) {
+  const Machine machine = make_minotauro_node(2, 2);
+  Runtime rt(machine, quiet_sim());
+  PbpiParams params;
+  params.generations = 5;
+  params.slices = 4;
+  params.chunks = 10;
+  params.sites_bytes = 1 << 20;
+  params.chunks_bytes = 1 << 20;
+  PbpiApp app(rt, params);
+  EXPECT_EQ(app.task_count(), 5u * (4 + 10 + 1));
+  app.run();
+  EXPECT_EQ(rt.run_stats().total_tasks(), app.task_count());
+}
+
+TEST(PbpiApp_, VariantsControlVersionSets) {
+  const Machine machine = make_minotauro_node(2, 2);
+  {
+    Runtime rt(machine, quiet_sim());
+    PbpiParams params;
+    params.variant = PbpiVariant::kHybrid;
+    params.sites_bytes = 1 << 20;
+    params.chunks_bytes = 1 << 20;
+    PbpiApp app(rt, params);
+    EXPECT_EQ(rt.version_registry().versions(app.loop1_type()).size(), 2u);
+    EXPECT_EQ(rt.version_registry().versions(app.loop2_type()).size(), 2u);
+    EXPECT_EQ(rt.version_registry().versions(app.loop3_type()).size(), 1u);
+  }
+  {
+    Runtime rt(machine, quiet_sim("affinity"));
+    PbpiParams params;
+    params.variant = PbpiVariant::kGpu;
+    params.sites_bytes = 1 << 20;
+    params.chunks_bytes = 1 << 20;
+    PbpiApp app(rt, params);
+    EXPECT_EQ(app.loop1_smp(), kInvalidVersion);
+    EXPECT_NE(app.loop1_gpu(), kInvalidVersion);
+  }
+}
+
+TEST(PbpiApp_, RealComputeMatchesSequentialReference) {
+  const Machine machine = make_minotauro_node(2, 1);
+  Runtime rt(machine, quiet_sim());
+  PbpiParams params;
+  params.sites_bytes = 64 << 10;
+  params.chunks_bytes = 32 << 10;
+  params.slices = 4;
+  params.chunks = 8;
+  params.generations = 6;
+  params.real_compute = true;
+  PbpiApp app(rt, params);
+  app.run();
+  EXPECT_DOUBLE_EQ(app.likelihood(), app.reference_likelihood());
+  EXPECT_NE(app.likelihood(), 0.0);
+}
+
+TEST(PbpiApp_, RealComputeMatchesReferenceOnThreads) {
+  const Machine machine = make_smp_machine(4);
+  RuntimeConfig config;
+  config.backend = Backend::kThreads;
+  config.scheduler = "dep-aware";
+  Runtime rt(machine, config);
+  PbpiParams params;
+  params.sites_bytes = 64 << 10;
+  params.chunks_bytes = 32 << 10;
+  params.slices = 4;
+  params.chunks = 8;
+  params.generations = 6;
+  params.variant = PbpiVariant::kSmp;  // SMP-only machine
+  params.real_compute = true;
+  PbpiApp app(rt, params);
+  app.run();
+  EXPECT_DOUBLE_EQ(app.likelihood(), app.reference_likelihood());
+}
+
+TEST(PbpiApp_, GenerationsSerializeThroughTheAccumulator) {
+  const Machine machine = make_minotauro_node(2, 2);
+  Runtime rt(machine, quiet_sim());
+  PbpiParams params;
+  params.sites_bytes = 1 << 20;
+  params.chunks_bytes = 1 << 20;
+  params.slices = 2;
+  params.chunks = 4;
+  params.generations = 3;
+  PbpiApp app(rt, params);
+  app.run();
+  // Every loop3 task must finish before the next generation's loop1 tasks
+  // start (they read the accumulator loop3 wrote).
+  std::vector<Time> loop3_finish;
+  std::vector<std::vector<Time>> loop1_starts(params.generations);
+  std::size_t generation = 0;
+  for (const Task& task : rt.task_graph().tasks()) {
+    if (task.type == app.loop3_type()) {
+      loop3_finish.push_back(task.finish_time);
+      ++generation;
+    } else if (task.type == app.loop1_type()) {
+      loop1_starts[generation].push_back(task.start_time);
+    }
+  }
+  ASSERT_EQ(loop3_finish.size(), params.generations);
+  for (std::size_t g = 1; g < params.generations; ++g) {
+    for (Time start : loop1_starts[g]) {
+      EXPECT_GE(start, loop3_finish[g - 1] - 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace versa::apps

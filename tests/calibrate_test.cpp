@@ -1,0 +1,43 @@
+// Tests for host calibration: measured rates are positive and sane, and
+// the derived cost models reflect them.
+#include <gtest/gtest.h>
+
+#include "perf/calibrate.h"
+
+namespace versa {
+namespace {
+
+TEST(Calibrate, MeasuresPositiveRates) {
+  const HostCalibration calibration = calibrate_host(/*tile=*/48, /*reps=*/1);
+  EXPECT_GT(calibration.dgemm_flops_per_second, 1e6);   // > 1 MFLOP/s
+  EXPECT_LT(calibration.dgemm_flops_per_second, 1e12);  // < 1 TFLOP/s/core
+  EXPECT_GT(calibration.stencil_bytes_per_second, 1e6);
+  EXPECT_GT(calibration.spotrf_flops_per_second, 1e5);
+}
+
+TEST(Calibrate, GemmCostScalesCubically) {
+  HostCalibration calibration;
+  calibration.dgemm_flops_per_second = 1e9;
+  const CostModelPtr small = calibrated_gemm_cost(calibration, 64);
+  const CostModelPtr large = calibrated_gemm_cost(calibration, 128);
+  EXPECT_NEAR(large->mean_duration(0) / small->mean_duration(0), 8.0, 1e-9);
+  EXPECT_NEAR(small->mean_duration(0), 2.0 * 64 * 64 * 64 / 1e9, 1e-12);
+}
+
+TEST(Calibrate, StreamCostScalesLinearlyWithBytes) {
+  HostCalibration calibration;
+  calibration.stencil_bytes_per_second = 2e9;
+  const CostModelPtr cost = calibrated_stream_cost(calibration);
+  EXPECT_NEAR(cost->mean_duration(2'000'000), 1e-3, 1e-12);
+  EXPECT_NEAR(cost->mean_duration(4'000'000), 2e-3, 1e-12);
+}
+
+TEST(Calibrate, RepeatedMeasurementsAreStableWithinAnOrder) {
+  const HostCalibration a = calibrate_host(48, 2);
+  const HostCalibration b = calibrate_host(48, 2);
+  EXPECT_LT(a.dgemm_flops_per_second / b.dgemm_flops_per_second, 10.0);
+  EXPECT_GT(a.dgemm_flops_per_second / b.dgemm_flops_per_second, 0.1);
+}
+
+}  // namespace
+}  // namespace versa

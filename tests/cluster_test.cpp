@@ -1,0 +1,108 @@
+// Tests for the multi-node cluster preset and multi-hop transfer routing.
+#include <gtest/gtest.h>
+
+#include "apps/matmul.h"
+#include "data/transfer_engine.h"
+#include "machine/presets.h"
+#include "runtime/runtime.h"
+
+namespace versa {
+namespace {
+
+TEST(Cluster, TopologyCounts) {
+  const Machine machine = make_gpu_cluster(/*nodes=*/2, /*smp=*/4, /*gpus=*/2);
+  EXPECT_EQ(machine.worker_count(), 12u);
+  EXPECT_EQ(machine.count_workers(DeviceKind::kSmp), 8u);
+  EXPECT_EQ(machine.count_workers(DeviceKind::kCuda), 4u);
+  // Spaces: node0 host + node1 host + 4 GPU memories.
+  EXPECT_EQ(machine.space_count(), 6u);
+  EXPECT_TRUE(machine.space(kHostSpace).is_host);
+}
+
+TEST(Cluster, NodeHostsAreNetworked) {
+  const Machine machine = make_gpu_cluster(3, 1, 0);
+  // Full mesh between the three node host spaces.
+  int links = 0;
+  for (SpaceId a = 0; a < machine.space_count(); ++a) {
+    for (SpaceId b = 0; b < machine.space_count(); ++b) {
+      if (machine.interconnect().find(a, b) != nullptr) ++links;
+    }
+  }
+  EXPECT_EQ(links, 6);  // 3 pairs x 2 directions
+}
+
+TEST(Cluster, CrossNodeGpuTransferRoutesOverFourHops) {
+  const Machine machine = make_gpu_cluster(2, 1, 1);
+  TransferEngine engine(machine);
+  // node0 GPU memory -> node1 GPU memory: gpu -> host0 -> host1 -> gpu.
+  const SpaceId gpu0 = machine.worker(1).space;   // n0 gpu
+  const SpaceId gpu1 = machine.worker(3).space;   // n1 gpu
+  ASSERT_EQ(machine.interconnect().find(gpu0, gpu1), nullptr);
+
+  const std::uint64_t bytes = 64 << 20;  // 64 MB
+  const Time done =
+      engine.enqueue_one(TransferOp{0, gpu0, gpu1, bytes,
+                                    TransferCategory::kDevice},
+                         0.0);
+  // PCIe hop (~11.2 ms) + network hop (~21 ms) + PCIe hop, store-and-
+  // forward: strictly more than any single hop, less than 4x the slowest.
+  const double pcie = static_cast<double>(bytes) / 6.0e9;
+  const double net = static_cast<double>(bytes) / 3.2e9;
+  EXPECT_GT(done, pcie + net);
+  EXPECT_LT(done, 2 * pcie + 2 * net);
+  EXPECT_EQ(engine.routed_bytes(), 3 * bytes);  // three hops accounted
+}
+
+TEST(Cluster, MatmulRunsAcrossNodes) {
+  const Machine machine = make_gpu_cluster(2, 2, 1);
+  RuntimeConfig config;
+  config.backend = Backend::kSim;
+  config.scheduler = "versioning";
+  config.noise.kind = sim::NoiseKind::kNone;
+  Runtime rt(machine, config);
+  apps::MatmulParams params;
+  params.n = 4096;
+  params.tile = 1024;
+  params.hybrid = true;
+  apps::MatmulApp app(rt, params);
+  app.run();
+  EXPECT_EQ(rt.run_stats().total_tasks(), 64u);
+  EXPECT_GT(rt.elapsed(), 0.0);
+  // Both nodes' GPUs participate.
+  std::uint64_t node0_tasks = 0, node1_tasks = 0;
+  for (const Task& task : rt.task_graph().tasks()) {
+    const std::string& name = machine.worker(task.assigned_worker).name;
+    if (name.rfind("n0-", 0) == 0) ++node0_tasks;
+    if (name.rfind("n1-", 0) == 0) ++node1_tasks;
+  }
+  EXPECT_GT(node0_tasks, 0u);
+  EXPECT_GT(node1_tasks, 0u);
+}
+
+TEST(Cluster, TwoNodesOutperformOneOnIndependentWork) {
+  auto run = [](std::size_t nodes) {
+    const Machine machine = make_gpu_cluster(nodes, 2, 2);
+    RuntimeConfig config;
+    config.backend = Backend::kSim;
+    config.scheduler = "versioning";
+    config.noise.kind = sim::NoiseKind::kNone;
+    Runtime rt(machine, config);
+    const TaskTypeId t = rt.declare_task("t");
+    rt.add_version(t, DeviceKind::kCuda, "g", nullptr,
+                   make_constant_cost(10e-3));
+    // Independent compute-heavy tasks with tiny data: scaling is limited
+    // only by worker count, not the network.
+    for (int i = 0; i < 64; ++i) {
+      const RegionId r = rt.register_data("r" + std::to_string(i), 4096);
+      rt.submit(t, {Access::inout(r)});
+    }
+    rt.taskwait();
+    return rt.elapsed();
+  };
+  const Time one = run(1);
+  const Time two = run(2);
+  EXPECT_LT(two, one * 0.6);
+}
+
+}  // namespace
+}  // namespace versa

@@ -1,0 +1,90 @@
+// Tests for device-speed emulation on the thread backend: modelled cost
+// ratios become real wall-clock ratios, so the versioning scheduler learns
+// the same split it would in simulation.
+#include <gtest/gtest.h>
+
+#include "machine/presets.h"
+#include "runtime/runtime.h"
+
+namespace versa {
+namespace {
+
+TEST(Emulation, MeasuredDurationsTrackTheModel) {
+  const Machine machine = make_minotauro_node(1, 1);
+  RuntimeConfig config;
+  config.backend = Backend::kThreads;
+  config.scheduler = "fifo";
+  config.emulate_costs = true;
+  config.emulation_time_scale = 1.0;
+  Runtime rt(machine, config);
+  const TaskTypeId t = rt.declare_task("t");
+  rt.add_version(t, DeviceKind::kCuda, "v", nullptr, make_constant_cost(20e-3));
+  const RegionId r = rt.register_data("r", 64);
+  rt.submit(t, {Access::inout(r)});
+  rt.taskwait();
+  const Task& task = rt.task_graph().task(0);
+  EXPECT_GE(task.measured_duration, 18e-3);   // slept to the model
+  EXPECT_LE(task.measured_duration, 100e-3);  // scheduling slack only
+}
+
+TEST(Emulation, TimeScaleCompressesTheSleep) {
+  const Machine machine = make_minotauro_node(1, 1);
+  RuntimeConfig config;
+  config.backend = Backend::kThreads;
+  config.scheduler = "fifo";
+  config.emulate_costs = true;
+  config.emulation_time_scale = 0.1;  // 10x faster than modelled
+  Runtime rt(machine, config);
+  const TaskTypeId t = rt.declare_task("t");
+  rt.add_version(t, DeviceKind::kCuda, "v", nullptr, make_constant_cost(0.1));
+  const RegionId r = rt.register_data("r", 64);
+  rt.submit(t, {Access::inout(r)});
+  rt.taskwait();
+  EXPECT_LT(rt.task_graph().task(0).measured_duration, 0.06);
+}
+
+TEST(Emulation, VersioningLearnsModelledRatiosOnRealThreads) {
+  // Identical (trivial) bodies, but the modelled costs say the "GPU"
+  // version is 8x faster. With emulation the wall clock agrees, so after
+  // learning, the GPU workers take most of the chain.
+  const Machine machine = make_minotauro_node(2, 2);
+  RuntimeConfig config;
+  config.backend = Backend::kThreads;
+  config.scheduler = "versioning";
+  config.profile.lambda = 2;
+  config.emulate_costs = true;
+  Runtime rt(machine, config);
+  const TaskTypeId t = rt.declare_task("t");
+  const VersionId gpu = rt.add_version(t, DeviceKind::kCuda, "gpu",
+                                       [](TaskContext&) {},
+                                       make_constant_cost(1e-3));
+  const VersionId smp = rt.add_version(t, DeviceKind::kSmp, "smp",
+                                       [](TaskContext&) {},
+                                       make_constant_cost(8e-3));
+  const RegionId r = rt.register_data("r", 64);
+  for (int i = 0; i < 40; ++i) {
+    rt.submit(t, {Access::inout(r)});
+  }
+  rt.taskwait();
+  EXPECT_EQ(rt.run_stats().count(gpu) + rt.run_stats().count(smp), 40u);
+  EXPECT_GT(rt.run_stats().count(gpu), 30u);
+}
+
+TEST(Emulation, OffByDefaultRunsAtNativeSpeed) {
+  const Machine machine = make_smp_machine(1);
+  RuntimeConfig config;
+  config.backend = Backend::kThreads;
+  config.scheduler = "fifo";
+  Runtime rt(machine, config);
+  const TaskTypeId t = rt.declare_task("t");
+  // Huge modelled cost, but emulation is off: the empty body returns fast.
+  rt.add_version(t, DeviceKind::kSmp, "v", [](TaskContext&) {},
+                 make_constant_cost(10.0));
+  const RegionId r = rt.register_data("r", 64);
+  rt.submit(t, {Access::inout(r)});
+  rt.taskwait();
+  EXPECT_LT(rt.task_graph().task(0).measured_duration, 1.0);
+}
+
+}  // namespace
+}  // namespace versa

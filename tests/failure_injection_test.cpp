@@ -1,0 +1,128 @@
+// Tests for transient-failure injection on the sim backend: every task
+// completes despite failures, bodies run exactly once (numerics intact),
+// retries are bounded, and the whole thing stays deterministic per seed.
+#include <gtest/gtest.h>
+
+#include "machine/presets.h"
+#include "runtime/runtime.h"
+
+namespace versa {
+namespace {
+
+RuntimeConfig faulty_config(double failure_rate, std::uint64_t seed = 42) {
+  RuntimeConfig config;
+  config.backend = Backend::kSim;
+  config.scheduler = "versioning";
+  config.noise.kind = sim::NoiseKind::kNone;
+  config.failure_rate = failure_rate;
+  config.seed = seed;
+  return config;
+}
+
+TEST(FailureInjection, AllTasksCompleteDespiteFailures) {
+  const Machine machine = make_minotauro_node(2, 1);
+  Runtime rt(machine, faulty_config(0.3));
+  const TaskTypeId t = rt.declare_task("t");
+  rt.add_version(t, DeviceKind::kCuda, "g", nullptr, make_constant_cost(1e-3));
+  rt.add_version(t, DeviceKind::kSmp, "c", nullptr, make_constant_cost(3e-3));
+  for (int i = 0; i < 100; ++i) {
+    const RegionId r = rt.register_data("r" + std::to_string(i), 64);
+    rt.submit(t, {Access::inout(r)});
+  }
+  rt.taskwait();
+  EXPECT_EQ(rt.run_stats().total_tasks(), 100u);
+  EXPECT_GT(rt.failed_attempts(), 5u);  // 30 % of ~100+ attempts
+  EXPECT_TRUE(rt.task_graph().all_finished());
+}
+
+TEST(FailureInjection, BodiesRunExactlyOncePerTask) {
+  const Machine machine = make_minotauro_node(2, 1);
+  Runtime rt(machine, faulty_config(0.4));
+  long counter = 0;
+  const RegionId r = rt.register_data("counter", sizeof(counter), &counter);
+  const TaskTypeId t = rt.declare_task("inc");
+  const TaskFn body = [](TaskContext& ctx) {
+    *static_cast<long*>(ctx.arg(0)) += 1;
+  };
+  rt.add_version(t, DeviceKind::kCuda, "g", body, make_constant_cost(1e-3));
+  rt.add_version(t, DeviceKind::kSmp, "c", body, make_constant_cost(2e-3));
+  for (int i = 0; i < 50; ++i) {
+    rt.submit(t, {Access::inout(r)});
+  }
+  rt.taskwait();
+  ASSERT_GT(rt.failed_attempts(), 0u);
+  EXPECT_EQ(counter, 50);  // retried attempts never re-ran the body
+}
+
+TEST(FailureInjection, AttemptsAreBoundedByMaxAttempts) {
+  const Machine machine = make_smp_machine(1);
+  RuntimeConfig config = faulty_config(0.9);  // near-certain failure
+  config.scheduler = "fifo";
+  config.max_attempts = 3;
+  Runtime rt(machine, config);
+  const TaskTypeId t = rt.declare_task("t");
+  rt.add_version(t, DeviceKind::kSmp, "v", nullptr, make_constant_cost(1e-3));
+  const RegionId r = rt.register_data("r", 64);
+  for (int i = 0; i < 20; ++i) {
+    rt.submit(t, {Access::inout(r)});
+  }
+  rt.taskwait();
+  for (const Task& task : rt.task_graph().tasks()) {
+    EXPECT_LE(task.attempts, 3u);
+    EXPECT_EQ(task.state, TaskState::kFinished);
+  }
+}
+
+TEST(FailureInjection, FailedTimeCountsIntoTheMakespan) {
+  const Machine machine = make_smp_machine(1);
+  RuntimeConfig config = faulty_config(0.5);
+  config.scheduler = "fifo";
+  Runtime rt(machine, config);
+  const TaskTypeId t = rt.declare_task("t");
+  rt.add_version(t, DeviceKind::kSmp, "v", nullptr, make_constant_cost(1e-3));
+  const RegionId r = rt.register_data("r", 64);
+  for (int i = 0; i < 50; ++i) {
+    rt.submit(t, {Access::inout(r)});
+  }
+  rt.taskwait();
+  // 50 tasks x 1 ms plus the partial time of every failed attempt.
+  EXPECT_GT(rt.elapsed(), 50e-3);
+}
+
+TEST(FailureInjection, DeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    const Machine machine = make_minotauro_node(2, 1);
+    Runtime rt(machine, faulty_config(0.3, seed));
+    const TaskTypeId t = rt.declare_task("t");
+    rt.add_version(t, DeviceKind::kCuda, "g", nullptr, make_constant_cost(1e-3));
+    rt.add_version(t, DeviceKind::kSmp, "c", nullptr, make_constant_cost(3e-3));
+    const RegionId r = rt.register_data("r", 64);
+    for (int i = 0; i < 60; ++i) {
+      rt.submit(t, {Access::inout(r)});
+    }
+    rt.taskwait();
+    return std::make_pair(rt.elapsed(), rt.failed_attempts());
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(FailureInjection, ZeroRateMeansZeroFailures) {
+  const Machine machine = make_minotauro_node(2, 1);
+  Runtime rt(machine, faulty_config(0.0));
+  const TaskTypeId t = rt.declare_task("t");
+  rt.add_version(t, DeviceKind::kCuda, "g", nullptr, make_constant_cost(1e-3));
+  rt.add_version(t, DeviceKind::kSmp, "c", nullptr, make_constant_cost(3e-3));
+  const RegionId r = rt.register_data("r", 64);
+  for (int i = 0; i < 30; ++i) {
+    rt.submit(t, {Access::inout(r)});
+  }
+  rt.taskwait();
+  EXPECT_EQ(rt.failed_attempts(), 0u);
+  for (const Task& task : rt.task_graph().tasks()) {
+    EXPECT_EQ(task.attempts, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace versa

@@ -1,0 +1,145 @@
+// Tests for the Jacobi stencil workload: task-graph shape, array-section
+// (halo) dependences, and functional correctness against a sequential
+// reference on both backends.
+#include <gtest/gtest.h>
+
+#include "apps/jacobi.h"
+#include "machine/presets.h"
+#include "runtime/runtime.h"
+
+namespace versa::apps {
+namespace {
+
+RuntimeConfig sim_config(const std::string& scheduler = "versioning") {
+  RuntimeConfig config;
+  config.backend = Backend::kSim;
+  config.scheduler = scheduler;
+  config.noise.kind = sim::NoiseKind::kNone;
+  return config;
+}
+
+JacobiParams small_params() {
+  JacobiParams params;
+  params.cells = 1024;
+  params.slabs = 8;
+  params.sweeps = 6;
+  params.real_compute = true;
+  return params;
+}
+
+TEST(JacobiApp_, TaskCountIsSweepsTimesSlabs) {
+  const Machine machine = make_minotauro_node(2, 2);
+  Runtime rt(machine, sim_config());
+  JacobiParams params;
+  params.cells = 1 << 16;
+  params.slabs = 8;
+  params.sweeps = 5;
+  JacobiApp app(rt, params);
+  EXPECT_EQ(app.task_count(), 40u);
+  app.run();
+  EXPECT_EQ(rt.run_stats().total_tasks(), 40u);
+}
+
+TEST(JacobiApp_, MatchesSequentialReferenceOnSim) {
+  const Machine machine = make_minotauro_node(2, 2);
+  Runtime rt(machine, sim_config());
+  JacobiApp app(rt, small_params());
+  app.run();
+  EXPECT_LT(app.max_error(), 1e-6);
+  EXPECT_GT(app.checksum(), 0.0);
+}
+
+TEST(JacobiApp_, MatchesReferenceOnThreads) {
+  // SMP-only machine: only the hybrid SMP version is runnable, so the
+  // versioning scheduler (which understands version sets) must drive it.
+  const Machine machine = make_smp_machine(4);
+  RuntimeConfig config;
+  config.backend = Backend::kThreads;
+  config.scheduler = "versioning";
+  Runtime rt(machine, config);
+  JacobiApp app(rt, small_params());
+  app.run();
+  EXPECT_LT(app.max_error(), 1e-6);
+}
+
+TEST(JacobiApp_, MatchesReferenceUnderEveryScheduler) {
+  for (const char* scheduler :
+       {"fifo", "dep-aware", "affinity", "versioning", "versioning-locality"}) {
+    const Machine machine = make_minotauro_node(2, 2);
+    Runtime rt(machine, sim_config(scheduler));
+    JacobiParams params = small_params();
+    params.hybrid = true;
+    JacobiApp app(rt, params);
+    app.run();
+    EXPECT_LT(app.max_error(), 1e-6) << scheduler;
+  }
+}
+
+TEST(JacobiApp_, OddSweepCountLandsInOtherBuffer) {
+  const Machine machine = make_minotauro_node(2, 1);
+  Runtime rt(machine, sim_config());
+  JacobiParams params = small_params();
+  params.sweeps = 7;
+  JacobiApp app(rt, params);
+  app.run();
+  EXPECT_LT(app.max_error(), 1e-6);
+}
+
+TEST(JacobiApp_, HaloDependencesAllowSameSweepParallelism) {
+  // All slabs of one sweep are mutually independent (halo reads touch the
+  // *source* buffer only), so with one worker per slab a sweep runs as
+  // wide as the machine: makespan ~= sweeps * slab_time, far below the
+  // serial tasks * slab_time. (Versioning is used because the machine is
+  // SMP-only and only the hybrid SMP version is runnable there.)
+  const Machine machine = make_smp_machine(8);
+  RuntimeConfig config = sim_config("versioning");
+  config.profile.lambda = 1;
+  Runtime rt(machine, config);
+  JacobiParams params;
+  params.cells = 1 << 16;
+  params.slabs = 8;
+  params.sweeps = 4;
+  params.hybrid = true;
+  JacobiApp app(rt, params);
+  app.run();
+  const double slab_time = 3.0 * (params.cells / params.slabs) * 4 / 6e9;
+  const double serial = static_cast<double>(app.task_count()) * slab_time;
+  EXPECT_LT(rt.elapsed(), serial / 4.0);
+  EXPECT_GT(rt.elapsed(), static_cast<double>(params.sweeps) * slab_time * 0.9);
+}
+
+TEST(JacobiApp_, SweepsSerializeOnSharedSlablessMachine) {
+  // One worker: every task serializes; makespan == tasks * task_time.
+  const Machine machine = make_minotauro_node(1, 1);
+  Runtime rt(machine, sim_config("fifo"));
+  JacobiParams params;
+  params.cells = 1 << 16;
+  params.slabs = 4;
+  params.sweeps = 3;
+  params.hybrid = false;  // GPU-only
+  JacobiApp app(rt, params);
+  app.run();
+  const Time elapsed = rt.elapsed();
+  EXPECT_GT(elapsed, 0.0);
+  // 12 GPU tasks on one GPU: all finish times distinct and ordered.
+  EXPECT_EQ(rt.run_stats().count(app.gpu_version()), 12u);
+}
+
+TEST(JacobiApp_, HybridUsesSmpWorkersUnderVersioning) {
+  const Machine machine = make_minotauro_node(8, 1);
+  RuntimeConfig config = sim_config("versioning");
+  config.profile.lambda = 2;
+  Runtime rt(machine, config);
+  JacobiParams params;
+  params.cells = 1 << 20;
+  params.slabs = 32;
+  params.sweeps = 20;
+  params.hybrid = true;
+  JacobiApp app(rt, params);
+  app.run();
+  EXPECT_GT(rt.run_stats().count(app.smp_version()), 0u);
+  EXPECT_GT(rt.run_stats().count(app.gpu_version()), 0u);
+}
+
+}  // namespace
+}  // namespace versa::apps

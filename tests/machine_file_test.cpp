@@ -1,0 +1,168 @@
+// Unit tests for machine description files: quantity/time parsing, the
+// statement grammar, error reporting, and serialize/parse round-trips.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "machine/machine_file.h"
+#include "machine/presets.h"
+
+namespace versa {
+namespace {
+
+TEST(ParseQuantity, SuffixesAndBases) {
+  EXPECT_DOUBLE_EQ(*parse_quantity("512", false), 512.0);
+  EXPECT_DOUBLE_EQ(*parse_quantity("6G", false), 6.0 * 1024 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(*parse_quantity("6G", true), 6e9);
+  EXPECT_DOUBLE_EQ(*parse_quantity("1.5M", true), 1.5e6);
+  EXPECT_DOUBLE_EQ(*parse_quantity("2K", false), 2048.0);
+  EXPECT_DOUBLE_EQ(*parse_quantity("1T", true), 1e12);
+}
+
+TEST(ParseQuantity, RejectsGarbage) {
+  EXPECT_FALSE(parse_quantity("abc", false).has_value());
+  EXPECT_FALSE(parse_quantity("3X", false).has_value());
+  EXPECT_FALSE(parse_quantity("-1", false).has_value());
+  EXPECT_FALSE(parse_quantity("", false).has_value());
+}
+
+TEST(ParseTime, Suffixes) {
+  EXPECT_DOUBLE_EQ(*parse_time("2s"), 2.0);
+  EXPECT_DOUBLE_EQ(*parse_time("2"), 2.0);
+  EXPECT_DOUBLE_EQ(*parse_time("1.5ms"), 1.5e-3);
+  EXPECT_DOUBLE_EQ(*parse_time("15us"), 15e-6);
+  EXPECT_DOUBLE_EQ(*parse_time("3ns"), 3e-9);
+  EXPECT_FALSE(parse_time("3h").has_value());
+  EXPECT_FALSE(parse_time("oops").has_value());
+}
+
+constexpr const char* kNodeText = R"(# versa machine v1
+host capacity 24G
+space gpu-mem capacity 6G
+device core0 kind smp space host peak 10.1G
+device gpu0 kind cuda space gpu-mem peak 665G
+worker core0 smp-0
+worker gpu0
+link host gpu-mem bandwidth 6G latency 15us
+)";
+
+TEST(MachineFile, ParsesFullNode) {
+  const MachineParseResult result = parse_machine(kNodeText);
+  ASSERT_TRUE(result.machine.has_value()) << result.error;
+  const Machine& machine = *result.machine;
+  EXPECT_EQ(machine.space_count(), 2u);
+  EXPECT_EQ(machine.worker_count(), 2u);
+  EXPECT_EQ(machine.count_workers(DeviceKind::kCuda), 1u);
+  EXPECT_EQ(machine.space(kHostSpace).capacity, 24ull << 30);
+  EXPECT_EQ(machine.space(1).capacity, 6ull << 30);
+  EXPECT_EQ(machine.worker(0).name, "smp-0");
+  const LinkDesc* link = machine.interconnect().find(0, 1);
+  ASSERT_NE(link, nullptr);
+  EXPECT_DOUBLE_EQ(link->bandwidth, 6e9);
+  EXPECT_DOUBLE_EQ(link->latency, 15e-6);
+  // Bidirectional.
+  EXPECT_NE(machine.interconnect().find(1, 0), nullptr);
+}
+
+TEST(MachineFile, CommentsAndBlankLinesIgnored) {
+  const auto result = parse_machine(
+      "# comment\n\n   \ndevice c kind smp space host peak 1G\nworker c\n");
+  EXPECT_TRUE(result.machine.has_value()) << result.error;
+}
+
+TEST(MachineFile, ErrorsCarryLineNumbers) {
+  const auto result =
+      parse_machine("host capacity 24G\nspace g capacity oops\n");
+  EXPECT_FALSE(result.machine.has_value());
+  EXPECT_NE(result.error.find("line 2"), std::string::npos);
+}
+
+TEST(MachineFile, UnknownStatementFails) {
+  const auto result = parse_machine("frobnicate all the things\n");
+  EXPECT_FALSE(result.machine.has_value());
+  EXPECT_NE(result.error.find("unknown statement"), std::string::npos);
+}
+
+TEST(MachineFile, UnknownSpaceInDeviceFails) {
+  const auto result =
+      parse_machine("device g kind cuda space nowhere peak 1G\n");
+  EXPECT_FALSE(result.machine.has_value());
+  EXPECT_NE(result.error.find("unknown space"), std::string::npos);
+}
+
+TEST(MachineFile, UnknownDeviceInWorkerFails) {
+  const auto result = parse_machine("worker ghost\n");
+  EXPECT_FALSE(result.machine.has_value());
+}
+
+TEST(MachineFile, DuplicateNamesFail) {
+  EXPECT_FALSE(parse_machine("space g capacity 1G\nspace g capacity 1G\n"
+                             "device c kind smp space host peak 1G\nworker c\n")
+                   .machine.has_value());
+  EXPECT_FALSE(parse_machine("device c kind smp space host peak 1G\n"
+                             "device c kind smp space host peak 1G\nworker c\n")
+                   .machine.has_value());
+}
+
+TEST(MachineFile, NoWorkersFails) {
+  const auto result = parse_machine("device c kind smp space host peak 1G\n");
+  EXPECT_FALSE(result.machine.has_value());
+  EXPECT_NE(result.error.find("no workers"), std::string::npos);
+}
+
+TEST(MachineFile, BadDeviceKindFails) {
+  const auto result = parse_machine("device f kind fpga space host peak 1G\n");
+  EXPECT_FALSE(result.machine.has_value());
+  EXPECT_NE(result.error.find("unknown device kind"), std::string::npos);
+}
+
+TEST(MachineFile, SerializeParseRoundTrip) {
+  const Machine original = make_minotauro_node(3, 2);
+  const std::string text = serialize_machine(original);
+  const MachineParseResult result = parse_machine(text);
+  ASSERT_TRUE(result.machine.has_value()) << result.error;
+  const Machine& restored = *result.machine;
+  EXPECT_EQ(restored.worker_count(), original.worker_count());
+  EXPECT_EQ(restored.space_count(), original.space_count());
+  EXPECT_EQ(restored.count_workers(DeviceKind::kCuda), 2u);
+  EXPECT_EQ(restored.interconnect().link_count(),
+            original.interconnect().link_count());
+  for (SpaceId s = 0; s < original.space_count(); ++s) {
+    EXPECT_EQ(restored.space(s).capacity, original.space(s).capacity) << s;
+  }
+}
+
+TEST(MachineFile, ShippedDescriptionsLoad) {
+  // The sample machine files in machines/ must stay parseable.
+  const std::string root = VERSA_SOURCE_DIR;
+  const auto node = load_machine(root + "/machines/minotauro-node.txt");
+  ASSERT_TRUE(node.machine.has_value()) << node.error;
+  EXPECT_EQ(node.machine->worker_count(), 10u);
+  EXPECT_EQ(node.machine->count_workers(DeviceKind::kCuda), 2u);
+
+  const auto asym = load_machine(root + "/machines/asymmetric-gpus.txt");
+  ASSERT_TRUE(asym.machine.has_value()) << asym.error;
+  EXPECT_EQ(asym.machine->count_workers(DeviceKind::kCuda), 2u);
+  // The two GPUs really are asymmetric.
+  double peaks[2] = {0, 0};
+  int g = 0;
+  for (const auto& device : asym.machine->devices()) {
+    if (device.kind == DeviceKind::kCuda) peaks[g++] = device.peak_flops;
+  }
+  EXPECT_NE(peaks[0], peaks[1]);
+}
+
+TEST(MachineFile, LoadFromDiskAndMissingFile) {
+  const std::string path = testing::TempDir() + "/versa_machine.txt";
+  {
+    std::ofstream out(path);
+    out << kNodeText;
+  }
+  EXPECT_TRUE(load_machine(path).machine.has_value());
+  const auto missing = load_machine("/no/such/file");
+  EXPECT_FALSE(missing.machine.has_value());
+  EXPECT_NE(missing.error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace versa

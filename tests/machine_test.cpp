@@ -1,0 +1,173 @@
+// Unit tests for the machine model: builder invariants, interconnect
+// timing, presets, kernel cost models and their paper-calibrated ratios.
+#include <gtest/gtest.h>
+
+#include "machine/cost_model.h"
+#include "machine/interconnect.h"
+#include "machine/kernel_models.h"
+#include "machine/machine.h"
+#include "machine/presets.h"
+
+namespace versa {
+namespace {
+
+TEST(MachineBuilder, HostSpaceExistsFromStart) {
+  Machine::Builder builder;
+  builder.add_worker(builder.add_device(DeviceKind::kSmp, kHostSpace, "c", 1));
+  const Machine machine = builder.build();
+  ASSERT_GE(machine.space_count(), 1u);
+  EXPECT_TRUE(machine.space(kHostSpace).is_host);
+  EXPECT_EQ(machine.space(kHostSpace).name, "host");
+}
+
+TEST(MachineBuilder, IdsAreDense) {
+  Machine::Builder builder;
+  const SpaceId s1 = builder.add_space("g0", 1 << 20);
+  const SpaceId s2 = builder.add_space("g1", 1 << 20);
+  EXPECT_EQ(s1, 1u);
+  EXPECT_EQ(s2, 2u);
+  const DeviceId d0 = builder.add_device(DeviceKind::kSmp, kHostSpace, "c", 1);
+  const DeviceId d1 = builder.add_device(DeviceKind::kCuda, s1, "g", 2);
+  EXPECT_EQ(d0, 0u);
+  EXPECT_EQ(d1, 1u);
+  EXPECT_EQ(builder.add_worker(d0), 0u);
+  EXPECT_EQ(builder.add_worker(d1), 1u);
+}
+
+TEST(MachineBuilder, WorkerInheritsDeviceKindAndSpace) {
+  Machine::Builder builder;
+  const SpaceId gpu_mem = builder.add_space("gpu", 1 << 20);
+  const DeviceId gpu = builder.add_device(DeviceKind::kCuda, gpu_mem, "g", 1);
+  builder.add_worker(gpu, "gpu-worker");
+  const Machine machine = builder.build();
+  EXPECT_EQ(machine.worker(0).kind, DeviceKind::kCuda);
+  EXPECT_EQ(machine.worker(0).space, gpu_mem);
+  EXPECT_EQ(machine.worker(0).name, "gpu-worker");
+}
+
+TEST(Machine, CountWorkersByKind) {
+  const Machine machine = make_minotauro_node(4, 2);
+  EXPECT_EQ(machine.count_workers(DeviceKind::kSmp), 4u);
+  EXPECT_EQ(machine.count_workers(DeviceKind::kCuda), 2u);
+  EXPECT_EQ(machine.worker_count(), 6u);
+}
+
+TEST(Interconnect, TransferTimeIsLatencyPlusBandwidthTerm) {
+  Interconnect net;
+  net.add_bidi_link(0, 1, 1e9, 1e-5);
+  // 1 MB over 1 GB/s = 1 ms (+10 us latency).
+  EXPECT_NEAR(net.transfer_time(0, 1, 1'000'000), 1.01e-3, 1e-9);
+  EXPECT_NEAR(net.transfer_time(1, 0, 1'000'000), 1.01e-3, 1e-9);
+}
+
+TEST(Interconnect, MissingLinkIsNull) {
+  Interconnect net;
+  net.add_bidi_link(0, 1, 1e9, 0.0);
+  EXPECT_NE(net.find(0, 1), nullptr);
+  EXPECT_EQ(net.find(1, 2), nullptr);
+}
+
+TEST(Interconnect, ReaddingLinkReplacesIt) {
+  Interconnect net;
+  net.add_link(LinkDesc{0, 1, 1e9, 0.0});
+  net.add_link(LinkDesc{0, 1, 2e9, 0.0});
+  EXPECT_EQ(net.link_count(), 1u);
+  EXPECT_DOUBLE_EQ(net.find(0, 1)->bandwidth, 2e9);
+}
+
+TEST(Presets, MinotauroTopology) {
+  const Machine machine = make_minotauro_node(8, 2);
+  // host + 2 GPU spaces.
+  EXPECT_EQ(machine.space_count(), 3u);
+  // PCIe both ways per GPU + GPU<->GPU both ways.
+  EXPECT_EQ(machine.interconnect().link_count(), 6u);
+  // 6 GB per GPU memory.
+  EXPECT_EQ(machine.space(1).capacity, 6ull << 30);
+  EXPECT_EQ(machine.space(kHostSpace).capacity, 24ull << 30);
+}
+
+TEST(Presets, SingleGpuHasNoPeerLink) {
+  const Machine machine = make_minotauro_node(2, 1);
+  EXPECT_EQ(machine.space_count(), 2u);
+  EXPECT_EQ(machine.interconnect().link_count(), 2u);
+}
+
+TEST(Presets, OneGpuIsRoughlyHalfMachinePeak) {
+  // §V-B1: one GPU ≈ 45 % of node peak, one SMP core < 1 %.
+  const Machine machine = make_minotauro_node(12, 2);
+  const double total = machine.total_peak_flops();
+  double gpu_peak = 0.0, core_peak = 0.0;
+  for (const auto& device : machine.devices()) {
+    if (device.kind == DeviceKind::kCuda) gpu_peak = device.peak_flops;
+    if (device.kind == DeviceKind::kSmp) core_peak = device.peak_flops;
+  }
+  EXPECT_NEAR(gpu_peak / total, 0.45, 0.03);
+  EXPECT_LT(core_peak / total, 0.01);
+}
+
+TEST(Presets, SmpMachineIsHostOnly) {
+  const Machine machine = make_smp_machine(3);
+  EXPECT_EQ(machine.space_count(), 1u);
+  EXPECT_EQ(machine.worker_count(), 3u);
+  EXPECT_EQ(machine.count_workers(DeviceKind::kCuda), 0u);
+}
+
+TEST(CostModel, ConstantIgnoresSize) {
+  const CostModelPtr model = make_constant_cost(2.5e-3);
+  EXPECT_DOUBLE_EQ(model->mean_duration(0), 2.5e-3);
+  EXPECT_DOUBLE_EQ(model->mean_duration(1 << 30), 2.5e-3);
+}
+
+TEST(CostModel, LinearScalesWithBytes) {
+  const CostModelPtr model = make_linear_cost(1e-3, 1e-9);
+  EXPECT_DOUBLE_EQ(model->mean_duration(0), 1e-3);
+  EXPECT_DOUBLE_EQ(model->mean_duration(1'000'000), 2e-3);
+}
+
+TEST(CostModel, CallableDelegates) {
+  const CostModelPtr model = make_callable_cost(
+      [](std::uint64_t bytes) { return static_cast<double>(bytes) * 2.0; });
+  EXPECT_DOUBLE_EQ(model->mean_duration(21), 42.0);
+}
+
+TEST(KernelModels, FlopCounts) {
+  EXPECT_EQ(kernels::gemm_flops(1024), 2ull * 1024 * 1024 * 1024);
+  EXPECT_EQ(kernels::potrf_flops(3), 9ull);  // 27/3
+  EXPECT_EQ(kernels::trsm_flops(4), 64ull);
+  EXPECT_EQ(kernels::syrk_flops(4), 64ull);
+}
+
+TEST(KernelModels, SmpGemmTileIsAbout60xCublas) {
+  // §V-B1: "SMP task duration is about 60 times the GPU task duration".
+  const double cublas = kernels::cublas_dgemm_tile(1024)->mean_duration(0);
+  const double cblas = kernels::cblas_dgemm_tile(1024)->mean_duration(0);
+  EXPECT_NEAR(cblas / cublas, 60.0, 6.0);
+}
+
+TEST(KernelModels, HandCudaSlowerThanCublas) {
+  const double cublas = kernels::cublas_dgemm_tile(1024)->mean_duration(0);
+  const double cuda = kernels::hand_cuda_dgemm_tile(1024)->mean_duration(0);
+  EXPECT_GT(cuda, cublas);
+  EXPECT_LT(cuda, 60.0 * cublas);
+}
+
+TEST(KernelModels, PbpiLoop2SmpIs3To4xGpu) {
+  // §V-B3: "the task itself is between three and four times slower for
+  // the SMP versions" (said of the shared loop-2 work).
+  using kernels::PbpiCosts;
+  const double r2 = PbpiCosts::kLoop2Smp / PbpiCosts::kLoop2Gpu;
+  EXPECT_GE(r2, 3.0);
+  EXPECT_LE(r2, 4.0);
+  // Loop 1 is distinctly GPU-friendly (Figure 14 sends it to the GPU).
+  EXPECT_GT(PbpiCosts::kLoop1Smp / PbpiCosts::kLoop1Gpu,
+            PbpiCosts::kLoop2Smp / PbpiCosts::kLoop2Gpu);
+}
+
+TEST(KernelModels, PotrfGpuFasterThanSmp) {
+  const double gpu = kernels::magma_spotrf_block(2048)->mean_duration(0);
+  const double smp = kernels::cblas_spotrf_block(2048)->mean_duration(0);
+  EXPECT_LT(gpu, smp);
+}
+
+}  // namespace
+}  // namespace versa

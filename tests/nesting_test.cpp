@@ -1,0 +1,179 @@
+// Tests for nested tasks: parent attribution, children-scoped taskwait
+// from inside task bodies (both backends), and recursive nesting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "machine/presets.h"
+#include "runtime/runtime.h"
+
+namespace versa {
+namespace {
+
+RuntimeConfig config_for(Backend backend,
+                         const std::string& scheduler = "dep-aware") {
+  RuntimeConfig config;
+  config.backend = backend;
+  config.scheduler = scheduler;
+  config.noise.kind = sim::NoiseKind::kNone;
+  return config;
+}
+
+TEST(Nesting, ChildrenAreAttributedToTheirParent) {
+  const Machine machine = make_smp_machine(2);
+  Runtime rt(machine, config_for(Backend::kSim));
+  const RegionId r = rt.register_data("r", 64);
+  const TaskTypeId child = rt.declare_task("child");
+  rt.add_version(child, DeviceKind::kSmp, "v", nullptr,
+                 make_constant_cost(1e-3));
+  const TaskTypeId parent = rt.declare_task("parent");
+  TaskId child_id = kInvalidTask;
+  rt.add_version(parent, DeviceKind::kSmp, "v", [&](TaskContext&) {
+    child_id = rt.submit(child, {Access::inout(r)});
+  });
+
+  const RegionId pr = rt.register_data("pr", 64);
+  const TaskId parent_id = rt.submit(parent, {Access::inout(pr)});
+  rt.taskwait();
+  ASSERT_NE(child_id, kInvalidTask);
+  EXPECT_EQ(rt.task_graph().task(child_id).parent, parent_id);
+  EXPECT_EQ(rt.task_graph().task(parent_id).parent, kInvalidTask);
+  EXPECT_EQ(rt.task_graph().task(parent_id).live_children, 0u);
+}
+
+template <Backend kBackend>
+void nested_taskwait_sees_children_results() {
+  const Machine machine = make_smp_machine(2);
+  RuntimeConfig config = config_for(kBackend);
+  Runtime rt(machine, config);
+
+  std::vector<int> cells(4, 0);
+  std::vector<RegionId> regions;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    regions.push_back(
+        rt.register_data("c" + std::to_string(i), sizeof(int), &cells[i]));
+  }
+  const TaskTypeId child = rt.declare_task("child");
+  rt.add_version(
+      child, DeviceKind::kSmp, "v",
+      [](TaskContext& ctx) { *static_cast<int*>(ctx.arg(0)) = 7; },
+      make_constant_cost(1e-3));
+
+  const TaskTypeId parent = rt.declare_task("parent");
+  int observed_sum = -1;
+  rt.add_version(
+      parent, DeviceKind::kSmp, "v",
+      [&](TaskContext&) {
+        for (const RegionId r : regions) {
+          rt.submit(child, {Access::inout(r)});
+        }
+        rt.taskwait();  // children-scoped: must see all four writes
+        int sum = 0;
+        for (const int cell : cells) {
+          sum += cell;
+        }
+        observed_sum = sum;
+      },
+      make_constant_cost(1e-3));
+
+  const RegionId pr = rt.register_data("pr", 64);
+  rt.submit(parent, {Access::inout(pr)});
+  rt.taskwait();
+  EXPECT_EQ(observed_sum, 28);
+}
+
+TEST(Nesting, NestedTaskwaitSimBackend) {
+  nested_taskwait_sees_children_results<Backend::kSim>();
+}
+
+TEST(Nesting, NestedTaskwaitThreadBackend) {
+  nested_taskwait_sees_children_results<Backend::kThreads>();
+}
+
+TEST(Nesting, NestedTaskwaitWorksOnSingleWorker) {
+  // The waiting worker must execute its own queued children inline rather
+  // than deadlock (task switching at the taskwait).
+  const Machine machine = make_smp_machine(1);
+  Runtime rt(machine, config_for(Backend::kSim));
+  const TaskTypeId child = rt.declare_task("child");
+  int done = 0;
+  rt.add_version(
+      child, DeviceKind::kSmp, "v", [&](TaskContext&) { ++done; },
+      make_constant_cost(1e-3));
+  const TaskTypeId parent = rt.declare_task("parent");
+  const RegionId cr = rt.register_data("cr", 64);
+  rt.add_version(
+      parent, DeviceKind::kSmp, "v",
+      [&](TaskContext&) {
+        rt.submit(child, {Access::inout(cr)});
+        rt.submit(child, {Access::inout(cr)});
+        rt.taskwait();
+        EXPECT_EQ(done, 2);
+      },
+      make_constant_cost(1e-3));
+  const RegionId pr = rt.register_data("pr", 64);
+  rt.submit(parent, {Access::inout(pr)});
+  rt.taskwait();
+  EXPECT_EQ(done, 2);
+}
+
+TEST(Nesting, RecursiveNestingComputesFibonacci) {
+  const Machine machine = make_smp_machine(4);
+  Runtime rt(machine, config_for(Backend::kThreads, "fifo"));
+  const TaskTypeId fib = rt.declare_task("fib");
+
+  struct Job {
+    int n;
+    long result;
+  };
+  // Self-referential task type: each invocation spawns two children and a
+  // nested taskwait, OmpSs-style recursive decomposition.
+  std::function<void(Job&)> spawn = [&](Job& job) {
+    if (job.n < 2) {
+      job.result = job.n;
+      return;
+    }
+    Job left{job.n - 1, 0};
+    Job right{job.n - 2, 0};
+    const RegionId lr = rt.register_data("l", sizeof(Job), &left);
+    const RegionId rr = rt.register_data("r", sizeof(Job), &right);
+    rt.submit(fib, {Access::inout(lr)});
+    rt.submit(fib, {Access::inout(rr)});
+    rt.taskwait();  // children-scoped
+    job.result = left.result + right.result;
+  };
+  rt.add_version(fib, DeviceKind::kSmp, "v", [&](TaskContext& ctx) {
+    spawn(*static_cast<Job*>(ctx.arg(0)));
+  });
+
+  Job root{10, 0};
+  const RegionId root_region = rt.register_data("root", sizeof(Job), &root);
+  rt.submit(fib, {Access::inout(root_region)});
+  rt.taskwait();
+  EXPECT_EQ(root.result, 55);
+}
+
+TEST(Nesting, MasterTaskwaitStillWaitsForGrandchildren) {
+  const Machine machine = make_smp_machine(2);
+  Runtime rt(machine, config_for(Backend::kSim));
+  std::atomic<int> executed{0};
+  const RegionId r = rt.register_data("r", 64);
+  const TaskTypeId leaf = rt.declare_task("leaf");
+  rt.add_version(
+      leaf, DeviceKind::kSmp, "v", [&](TaskContext&) { ++executed; },
+      make_constant_cost(1e-3));
+  const TaskTypeId mid = rt.declare_task("mid");
+  rt.add_version(
+      mid, DeviceKind::kSmp, "v",
+      [&](TaskContext&) {
+        rt.submit(leaf, {Access::inout(r)});  // grandchild, not awaited here
+      },
+      make_constant_cost(1e-3));
+  const RegionId mr = rt.register_data("mr", 64);
+  rt.submit(mid, {Access::inout(mr)});
+  rt.taskwait();  // master-level: global barrier, includes the grandchild
+  EXPECT_EQ(executed.load(), 1);
+}
+
+}  // namespace
+}  // namespace versa

@@ -1,0 +1,148 @@
+// Reproduction regression tests: the qualitative claims of the paper's
+// evaluation (§V) that EXPERIMENTS.md documents, asserted as invariants so
+// refactors cannot silently break the reproduction. These run the same
+// harness code as the bench/ binaries (bench_util) at the paper's scales.
+#include <gtest/gtest.h>
+
+#include "bench_util.h"
+
+namespace versa::bench {
+namespace {
+
+RunOptions options_for(std::size_t smp, std::size_t gpus,
+                       const std::string& scheduler) {
+  RunOptions options;
+  options.smp = smp;
+  options.gpus = gpus;
+  options.scheduler = scheduler;
+  return options;
+}
+
+// --- Figure 6: matmul ---------------------------------------------------
+
+TEST(PaperShape, MatmulGpuScalesLinearlyWithGpus) {
+  const AppResult one = run_matmul(options_for(1, 1, "dep-aware"), false);
+  const AppResult two = run_matmul(options_for(1, 2, "dep-aware"), false);
+  EXPECT_NEAR(two.gflops / one.gflops, 2.0, 0.1);
+}
+
+TEST(PaperShape, MatmulGpuIsFlatInSmpThreads) {
+  const AppResult few = run_matmul(options_for(1, 1, "dep-aware"), false);
+  const AppResult many = run_matmul(options_for(8, 1, "dep-aware"), false);
+  EXPECT_NEAR(many.gflops / few.gflops, 1.0, 0.05);
+}
+
+TEST(PaperShape, MatmulHybridGainsWithSmpWorkers) {
+  const AppResult few = run_matmul(options_for(1, 1, "versioning"), true);
+  const AppResult many = run_matmul(options_for(8, 1, "versioning"), true);
+  EXPECT_GT(many.gflops, few.gflops * 1.05);
+}
+
+TEST(PaperShape, MatmulHybridBeatsGpuOnlyAtEightSmp) {
+  const AppResult gpu = run_matmul(options_for(8, 2, "dep-aware"), false);
+  const AppResult hyb = run_matmul(options_for(8, 2, "versioning"), true);
+  EXPECT_GT(hyb.gflops, gpu.gflops);
+}
+
+// --- Figure 8: matmul version split ---------------------------------------
+
+TEST(PaperShape, MatmulCublasDominatesAndCudaIsRare) {
+  const AppResult result = run_matmul(options_for(8, 2, "versioning"), true);
+  EXPECT_GT(result.shares[0].percent, 85.0);  // CUBLAS
+  EXPECT_LT(result.shares[1].percent, 2.0);   // hand CUDA: learning only
+}
+
+TEST(PaperShape, MatmulSmpShareGrowsWithWorkersAndShrinksWithGpus) {
+  const double smp1 =
+      run_matmul(options_for(1, 1, "versioning"), true).shares[2].percent;
+  const double smp8 =
+      run_matmul(options_for(8, 1, "versioning"), true).shares[2].percent;
+  const double smp8_2gpu =
+      run_matmul(options_for(8, 2, "versioning"), true).shares[2].percent;
+  EXPECT_GT(smp8, smp1);        // more SMP workers -> more SMP work
+  EXPECT_GT(smp8, smp8_2gpu);   // second GPU leaves less for the SMPs
+  EXPECT_NEAR(smp8, 10.0, 5.0); // "about 10 % of the work on average"
+}
+
+// --- Figures 9/11: Cholesky -----------------------------------------------
+
+TEST(PaperShape, CholeskyPotrfSmpIsWorstVariant) {
+  const AppResult smp =
+      run_cholesky(options_for(8, 2, "dep-aware"), apps::PotrfVariant::kSmp);
+  const AppResult gpu =
+      run_cholesky(options_for(8, 2, "dep-aware"), apps::PotrfVariant::kGpu);
+  const AppResult hyb = run_cholesky(options_for(8, 2, "versioning"),
+                                     apps::PotrfVariant::kHybrid);
+  EXPECT_LT(smp.gflops, gpu.gflops * 0.75);
+  EXPECT_LT(smp.gflops, hyb.gflops * 0.75);
+}
+
+TEST(PaperShape, CholeskyVersioningSendsPotrfMostlyToGpus) {
+  const AppResult result = run_cholesky(options_for(8, 2, "versioning"),
+                                        apps::PotrfVariant::kHybrid);
+  // shares[0] = GPU(MAGMA), shares[1] = SMP(CBLAS).
+  EXPECT_GT(result.shares[0].percent, 60.0);
+  // SMP executions are bounded by the learning phase plus a couple of
+  // early overflows.
+  EXPECT_LE(result.shares[1].count, 5u);
+}
+
+TEST(PaperShape, CholeskyHybridCloseToGpuOnly) {
+  const AppResult gpu =
+      run_cholesky(options_for(8, 2, "affinity"), apps::PotrfVariant::kGpu);
+  const AppResult hyb = run_cholesky(options_for(8, 2, "versioning"),
+                                     apps::PotrfVariant::kHybrid);
+  // Learning on few task instances costs a little (§V-B2), but stays
+  // within a few percent.
+  EXPECT_GT(hyb.gflops, gpu.gflops * 0.95);
+}
+
+// --- Figures 12/13/14/15: PBPI ----------------------------------------------
+
+TEST(PaperShape, PbpiSmpBeatsGpuWithEnoughWorkers) {
+  const AppResult smp = run_pbpi(options_for(8, 1, "dep-aware"),
+                                 apps::PbpiVariant::kSmp, 1, 20);
+  const AppResult gpu = run_pbpi(options_for(8, 1, "dep-aware"),
+                                 apps::PbpiVariant::kGpu, 1, 20);
+  EXPECT_LT(smp.elapsed_seconds, gpu.elapsed_seconds);
+}
+
+TEST(PaperShape, PbpiHybridIsFastestSeries) {
+  for (const std::size_t smp_workers : {1u, 8u}) {
+    const auto base = options_for(smp_workers, 2, "dep-aware");
+    const AppResult smp = run_pbpi(base, apps::PbpiVariant::kSmp, 1, 20);
+    const AppResult gpu = run_pbpi(base, apps::PbpiVariant::kGpu, 1, 20);
+    const AppResult hyb = run_pbpi(options_for(smp_workers, 2, "versioning"),
+                                   apps::PbpiVariant::kHybrid, 1, 20);
+    EXPECT_LT(hyb.elapsed_seconds, smp.elapsed_seconds) << smp_workers;
+    EXPECT_LT(hyb.elapsed_seconds, gpu.elapsed_seconds) << smp_workers;
+  }
+}
+
+TEST(PaperShape, PbpiSmpVariantMovesNoData) {
+  const AppResult smp = run_pbpi(options_for(4, 2, "dep-aware"),
+                                 apps::PbpiVariant::kSmp, 1, 10);
+  EXPECT_EQ(smp.transfers.total_bytes(), 0u);
+}
+
+TEST(PaperShape, PbpiHybridTransfersMoreThanGpuButWins) {
+  const AppResult gpu = run_pbpi(options_for(8, 2, "dep-aware"),
+                                 apps::PbpiVariant::kGpu, 1, 20);
+  const AppResult hyb = run_pbpi(options_for(8, 2, "versioning"),
+                                 apps::PbpiVariant::kHybrid, 1, 20);
+  EXPECT_GT(hyb.transfers.total_bytes(), gpu.transfers.total_bytes());
+  EXPECT_LT(hyb.elapsed_seconds, gpu.elapsed_seconds);
+}
+
+TEST(PaperShape, PbpiLoop1MostlyGpuLoop2Shared) {
+  const AppResult loop1 = run_pbpi(options_for(4, 2, "versioning"),
+                                   apps::PbpiVariant::kHybrid, 1, 20);
+  const AppResult loop2 = run_pbpi(options_for(4, 2, "versioning"),
+                                   apps::PbpiVariant::kHybrid, 2, 20);
+  EXPECT_GT(loop1.shares[0].percent, 60.0);   // loop 1 -> GPU mostly
+  EXPECT_GT(loop2.shares[1].count, 1000u);    // loop 2 SMP runs: thousands
+  EXPECT_GT(loop2.shares[0].percent, 20.0);   // ... genuinely shared
+}
+
+}  // namespace
+}  // namespace versa::bench

@@ -1,0 +1,165 @@
+// Unit tests for the reporting layer: run statistics, table/CSV emitters,
+// GFLOP/s helper and the Chrome-trace exporter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/string_util.h"
+#include "machine/presets.h"
+#include "perf/report.h"
+#include "perf/run_stats.h"
+#include "perf/trace.h"
+#include "runtime/runtime.h"
+
+namespace versa {
+namespace {
+
+TEST(RunStatsCollector, CountsAndTotals) {
+  RunStatsCollector stats;
+  stats.on_complete(/*type=*/0, /*version=*/0, 1.0);
+  stats.on_complete(0, 0, 2.0);
+  stats.on_complete(0, 1, 4.0);
+  stats.on_complete(1, 2, 8.0);
+
+  EXPECT_EQ(stats.total_tasks(), 4u);
+  EXPECT_EQ(stats.count(0), 2u);
+  EXPECT_EQ(stats.count(1), 1u);
+  EXPECT_DOUBLE_EQ(stats.total_time(0), 3.0);
+  EXPECT_EQ(stats.type_count(0), 3u);
+  EXPECT_EQ(stats.type_count(1), 1u);
+  EXPECT_EQ(stats.type_count(9), 0u);
+}
+
+TEST(RunStatsCollector, PercentPerType) {
+  RunStatsCollector stats;
+  stats.on_complete(0, 0, 1.0);
+  stats.on_complete(0, 0, 1.0);
+  stats.on_complete(0, 1, 1.0);
+  stats.on_complete(0, 1, 1.0);
+  EXPECT_DOUBLE_EQ(stats.percent(0, 0), 50.0);
+  EXPECT_DOUBLE_EQ(stats.percent(0, 1), 50.0);
+  EXPECT_DOUBLE_EQ(stats.percent(0, 7), 0.0);
+  EXPECT_DOUBLE_EQ(stats.percent(9, 0), 0.0);  // unknown type
+}
+
+TEST(RunStatsCollector, ResetClears) {
+  RunStatsCollector stats;
+  stats.on_complete(0, 0, 1.0);
+  stats.reset();
+  EXPECT_EQ(stats.total_tasks(), 0u);
+  EXPECT_EQ(stats.count(0), 0u);
+}
+
+TEST(Gflops, Computation) {
+  EXPECT_DOUBLE_EQ(gflops(2e9, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(gflops(1e9, 0.5), 2.0);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"longer-name", "23"});
+  const std::string out = table.to_string();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Every line has the same width (trailing spaces pad short cells).
+  const auto lines = split(out.substr(0, out.size() - 1), '\n');
+  EXPECT_EQ(lines[0].size(), lines[1].size());
+}
+
+TEST(TablePrinterTest, MissingCellsRenderEmpty) {
+  TablePrinter table({"a", "b", "c"});
+  table.add_row({"only"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("only"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(CsvWriterTest, QuotesSpecialCharacters) {
+  CsvWriter csv;
+  csv.add_row({"plain", "with,comma", "with\"quote"});
+  EXPECT_EQ(csv.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(CsvWriterTest, WritesFile) {
+  CsvWriter csv;
+  csv.add_row({"a", "b"});
+  const std::string path = testing::TempDir() + "/versa_test.csv";
+  ASSERT_TRUE(csv.write_file(path));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+}
+
+TEST(Trace, ExportsCompleteEventsPerWorker) {
+  const Machine machine = make_minotauro_node(1, 1);
+  RuntimeConfig config;
+  config.backend = Backend::kSim;
+  config.scheduler = "fifo";
+  config.noise.kind = sim::NoiseKind::kNone;
+  Runtime rt(machine, config);
+  const TaskTypeId t = rt.declare_task("demo");
+  rt.add_version(t, DeviceKind::kCuda, "v", nullptr, make_constant_cost(1e-3));
+  const RegionId r = rt.register_data("r", 100);
+  rt.submit(t, {Access::inout(r)});
+  rt.taskwait();
+
+  const std::string json =
+      trace_json(rt.task_graph(), machine, rt.version_registry());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("demo/v"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("gpu-0"), std::string::npos);  // worker lane names
+  // Balanced braces as a cheap well-formedness check.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Trace, TransferLanesWhenRecordsProvided) {
+  const Machine machine = make_minotauro_node(1, 1);
+  RuntimeConfig config;
+  config.backend = Backend::kSim;
+  config.scheduler = "fifo";
+  config.noise.kind = sim::NoiseKind::kNone;
+  Runtime rt(machine, config);
+  const TaskTypeId t = rt.declare_task("demo");
+  rt.add_version(t, DeviceKind::kCuda, "v", nullptr, make_constant_cost(1e-3));
+  const RegionId r = rt.register_data("r", 1 << 20);
+  rt.submit(t, {Access::inout(r)});
+  rt.taskwait();
+
+  const std::string json = trace_json(rt.task_graph(), machine,
+                                      rt.version_registry(),
+                                      rt.transfer_records());
+  EXPECT_NE(json.find("\"cat\":\"transfer\""), std::string::npos);
+  EXPECT_NE(json.find("host->gpu-mem-0"), std::string::npos);
+  EXPECT_NE(json.find("gpu-mem-0->host"), std::string::npos);  // flush
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Trace, WriteFileRoundTrip) {
+  const Machine machine = make_smp_machine(1);
+  RuntimeConfig config;
+  config.backend = Backend::kSim;
+  Runtime rt(machine, config);
+  const TaskTypeId t = rt.declare_task("x");
+  rt.add_version(t, DeviceKind::kSmp, "v", nullptr, make_constant_cost(1e-3));
+  const RegionId r = rt.register_data("r", 8);
+  rt.submit(t, {Access::inout(r)});
+  rt.taskwait();
+
+  const std::string path = testing::TempDir() + "/versa_trace.json";
+  EXPECT_TRUE(write_trace(path, rt.task_graph(), machine,
+                          rt.version_registry()));
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  EXPECT_FALSE(write_trace("/nonexistent/dir/trace.json", rt.task_graph(),
+                           machine, rt.version_registry()));
+}
+
+}  // namespace
+}  // namespace versa

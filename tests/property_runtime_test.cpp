@@ -1,0 +1,257 @@
+// Property tests over randomized task graphs: for every scheduler and both
+// backends, random workloads must (a) run to completion, (b) honour every
+// data dependence, and (c) keep the runtime's bookkeeping consistent.
+//
+// Dependences are validated against a sequential oracle replay of the
+// submitted access lists: for each region, writers must execute in program
+// order, and every reader must fall strictly between the writer that
+// produced its value and the next writer.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "machine/presets.h"
+#include "runtime/runtime.h"
+#include "sched/scheduler_factory.h"
+
+namespace versa {
+namespace {
+
+struct WorkloadSpec {
+  std::size_t regions = 8;
+  std::size_t tasks = 120;
+  std::uint64_t seed = 1;
+};
+
+struct SubmittedTask {
+  TaskId id;
+  AccessList accesses;
+};
+
+/// Build a random workload on `rt`; every task gets 1-3 whole-region
+/// accesses with random modes. Returns what was submitted.
+std::vector<SubmittedTask> submit_random(Runtime& rt, const WorkloadSpec& spec,
+                                         TaskTypeId type) {
+  Rng rng(spec.seed);
+  std::vector<RegionId> regions;
+  for (std::size_t r = 0; r < spec.regions; ++r) {
+    regions.push_back(
+        rt.register_data("r" + std::to_string(r), 1024 * (1 + r % 4)));
+  }
+  std::vector<SubmittedTask> out;
+  for (std::size_t t = 0; t < spec.tasks; ++t) {
+    const std::size_t clauses = 1 + rng.next_below(3);
+    AccessList accesses;
+    std::vector<bool> used(spec.regions, false);
+    for (std::size_t c = 0; c < clauses; ++c) {
+      const std::size_t region = rng.next_below(spec.regions);
+      if (used[region]) continue;  // one clause per region per task
+      used[region] = true;
+      const auto mode = static_cast<AccessMode>(rng.next_below(3));
+      accesses.push_back(Access{regions[region], mode, 0, 0});
+    }
+    if (accesses.empty()) {
+      accesses.push_back(Access::inout(regions[0]));
+    }
+    const TaskId id = rt.submit(type, accesses);
+    out.push_back({id, accesses});
+  }
+  return out;
+}
+
+/// Check execution timestamps against the dependence oracle.
+void verify_dependences(const Runtime& rt,
+                        const std::vector<SubmittedTask>& submitted) {
+  struct RegionHistory {
+    TaskId last_writer = kInvalidTask;
+    Time last_writer_finish = 0.0;
+    Time max_reader_finish = 0.0;
+  };
+  std::map<RegionId, RegionHistory> history;
+  constexpr double kEps = 1e-9;
+
+  for (const SubmittedTask& entry : submitted) {
+    const Task& task = rt.task_graph().task(entry.id);
+    ASSERT_EQ(task.state, TaskState::kFinished) << entry.id;
+    for (const Access& access : entry.accesses) {
+      RegionHistory& h = history[access.region];
+      if (reads(access.mode) && h.last_writer != kInvalidTask) {
+        EXPECT_GE(task.start_time + kEps, h.last_writer_finish)
+            << "task " << entry.id << " read region " << access.region
+            << " before its writer finished";
+      }
+      if (writes(access.mode)) {
+        EXPECT_GE(task.start_time + kEps, h.last_writer_finish)
+            << "WAW violation on region " << access.region;
+        EXPECT_GE(task.start_time + kEps, h.max_reader_finish)
+            << "WAR violation on region " << access.region;
+        h.last_writer = entry.id;
+        h.last_writer_finish = task.finish_time;
+        h.max_reader_finish = 0.0;
+      } else {
+        h.max_reader_finish = std::max(h.max_reader_finish, task.finish_time);
+      }
+    }
+  }
+}
+
+struct Combo {
+  std::string scheduler;
+  std::uint64_t seed;
+};
+
+class RandomDagSimTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {
+};
+
+TEST_P(RandomDagSimTest, DependencesHoldInVirtualTime) {
+  const auto& [scheduler, seed] = GetParam();
+  const Machine machine = make_minotauro_node(3, 2);
+  RuntimeConfig config;
+  config.backend = Backend::kSim;
+  config.scheduler = scheduler;
+  config.seed = seed;
+  Runtime rt(machine, config);
+
+  const TaskTypeId type = rt.declare_task("t");
+  rt.add_version(type, DeviceKind::kCuda, "g", nullptr,
+                 make_constant_cost(1e-3));
+  rt.add_version(type, DeviceKind::kSmp, "c", nullptr,
+                 make_constant_cost(2.5e-3));
+
+  WorkloadSpec spec;
+  spec.seed = seed;
+  const auto submitted = submit_random(rt, spec, type);
+  rt.taskwait();
+
+  EXPECT_EQ(rt.run_stats().total_tasks(), spec.tasks);
+  verify_dependences(rt, submitted);
+  EXPECT_TRUE(rt.task_graph().all_finished());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, RandomDagSimTest,
+    ::testing::Combine(::testing::Values("fifo", "dep-aware", "affinity",
+                                         "versioning", "versioning-locality"),
+                       ::testing::Values(11u, 22u, 33u)));
+
+class RandomDagThreadTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RandomDagThreadTest, SequentialSemanticsWithRealExecution) {
+  // Functional check on the thread backend: every task multiplies a
+  // per-region sequence number into a running non-commutative hash, so
+  // any ordering violation changes the final value.
+  const Machine machine = make_smp_machine(4);
+  RuntimeConfig config;
+  config.backend = Backend::kThreads;
+  config.scheduler = GetParam();
+  Runtime rt(machine, config);
+
+  constexpr std::size_t kRegions = 6;
+  constexpr std::size_t kTasks = 200;
+  std::vector<std::uint64_t> cells(kRegions, 1);
+  std::vector<RegionId> regions;
+  for (std::size_t r = 0; r < kRegions; ++r) {
+    regions.push_back(rt.register_data("r" + std::to_string(r),
+                                       sizeof(std::uint64_t), &cells[r]));
+  }
+
+  const TaskTypeId type = rt.declare_task("hash");
+  rt.add_version(type, DeviceKind::kSmp, "v", [](TaskContext& ctx) {
+    for (std::size_t i = 0; i < ctx.arg_count(); ++i) {
+      auto* cell = static_cast<std::uint64_t*>(ctx.arg(i));
+      *cell = *cell * 6364136223846793005ull + 1442695040888963407ull;
+    }
+  });
+
+  Rng rng(GetParam().size());  // any deterministic seed
+  std::vector<std::uint64_t> expected(kRegions, 1);
+  for (std::size_t t = 0; t < kTasks; ++t) {
+    const std::size_t r = rng.next_below(kRegions);
+    rt.submit(type, {Access::inout(regions[r])});
+    expected[r] = expected[r] * 6364136223846793005ull + 1442695040888963407ull;
+  }
+  rt.taskwait();
+
+  for (std::size_t r = 0; r < kRegions; ++r) {
+    EXPECT_EQ(cells[r], expected[r]) << "region " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, RandomDagThreadTest,
+                         ::testing::Values("fifo", "dep-aware", "affinity",
+                                           "versioning",
+                                           "versioning-locality"));
+
+// Determinism property: a fixed seed reproduces the identical schedule on
+// the sim backend for every scheduler.
+class DeterminismTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DeterminismTest, SameSeedSameScheduleAndStats) {
+  auto run = [&] {
+    const Machine machine = make_minotauro_node(2, 2);
+    RuntimeConfig config;
+    config.backend = Backend::kSim;
+    config.scheduler = GetParam();
+    config.seed = 1234;
+    Runtime rt(machine, config);
+    const TaskTypeId type = rt.declare_task("t");
+    rt.add_version(type, DeviceKind::kCuda, "g", nullptr,
+                   make_constant_cost(1e-3));
+    rt.add_version(type, DeviceKind::kSmp, "c", nullptr,
+                   make_constant_cost(3e-3));
+    WorkloadSpec spec;
+    spec.tasks = 80;
+    spec.seed = 5;
+    submit_random(rt, spec, type);
+    rt.taskwait();
+    std::vector<std::pair<WorkerId, Time>> schedule;
+    for (const Task& task : rt.task_graph().tasks()) {
+      schedule.emplace_back(task.assigned_worker, task.finish_time);
+    }
+    return std::make_tuple(rt.elapsed(), rt.transfer_stats().total_bytes(),
+                           schedule);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, DeterminismTest,
+                         ::testing::Values("fifo", "dep-aware", "affinity",
+                                           "versioning",
+                                           "versioning-locality"));
+
+// Noise-robustness property: heavy duration jitter must not break the
+// versioning scheduler's convergence to the faster version.
+class NoisyVersioningTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NoisyVersioningTest, ConvergesToFasterVersionDespiteJitter) {
+  const Machine machine = make_minotauro_node(2, 1);
+  RuntimeConfig config;
+  config.backend = Backend::kSim;
+  config.scheduler = "versioning";
+  config.seed = GetParam();
+  config.noise.kind = sim::NoiseKind::kUniform;
+  config.noise.magnitude = 0.4;  // +-40 % jitter
+  config.profile.lambda = 3;
+  Runtime rt(machine, config);
+
+  const TaskTypeId type = rt.declare_task("t");
+  const VersionId fast = rt.add_version(type, DeviceKind::kCuda, "fast",
+                                        nullptr, make_constant_cost(1e-3));
+  rt.add_version(type, DeviceKind::kSmp, "slow", nullptr,
+                 make_constant_cost(20e-3));
+  const RegionId r = rt.register_data("r", 64);
+  for (int i = 0; i < 100; ++i) {
+    rt.submit(type, {Access::inout(r)});  // serial chain
+  }
+  rt.taskwait();
+  // Even at 40 % jitter the 20x gap is unambiguous after learning.
+  EXPECT_GE(rt.run_stats().count(fast), 90u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NoisyVersioningTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace versa

@@ -1,0 +1,592 @@
+// Unit tests for the scheduling layer: profile tables (Table I semantics),
+// the plugin factory, the baseline policies, and the versioning scheduler's
+// two phases — learning (round-robin to λ) and reliable (earliest
+// executor, Figure 5) — plus hints files and the locality extension.
+#include <gtest/gtest.h>
+
+#include "machine/presets.h"
+#include "sched/affinity_scheduler.h"
+#include "sched/dep_aware_scheduler.h"
+#include "sched/fifo_scheduler.h"
+#include "sched/hints_file.h"
+#include "sched/locality_versioning_scheduler.h"
+#include "sched/profile_table.h"
+#include "sched/scheduler_factory.h"
+#include "sched/versioning_scheduler.h"
+
+namespace versa {
+namespace {
+
+/// Minimal SchedulerContext for driving policies without a full runtime.
+class TestContext : public SchedulerContext {
+ public:
+  explicit TestContext(Machine machine)
+      : machine_(std::move(machine)), directory_(machine_) {}
+
+  const Machine& machine() const override { return machine_; }
+  const VersionRegistry& registry() const override { return registry_; }
+  DataDirectory& directory() override { return directory_; }
+  TaskGraph& graph() override { return graph_; }
+  Time now() const override { return now_; }
+  void task_assigned(TaskId task, WorkerId worker) override {
+    assignments.emplace_back(task, worker);
+  }
+
+  Task& make_ready_task(TaskTypeId type, std::uint64_t size,
+                        AccessList accesses = {}) {
+    for (Access& a : accesses) {
+      if (a.length == 0) a.length = directory_.region(a.region).size;
+    }
+    Task& task = graph_.create_task(type, std::move(accesses), size, "");
+    task.state = TaskState::kReady;
+    return task;
+  }
+
+  /// Pop, "run", and complete a task on `worker` with a fixed duration.
+  TaskId run_one(Scheduler& sched, WorkerId worker, Duration duration) {
+    const TaskId id = sched.pop_task(worker);
+    if (id == kInvalidTask) return id;
+    Task& task = graph_.task(id);
+    task.state = TaskState::kRunning;
+    std::vector<TaskId> ready;
+    graph_.mark_finished(id, now_ += duration, ready);
+    sched.task_completed(task, worker, duration);
+    return id;
+  }
+
+  VersionRegistry registry_;
+  Machine machine_;
+  DataDirectory directory_;
+  TaskGraph graph_;
+  Time now_ = 0.0;
+  std::vector<std::pair<TaskId, WorkerId>> assignments;
+};
+
+// --- ProfileTable ---------------------------------------------------------
+
+TEST(ProfileTable, ExactGroupingSeparatesSizes) {
+  VersionRegistry reg;
+  const TaskTypeId t = reg.declare_task("t");
+  const VersionId v = reg.add_version(t, DeviceKind::kSmp, "v", nullptr, nullptr);
+  ProfileTable table(reg, {});
+  table.record(t, v, 1000, 1.0);
+  table.record(t, v, 1001, 3.0);
+  EXPECT_EQ(table.count(t, v, 1000), 1u);
+  EXPECT_EQ(table.count(t, v, 1001), 1u);
+  EXPECT_DOUBLE_EQ(*table.mean(t, v, 1000), 1.0);
+  EXPECT_EQ(table.group_count(), 2u);
+}
+
+TEST(ProfileTable, RangeGroupingJoinsSimilarSizes) {
+  VersionRegistry reg;
+  const TaskTypeId t = reg.declare_task("t");
+  const VersionId v = reg.add_version(t, DeviceKind::kSmp, "v", nullptr, nullptr);
+  ProfileConfig config;
+  config.grouping = SizeGrouping::kRange;
+  config.range_ratio = 1.25;
+  ProfileTable table(reg, config);
+  // 1000 and 1001 fall in the same log bucket; 4000 does not.
+  EXPECT_EQ(table.group_key(1000), table.group_key(1001));
+  EXPECT_NE(table.group_key(1000), table.group_key(4000));
+  table.record(t, v, 1000, 1.0);
+  EXPECT_EQ(table.count(t, v, 1001), 1u);
+}
+
+TEST(ProfileTable, MeanAveragesObservations) {
+  VersionRegistry reg;
+  const TaskTypeId t = reg.declare_task("t");
+  const VersionId v = reg.add_version(t, DeviceKind::kSmp, "v", nullptr, nullptr);
+  ProfileTable table(reg, {});
+  table.record(t, v, 100, 2.0);
+  table.record(t, v, 100, 4.0);
+  EXPECT_DOUBLE_EQ(*table.mean(t, v, 100), 3.0);
+  EXPECT_FALSE(table.mean(t, v, 200).has_value());
+}
+
+TEST(ProfileTable, ReliableNeedsLambdaRunsOfEveryVersion) {
+  VersionRegistry reg;
+  const TaskTypeId t = reg.declare_task("t");
+  const VersionId v1 = reg.add_version(t, DeviceKind::kCuda, "a", nullptr, nullptr);
+  const VersionId v2 = reg.add_version(t, DeviceKind::kSmp, "b", nullptr, nullptr);
+  ProfileConfig config;
+  config.lambda = 2;
+  ProfileTable table(reg, config);
+  table.record(t, v1, 100, 1.0);
+  table.record(t, v1, 100, 1.0);
+  EXPECT_FALSE(table.reliable(t, 100));  // v2 never ran
+  table.record(t, v2, 100, 1.0);
+  EXPECT_FALSE(table.reliable(t, 100));  // v2 only once
+  table.record(t, v2, 100, 1.0);
+  EXPECT_TRUE(table.reliable(t, 100));
+  EXPECT_FALSE(table.reliable(t, 999));  // other group unaffected
+}
+
+TEST(ProfileTable, FastestVersion) {
+  VersionRegistry reg;
+  const TaskTypeId t = reg.declare_task("t");
+  const VersionId slow = reg.add_version(t, DeviceKind::kSmp, "slow", nullptr, nullptr);
+  const VersionId fast = reg.add_version(t, DeviceKind::kCuda, "fast", nullptr, nullptr);
+  ProfileTable table(reg, {});
+  EXPECT_FALSE(table.fastest_version(t, 100).has_value());
+  table.record(t, slow, 100, 10.0);
+  table.record(t, fast, 100, 1.0);
+  EXPECT_EQ(*table.fastest_version(t, 100), fast);
+}
+
+TEST(ProfileTable, PrimeSeedsMeanAndCount) {
+  VersionRegistry reg;
+  const TaskTypeId t = reg.declare_task("t");
+  const VersionId v = reg.add_version(t, DeviceKind::kSmp, "v", nullptr, nullptr);
+  ProfileTable table(reg, {});
+  table.prime(t, v, table.group_key(100), 5.0, 3);
+  EXPECT_EQ(table.count(t, v, 100), 3u);
+  EXPECT_DOUBLE_EQ(*table.mean(t, v, 100), 5.0);
+  EXPECT_TRUE(table.reliable(t, 100));
+}
+
+TEST(ProfileTable, DumpMentionsVersionNames) {
+  VersionRegistry reg;
+  const TaskTypeId t = reg.declare_task("matmul_tile");
+  const VersionId v = reg.add_version(t, DeviceKind::kCuda, "cublas", nullptr, nullptr);
+  ProfileTable table(reg, {});
+  table.record(t, v, 8 << 20, 5e-3);
+  const std::string dump = table.dump();
+  EXPECT_NE(dump.find("matmul_tile"), std::string::npos);
+  EXPECT_NE(dump.find("cublas"), std::string::npos);
+}
+
+TEST(ProfileTable, EmaConfigPropagates) {
+  VersionRegistry reg;
+  const TaskTypeId t = reg.declare_task("t");
+  const VersionId v = reg.add_version(t, DeviceKind::kSmp, "v", nullptr, nullptr);
+  ProfileConfig config;
+  config.mean_kind = MeanKind::kExponential;
+  config.ema_alpha = 0.9;
+  ProfileTable table(reg, config);
+  table.record(t, v, 100, 1.0);
+  for (int i = 0; i < 10; ++i) table.record(t, v, 100, 9.0);
+  EXPECT_GT(*table.mean(t, v, 100), 8.5);  // recent-dominated
+}
+
+// --- factory ---------------------------------------------------------------
+
+TEST(SchedulerFactory, MakesEveryAdvertisedScheduler) {
+  for (const std::string& name : scheduler_names()) {
+    const auto sched = make_scheduler(name);
+    ASSERT_NE(sched, nullptr) << name;
+    EXPECT_EQ(sched->name(), name);
+  }
+}
+
+TEST(SchedulerFactory, UnknownNameIsNull) {
+  EXPECT_EQ(make_scheduler("no-such-policy"), nullptr);
+}
+
+// --- baseline policies -------------------------------------------------------
+
+TEST(Fifo, ServesOldestCompatibleTask) {
+  TestContext ctx(make_minotauro_node(1, 1));
+  const TaskTypeId gpu_task = ctx.registry_.declare_task("g");
+  ctx.registry_.add_version(gpu_task, DeviceKind::kCuda, "v", nullptr, nullptr);
+  const TaskTypeId cpu_task = ctx.registry_.declare_task("c");
+  ctx.registry_.add_version(cpu_task, DeviceKind::kSmp, "v", nullptr, nullptr);
+
+  FifoScheduler sched;
+  sched.attach(ctx);
+  Task& t0 = ctx.make_ready_task(gpu_task, 0);
+  Task& t1 = ctx.make_ready_task(cpu_task, 0);
+  Task& t2 = ctx.make_ready_task(gpu_task, 0);
+  sched.task_ready(t0);
+  sched.task_ready(t1);
+  sched.task_ready(t2);
+
+  // Worker 0 is SMP: skips GPU tasks and takes t1.
+  EXPECT_EQ(sched.pop_task(0), t1.id);
+  // Worker 1 is the GPU: takes t0 then t2, in order.
+  EXPECT_EQ(sched.pop_task(1), t0.id);
+  EXPECT_EQ(sched.pop_task(1), t2.id);
+  EXPECT_EQ(sched.pop_task(1), kInvalidTask);
+  EXPECT_FALSE(sched.has_pending());
+}
+
+TEST(Fifo, ChoosesMainVersion) {
+  TestContext ctx(make_minotauro_node(1, 1));
+  const TaskTypeId t = ctx.registry_.declare_task("t");
+  const VersionId main =
+      ctx.registry_.add_version(t, DeviceKind::kCuda, "main", nullptr, nullptr);
+  ctx.registry_.add_version(t, DeviceKind::kSmp, "alt", nullptr, nullptr);
+
+  FifoScheduler sched;
+  sched.attach(ctx);
+  Task& task = ctx.make_ready_task(t, 0);
+  sched.task_ready(task);
+  // The baseline ignores `implements` versions: the SMP worker gets nothing.
+  EXPECT_EQ(sched.pop_task(0), kInvalidTask);
+  EXPECT_EQ(sched.pop_task(1), task.id);
+  EXPECT_EQ(task.chosen_version, main);
+}
+
+TEST(DepAware, FollowsChainsOntoReleasingWorker) {
+  TestContext ctx(make_minotauro_node(4, 0));
+  const TaskTypeId t = ctx.registry_.declare_task("t");
+  ctx.registry_.add_version(t, DeviceKind::kSmp, "v", nullptr, nullptr);
+
+  DepAwareScheduler sched;
+  sched.attach(ctx);
+  Task& head = ctx.make_ready_task(t, 0);
+  sched.task_ready(head);
+  const WorkerId worker = head.assigned_worker;
+  ASSERT_NE(worker, kInvalidWorker);
+
+  // Simulate completion on that worker, then release the successor.
+  ctx.run_one(sched, worker, 1.0);
+  Task& next = ctx.make_ready_task(t, 0);
+  sched.task_ready(next);
+  EXPECT_EQ(next.assigned_worker, worker);  // chain continues
+}
+
+TEST(DepAware, IncompatibleChainFallsBackToLeastLoaded) {
+  TestContext ctx(make_minotauro_node(2, 1));
+  const TaskTypeId gpu_task = ctx.registry_.declare_task("g");
+  ctx.registry_.add_version(gpu_task, DeviceKind::kCuda, "v", nullptr, nullptr);
+  const TaskTypeId cpu_task = ctx.registry_.declare_task("c");
+  ctx.registry_.add_version(cpu_task, DeviceKind::kSmp, "v", nullptr, nullptr);
+
+  DepAwareScheduler sched;
+  sched.attach(ctx);
+  Task& gpu_head = ctx.make_ready_task(gpu_task, 0);
+  sched.task_ready(gpu_head);
+  ctx.run_one(sched, gpu_head.assigned_worker, 1.0);
+
+  // Released task only has an SMP version: must not go to the GPU worker.
+  Task& cpu_next = ctx.make_ready_task(cpu_task, 0);
+  sched.task_ready(cpu_next);
+  EXPECT_EQ(ctx.machine_.worker(cpu_next.assigned_worker).kind,
+            DeviceKind::kSmp);
+}
+
+TEST(Affinity, PrefersSpaceHoldingTheData) {
+  TestContext ctx(make_minotauro_node(1, 2));
+  const TaskTypeId t = ctx.registry_.declare_task("t");
+  ctx.registry_.add_version(t, DeviceKind::kCuda, "v", nullptr, nullptr);
+  const RegionId r = ctx.directory_.register_region("r", 1 << 20);
+
+  // Put the data on GPU 1 (worker 2).
+  const SpaceId gpu1_space = ctx.machine_.worker(2).space;
+  TransferList ops;
+  ctx.directory_.acquire({Access::inout_range(r, 0, 1 << 20)}, gpu1_space, ops);
+
+  AffinityScheduler sched;
+  sched.attach(ctx);
+  Task& task = ctx.make_ready_task(t, 1 << 20, {Access::in(r)});
+  sched.task_ready(task);
+  EXPECT_EQ(task.assigned_worker, 2u);
+}
+
+TEST(Affinity, TieBreaksByQueueLength) {
+  TestContext ctx(make_minotauro_node(1, 2));
+  const TaskTypeId t = ctx.registry_.declare_task("t");
+  ctx.registry_.add_version(t, DeviceKind::kCuda, "v", nullptr, nullptr);
+
+  AffinityScheduler sched;
+  sched.attach(ctx);
+  // No data anywhere: both GPUs miss everything equally; queue length
+  // decides, so assignments alternate.
+  Task& a = ctx.make_ready_task(t, 0);
+  sched.task_ready(a);
+  Task& b = ctx.make_ready_task(t, 0);
+  sched.task_ready(b);
+  EXPECT_NE(a.assigned_worker, b.assigned_worker);
+}
+
+TEST(QueueSchedulerStealing, IdleSameKindWorkerSteals) {
+  TestContext ctx(make_minotauro_node(1, 2));
+  const TaskTypeId t = ctx.registry_.declare_task("t");
+  ctx.registry_.add_version(t, DeviceKind::kCuda, "v", nullptr, nullptr);
+  const RegionId r = ctx.directory_.register_region("r", 1 << 20);
+  const SpaceId gpu0_space = ctx.machine_.worker(1).space;
+  TransferList ops;
+  ctx.directory_.acquire({Access::inout_range(r, 0, 1 << 20)}, gpu0_space, ops);
+
+  AffinityScheduler sched;
+  sched.attach(ctx);
+  // Both tasks want the data on GPU 0 -> both queue on worker 1.
+  Task& a = ctx.make_ready_task(t, 1 << 20, {Access::in(r)});
+  Task& b = ctx.make_ready_task(t, 1 << 20, {Access::in(r)});
+  sched.task_ready(a);
+  sched.task_ready(b);
+  EXPECT_EQ(sched.queue_length(1), 2u);
+
+  // Worker 2 (the other GPU) is idle: it steals from worker 1's tail.
+  const TaskId stolen = sched.pop_task(2);
+  EXPECT_EQ(stolen, b.id);
+  EXPECT_EQ(ctx.graph_.task(stolen).assigned_worker, 2u);
+  // The SMP worker cannot steal GPU work.
+  EXPECT_EQ(sched.pop_task(0), kInvalidTask);
+}
+
+// --- versioning scheduler ----------------------------------------------------
+
+class VersioningTest : public ::testing::Test {
+ protected:
+  VersioningTest() : ctx_(make_minotauro_node(2, 1)) {
+    // Workers 0,1 = SMP; worker 2 = GPU.
+    type_ = ctx_.registry_.declare_task("work");
+    gpu_ = ctx_.registry_.add_version(type_, DeviceKind::kCuda, "gpu", nullptr,
+                                      nullptr);
+    smp_ = ctx_.registry_.add_version(type_, DeviceKind::kSmp, "smp", nullptr,
+                                      nullptr);
+  }
+
+  /// Drive `n` ready tasks through the scheduler, completing each
+  /// immediately on its assigned worker with a duration depending on the
+  /// chosen version.
+  void run_tasks(VersioningScheduler& sched, int n, Duration gpu_time,
+                 Duration smp_time, std::uint64_t size = 1000) {
+    for (int i = 0; i < n; ++i) {
+      Task& task = ctx_.make_ready_task(type_, size);
+      sched.task_ready(task);
+      const WorkerId w = task.assigned_worker;
+      ASSERT_NE(w, kInvalidWorker);
+      const Duration d = task.chosen_version == gpu_ ? gpu_time : smp_time;
+      ASSERT_EQ(ctx_.run_one(sched, w, d), task.id);
+    }
+  }
+
+  TestContext ctx_;
+  TaskTypeId type_;
+  VersionId gpu_, smp_;
+};
+
+TEST_F(VersioningTest, LearningPhaseSamplesEveryVersionLambdaTimes) {
+  ProfileConfig config;
+  config.lambda = 3;
+  VersioningScheduler sched(config);
+  sched.attach(ctx_);
+
+  run_tasks(sched, 6, 1e-3, 10e-3);
+  EXPECT_EQ(sched.profile().count(type_, gpu_, 1000), 3u);
+  EXPECT_EQ(sched.profile().count(type_, smp_, 1000), 3u);
+  EXPECT_TRUE(sched.profile().reliable(type_, 1000));
+}
+
+TEST_F(VersioningTest, ReliablePhasePicksFastestWhenIdle) {
+  ProfileConfig config;
+  config.lambda = 1;
+  VersioningScheduler sched(config);
+  sched.attach(ctx_);
+  run_tasks(sched, 2, 1e-3, 10e-3);  // learning: one of each
+  ASSERT_TRUE(sched.profile().reliable(type_, 1000));
+
+  // All workers idle: the GPU version is 10x faster -> earliest executor.
+  Task& task = ctx_.make_ready_task(type_, 1000);
+  sched.task_ready(task);
+  EXPECT_EQ(task.chosen_version, gpu_);
+  EXPECT_EQ(ctx_.machine_.worker(task.assigned_worker).kind,
+            DeviceKind::kCuda);
+}
+
+TEST_F(VersioningTest, BusyFastWorkerLosesToIdleSlowWorker) {
+  // The Figure 5 scenario: the GPU is the fastest executor but its queue
+  // is long; an idle SMP worker finishes the task earlier.
+  ProfileConfig config;
+  config.lambda = 1;
+  VersioningScheduler sched(config);
+  sched.attach(ctx_);
+  run_tasks(sched, 2, 1e-3, 3e-3);  // gpu 1 ms, smp 3 ms
+
+  // Enqueue (without completing) enough GPU work to make its estimated
+  // busy time exceed the SMP mean.
+  std::vector<TaskId> queued;
+  for (int i = 0; i < 5; ++i) {
+    Task& task = ctx_.make_ready_task(type_, 1000);
+    sched.task_ready(task);
+    queued.push_back(task.id);
+  }
+  // First picks go to the GPU until its backlog passes 3 ms, then SMP
+  // workers start receiving tasks.
+  int gpu_count = 0, smp_count = 0;
+  for (TaskId id : queued) {
+    const Task& task = ctx_.graph_.task(id);
+    if (task.chosen_version == gpu_) {
+      ++gpu_count;
+    } else {
+      ++smp_count;
+    }
+  }
+  EXPECT_GE(gpu_count, 2);
+  EXPECT_GE(smp_count, 1);  // the overflow went to idle SMP workers
+  EXPECT_GT(sched.estimated_busy(2), 0.0);
+}
+
+TEST_F(VersioningTest, NewDataSizeReentersLearning) {
+  ProfileConfig config;
+  config.lambda = 2;
+  VersioningScheduler sched(config);
+  sched.attach(ctx_);
+  run_tasks(sched, 4, 1e-3, 10e-3);
+  ASSERT_TRUE(sched.profile().reliable(type_, 1000));
+
+  // A different data-set size has no information: learning again.
+  EXPECT_FALSE(sched.profile().reliable(type_, 5000));
+  run_tasks(sched, 4, 1e-3, 10e-3, /*size=*/5000);
+  EXPECT_TRUE(sched.profile().reliable(type_, 5000));
+  EXPECT_EQ(sched.profile().count(type_, gpu_, 5000), 2u);
+}
+
+TEST_F(VersioningTest, BusyAccountingDrainsOnCompletion) {
+  ProfileConfig config;
+  config.lambda = 1;
+  VersioningScheduler sched(config);
+  sched.attach(ctx_);
+  run_tasks(sched, 2, 1e-3, 3e-3);
+  for (WorkerId w = 0; w < 3; ++w) {
+    EXPECT_NEAR(sched.estimated_busy(w), 0.0, 1e-12) << w;
+  }
+}
+
+TEST_F(VersioningTest, ProfileKeepsLearningInReliablePhase) {
+  ProfileConfig config;
+  config.lambda = 1;
+  VersioningScheduler sched(config);
+  sched.attach(ctx_);
+  run_tasks(sched, 2, 1e-3, 3e-3);
+  const std::uint64_t before = sched.profile().count(type_, gpu_, 1000);
+  run_tasks(sched, 4, 1e-3, 3e-3);
+  EXPECT_GT(sched.profile().count(type_, gpu_, 1000) +
+                sched.profile().count(type_, smp_, 1000),
+            before + 1);
+}
+
+TEST(VersioningSingleDevice, WorksWithOnlySmpWorkers) {
+  TestContext ctx(make_smp_machine(2));
+  const TaskTypeId t = ctx.registry_.declare_task("t");
+  const VersionId smp =
+      ctx.registry_.add_version(t, DeviceKind::kSmp, "v", nullptr, nullptr);
+  ProfileConfig config;
+  config.lambda = 1;
+  VersioningScheduler sched(config);
+  sched.attach(ctx);
+  for (int i = 0; i < 4; ++i) {
+    Task& task = ctx.make_ready_task(t, 100);
+    sched.task_ready(task);
+    EXPECT_EQ(task.chosen_version, smp);
+    ctx.run_one(sched, task.assigned_worker, 1e-3);
+  }
+}
+
+TEST(VersioningUnrunnableVersion, FallsBackToRunnableVersions) {
+  // A version targeting a device kind with no workers must not wedge the
+  // learning phase.
+  TestContext ctx(make_smp_machine(2));
+  const TaskTypeId t = ctx.registry_.declare_task("t");
+  ctx.registry_.add_version(t, DeviceKind::kCuda, "gpu", nullptr, nullptr);
+  const VersionId smp =
+      ctx.registry_.add_version(t, DeviceKind::kSmp, "smp", nullptr, nullptr);
+  ProfileConfig config;
+  config.lambda = 1;
+  VersioningScheduler sched(config);
+  sched.attach(ctx);
+  for (int i = 0; i < 3; ++i) {
+    Task& task = ctx.make_ready_task(t, 100);
+    sched.task_ready(task);
+    EXPECT_EQ(task.chosen_version, smp);
+    ctx.run_one(sched, task.assigned_worker, 1e-3);
+  }
+}
+
+TEST(LocalityVersioning, PenaltyBreaksTieTowardDataHolder) {
+  TestContext ctx(make_minotauro_node(1, 2));
+  const TaskTypeId t = ctx.registry_.declare_task("t");
+  const VersionId gpu =
+      ctx.registry_.add_version(t, DeviceKind::kCuda, "gpu", nullptr, nullptr);
+  const RegionId r = ctx.directory_.register_region("r", 64 << 20);
+
+  ProfileConfig config;
+  config.lambda = 1;
+  LocalityVersioningScheduler sched(config);
+  sched.attach(ctx);
+
+  // Learn the version once (goes to some GPU). Mimic the executor's data
+  // acquire so the directory knows where the data ended up.
+  Task& warmup = ctx.make_ready_task(t, 64 << 20, {Access::inout(r)});
+  sched.task_ready(warmup);
+  const WorkerId holder = warmup.assigned_worker;
+  TransferList ops;
+  ctx.directory_.acquire(warmup.accesses, ctx.machine_.worker(holder).space,
+                         ops);
+  ctx.run_one(sched, holder, 1e-3);
+  // Pick the non-holder GPU as a control: it must be missing the data.
+  const WorkerId other = holder == 1 ? 2 : 1;
+  ASSERT_GT(ctx.directory_.bytes_missing(warmup.accesses,
+                                         ctx.machine_.worker(other).space),
+            0u);
+
+  // The data now lives on `holder`'s GPU; with equal means and equal
+  // (zero) busy, the transfer penalty must steer the next task there.
+  Task& task = ctx.make_ready_task(t, 64 << 20, {Access::inout(r)});
+  sched.task_ready(task);
+  EXPECT_EQ(task.assigned_worker, holder);
+  EXPECT_EQ(task.chosen_version, gpu);
+}
+
+// --- hints files -------------------------------------------------------------
+
+TEST(Hints, RoundTripThroughText) {
+  VersionRegistry reg;
+  const TaskTypeId t = reg.declare_task("matmul");
+  const VersionId v = reg.add_version(t, DeviceKind::kCuda, "cublas", nullptr,
+                                      nullptr);
+  ProfileConfig config;
+  config.lambda = 3;
+  ProfileTable source(reg, config);
+  for (int i = 0; i < 5; ++i) source.record(t, v, 4096, 2e-3);
+
+  const std::string text = serialize_hints(reg, source);
+  ProfileTable target(reg, config);
+  EXPECT_EQ(parse_hints(text, reg, target), 1);
+  EXPECT_NEAR(*target.mean(t, v, 4096), 2e-3, 1e-12);
+  // Count is clamped to λ.
+  EXPECT_EQ(target.count(t, v, 4096), 3u);
+}
+
+TEST(Hints, UnknownNamesAreSkippedNotFatal) {
+  VersionRegistry reg;
+  const TaskTypeId t = reg.declare_task("known");
+  reg.add_version(t, DeviceKind::kSmp, "v", nullptr, nullptr);
+  ProfileTable table(reg, {});
+  EXPECT_EQ(parse_hints("hint ghost v 100 1.0 2\n", reg, table), 0);
+  EXPECT_EQ(parse_hints("hint known ghost 100 1.0 2\n", reg, table), 0);
+}
+
+TEST(Hints, MalformedInputReturnsError) {
+  VersionRegistry reg;
+  ProfileTable table(reg, {});
+  EXPECT_EQ(parse_hints("hint too few\n", reg, table), -1);
+  EXPECT_EQ(parse_hints("nothint a b 1 1.0 1\n", reg, table), -1);
+  EXPECT_EQ(parse_hints("hint a b 1 -5.0 1\n", reg, table), -1);
+}
+
+TEST(Hints, CommentsAndBlanksIgnored) {
+  VersionRegistry reg;
+  ProfileTable table(reg, {});
+  EXPECT_EQ(parse_hints("# comment\n\n   \n", reg, table), 0);
+}
+
+TEST(Hints, FileRoundTrip) {
+  VersionRegistry reg;
+  const TaskTypeId t = reg.declare_task("t");
+  const VersionId v = reg.add_version(t, DeviceKind::kSmp, "v", nullptr, nullptr);
+  ProfileTable source(reg, {});
+  source.record(t, v, 100, 1.5);
+
+  const std::string path = testing::TempDir() + "/versa_hints_test.txt";
+  ASSERT_TRUE(save_hints(path, reg, source));
+  ProfileTable target(reg, {});
+  EXPECT_GE(load_hints(path, reg, target), 1);
+  EXPECT_NEAR(*target.mean(t, v, 100), 1.5, 1e-12);
+  EXPECT_EQ(load_hints("/nonexistent/path/hints.txt", reg, target), -1);
+}
+
+}  // namespace
+}  // namespace versa

@@ -1,0 +1,144 @@
+// Tests for the XML hints format (§VII): serializer/parser round-trips,
+// schema validation, the embedded XML subset reader's error handling, and
+// runtime integration via the ".xml" extension.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "machine/presets.h"
+#include "runtime/runtime.h"
+#include "sched/xml_hints.h"
+
+namespace versa {
+namespace {
+
+struct Fixture {
+  VersionRegistry registry;
+  TaskTypeId task;
+  VersionId gpu, smp;
+
+  Fixture() {
+    task = registry.declare_task("matmul_tile");
+    gpu = registry.add_version(task, DeviceKind::kCuda, "cublas", nullptr,
+                               nullptr);
+    smp = registry.add_version(task, DeviceKind::kSmp, "cblas", nullptr,
+                               nullptr);
+  }
+};
+
+TEST(XmlHints, RoundTrip) {
+  Fixture fx;
+  ProfileConfig config;
+  config.lambda = 3;
+  ProfileTable source(fx.registry, config);
+  for (int i = 0; i < 7; ++i) source.record(fx.task, fx.gpu, 4096, 5e-3);
+  source.record(fx.task, fx.smp, 4096, 0.3);
+
+  const std::string xml = serialize_xml_hints(fx.registry, source);
+  EXPECT_NE(xml.find("<hints>"), std::string::npos);
+  EXPECT_NE(xml.find("task name=\"matmul_tile\""), std::string::npos);
+  EXPECT_NE(xml.find("version name=\"cublas\""), std::string::npos);
+
+  ProfileTable target(fx.registry, config);
+  EXPECT_EQ(parse_xml_hints(xml, fx.registry, target), 2);
+  EXPECT_NEAR(*target.mean(fx.task, fx.gpu, 4096), 5e-3, 1e-12);
+  EXPECT_EQ(target.count(fx.task, fx.gpu, 4096), 3u);  // clamped to λ
+  EXPECT_EQ(target.count(fx.task, fx.smp, 4096), 1u);
+}
+
+TEST(XmlHints, HandwrittenFileWithCommentsAndDeclaration) {
+  Fixture fx;
+  ProfileTable table(fx.registry, {});
+  const char* xml = R"(<?xml version="1.0" encoding="UTF-8"?>
+<!-- measured on minotauro, 2026-07 -->
+<hints>
+  <task name="matmul_tile">
+    <group size="1000">
+      <!-- the GPU version -->
+      <version name="cublas" mean="2.0e-3" count="9"/>
+    </group>
+  </task>
+</hints>)";
+  EXPECT_EQ(parse_xml_hints(xml, fx.registry, table), 1);
+  EXPECT_NEAR(*table.mean(fx.task, fx.gpu, 1000), 2e-3, 1e-12);
+}
+
+TEST(XmlHints, UnknownNamesAreSkipped) {
+  Fixture fx;
+  ProfileTable table(fx.registry, {});
+  const char* xml =
+      "<hints><task name=\"ghost\"><group size=\"1\">"
+      "<version name=\"x\" mean=\"1\" count=\"1\"/></group></task>"
+      "<task name=\"matmul_tile\"><group size=\"1\">"
+      "<version name=\"ghostv\" mean=\"1\" count=\"1\"/></group></task>"
+      "</hints>";
+  EXPECT_EQ(parse_xml_hints(xml, fx.registry, table), 0);
+}
+
+TEST(XmlHints, MalformedInputsFailCleanly) {
+  Fixture fx;
+  ProfileTable table(fx.registry, {});
+  std::string error;
+  EXPECT_EQ(parse_xml_hints("<hints><task></task></hints>", fx.registry,
+                            table, &error),
+            -1);
+  EXPECT_NE(error.find("name"), std::string::npos);
+  EXPECT_EQ(parse_xml_hints(
+                "<hints><version name=\"x\" mean=\"1\" count=\"1\"/></hints>",
+                fx.registry, table, &error),
+            -1);
+  EXPECT_EQ(parse_xml_hints("<hints><task name=\"t\"><group size=\"zz\">",
+                            fx.registry, table, &error),
+            -1);
+  EXPECT_EQ(parse_xml_hints("<hints><bogus/></hints>", fx.registry, table,
+                            &error),
+            -1);
+  EXPECT_EQ(parse_xml_hints("<hints attr=unquoted></hints>", fx.registry,
+                            table, &error),
+            -1);
+}
+
+TEST(XmlHints, RuntimePicksXmlByExtension) {
+  const std::string path = testing::TempDir() + "/versa_hints.xml";
+  std::remove(path.c_str());
+  const Machine machine = make_minotauro_node(2, 1);
+
+  auto run = [&](const std::string& load, const std::string& save) {
+    RuntimeConfig config;
+    config.backend = Backend::kSim;
+    config.scheduler = "versioning";
+    config.profile.lambda = 3;
+    config.noise.kind = sim::NoiseKind::kNone;
+    config.hints_load_path = load;
+    config.hints_save_path = save;
+    std::uint64_t slow_runs = 0;
+    {
+      Runtime rt(machine, config);
+      const TaskTypeId t = rt.declare_task("kernel");
+      rt.add_version(t, DeviceKind::kCuda, "fast", nullptr,
+                     make_constant_cost(1e-3));
+      const VersionId slow = rt.add_version(t, DeviceKind::kSmp, "slow",
+                                            nullptr, make_constant_cost(20e-3));
+      const RegionId r = rt.register_data("r", 1024);
+      for (int i = 0; i < 30; ++i) {
+        rt.submit(t, {Access::in(r)});
+      }
+      rt.taskwait();
+      slow_runs = rt.run_stats().count(slow);
+    }
+    return slow_runs;
+  };
+
+  const std::uint64_t cold = run("", path);
+  // The file exists and is XML.
+  std::ifstream in(path);
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_NE(first_line.find("<?xml"), std::string::npos);
+
+  const std::uint64_t warm = run(path, "");
+  EXPECT_LT(warm, cold);
+}
+
+}  // namespace
+}  // namespace versa
