@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_earliest.dir/bench_abl_earliest.cpp.o"
+  "CMakeFiles/bench_abl_earliest.dir/bench_abl_earliest.cpp.o.d"
+  "bench_abl_earliest"
+  "bench_abl_earliest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_earliest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_ema.dir/bench_abl_ema.cpp.o"
+  "CMakeFiles/bench_abl_ema.dir/bench_abl_ema.cpp.o.d"
+  "bench_abl_ema"
+  "bench_abl_ema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_ema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

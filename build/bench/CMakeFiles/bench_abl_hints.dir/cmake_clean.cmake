@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_hints.dir/bench_abl_hints.cpp.o"
+  "CMakeFiles/bench_abl_hints.dir/bench_abl_hints.cpp.o.d"
+  "bench_abl_hints"
+  "bench_abl_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_lambda.dir/bench_abl_lambda.cpp.o"
+  "CMakeFiles/bench_abl_lambda.dir/bench_abl_lambda.cpp.o.d"
+  "bench_abl_lambda"
+  "bench_abl_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_priority.dir/bench_abl_priority.cpp.o"
+  "CMakeFiles/bench_abl_priority.dir/bench_abl_priority.cpp.o.d"
+  "bench_abl_priority"
+  "bench_abl_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

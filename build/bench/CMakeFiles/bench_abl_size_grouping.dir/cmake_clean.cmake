@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_size_grouping.dir/bench_abl_size_grouping.cpp.o"
+  "CMakeFiles/bench_abl_size_grouping.dir/bench_abl_size_grouping.cpp.o.d"
+  "bench_abl_size_grouping"
+  "bench_abl_size_grouping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_size_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_abl_size_grouping.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_sparselu.dir/bench_ext_sparselu.cpp.o"
+  "CMakeFiles/bench_ext_sparselu.dir/bench_ext_sparselu.cpp.o.d"
+  "bench_ext_sparselu"
+  "bench_ext_sparselu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_sparselu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_pbpi_transfers.dir/bench_fig13_pbpi_transfers.cpp.o"
+  "CMakeFiles/bench_fig13_pbpi_transfers.dir/bench_fig13_pbpi_transfers.cpp.o.d"
+  "bench_fig13_pbpi_transfers"
+  "bench_fig13_pbpi_transfers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_pbpi_transfers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

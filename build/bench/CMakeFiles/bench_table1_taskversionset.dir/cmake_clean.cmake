@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_taskversionset.dir/bench_table1_taskversionset.cpp.o"
+  "CMakeFiles/bench_table1_taskversionset.dir/bench_table1_taskversionset.cpp.o.d"
+  "bench_table1_taskversionset"
+  "bench_table1_taskversionset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_taskversionset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

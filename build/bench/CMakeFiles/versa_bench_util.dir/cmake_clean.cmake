@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libversa_bench_util.a"
+  "../lib/libversa_bench_util.pdb"
+  "CMakeFiles/versa_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/versa_bench_util.dir/bench_util.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/versa_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

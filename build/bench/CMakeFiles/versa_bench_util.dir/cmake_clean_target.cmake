@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libversa_bench_util.a"
+)

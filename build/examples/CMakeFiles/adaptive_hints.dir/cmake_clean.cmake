@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_hints.dir/adaptive_hints.cpp.o"
+  "CMakeFiles/adaptive_hints.dir/adaptive_hints.cpp.o.d"
+  "adaptive_hints"
+  "adaptive_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cholesky_factorize.dir/cholesky_factorize.cpp.o"
+  "CMakeFiles/cholesky_factorize.dir/cholesky_factorize.cpp.o.d"
+  "cholesky_factorize"
+  "cholesky_factorize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cholesky_factorize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_hybrid.dir/matmul_hybrid.cpp.o"
+  "CMakeFiles/matmul_hybrid.dir/matmul_hybrid.cpp.o.d"
+  "matmul_hybrid"
+  "matmul_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

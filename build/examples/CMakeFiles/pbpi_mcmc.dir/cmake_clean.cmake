@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbpi_mcmc.dir/pbpi_mcmc.cpp.o"
+  "CMakeFiles/pbpi_mcmc.dir/pbpi_mcmc.cpp.o.d"
+  "pbpi_mcmc"
+  "pbpi_mcmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbpi_mcmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

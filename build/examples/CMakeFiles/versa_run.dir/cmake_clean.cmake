@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/versa_run.dir/versa_run.cpp.o"
+  "CMakeFiles/versa_run.dir/versa_run.cpp.o.d"
+  "versa_run"
+  "versa_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/versa_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for versa_run.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cholesky.cpp" "src/CMakeFiles/versa.dir/apps/cholesky.cpp.o" "gcc" "src/CMakeFiles/versa.dir/apps/cholesky.cpp.o.d"
+  "/root/repo/src/apps/jacobi.cpp" "src/CMakeFiles/versa.dir/apps/jacobi.cpp.o" "gcc" "src/CMakeFiles/versa.dir/apps/jacobi.cpp.o.d"
+  "/root/repo/src/apps/kernels.cpp" "src/CMakeFiles/versa.dir/apps/kernels.cpp.o" "gcc" "src/CMakeFiles/versa.dir/apps/kernels.cpp.o.d"
+  "/root/repo/src/apps/matmul.cpp" "src/CMakeFiles/versa.dir/apps/matmul.cpp.o" "gcc" "src/CMakeFiles/versa.dir/apps/matmul.cpp.o.d"
+  "/root/repo/src/apps/pbpi.cpp" "src/CMakeFiles/versa.dir/apps/pbpi.cpp.o" "gcc" "src/CMakeFiles/versa.dir/apps/pbpi.cpp.o.d"
+  "/root/repo/src/apps/sparselu.cpp" "src/CMakeFiles/versa.dir/apps/sparselu.cpp.o" "gcc" "src/CMakeFiles/versa.dir/apps/sparselu.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/versa.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/versa.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/random.cpp" "src/CMakeFiles/versa.dir/common/random.cpp.o" "gcc" "src/CMakeFiles/versa.dir/common/random.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/versa.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/versa.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/string_util.cpp" "src/CMakeFiles/versa.dir/common/string_util.cpp.o" "gcc" "src/CMakeFiles/versa.dir/common/string_util.cpp.o.d"
+  "/root/repo/src/data/data_region.cpp" "src/CMakeFiles/versa.dir/data/data_region.cpp.o" "gcc" "src/CMakeFiles/versa.dir/data/data_region.cpp.o.d"
+  "/root/repo/src/data/directory.cpp" "src/CMakeFiles/versa.dir/data/directory.cpp.o" "gcc" "src/CMakeFiles/versa.dir/data/directory.cpp.o.d"
+  "/root/repo/src/data/transfer_engine.cpp" "src/CMakeFiles/versa.dir/data/transfer_engine.cpp.o" "gcc" "src/CMakeFiles/versa.dir/data/transfer_engine.cpp.o.d"
+  "/root/repo/src/data/transfer_stats.cpp" "src/CMakeFiles/versa.dir/data/transfer_stats.cpp.o" "gcc" "src/CMakeFiles/versa.dir/data/transfer_stats.cpp.o.d"
+  "/root/repo/src/exec/executor.cpp" "src/CMakeFiles/versa.dir/exec/executor.cpp.o" "gcc" "src/CMakeFiles/versa.dir/exec/executor.cpp.o.d"
+  "/root/repo/src/exec/sim_executor.cpp" "src/CMakeFiles/versa.dir/exec/sim_executor.cpp.o" "gcc" "src/CMakeFiles/versa.dir/exec/sim_executor.cpp.o.d"
+  "/root/repo/src/exec/thread_executor.cpp" "src/CMakeFiles/versa.dir/exec/thread_executor.cpp.o" "gcc" "src/CMakeFiles/versa.dir/exec/thread_executor.cpp.o.d"
+  "/root/repo/src/machine/cost_model.cpp" "src/CMakeFiles/versa.dir/machine/cost_model.cpp.o" "gcc" "src/CMakeFiles/versa.dir/machine/cost_model.cpp.o.d"
+  "/root/repo/src/machine/device.cpp" "src/CMakeFiles/versa.dir/machine/device.cpp.o" "gcc" "src/CMakeFiles/versa.dir/machine/device.cpp.o.d"
+  "/root/repo/src/machine/interconnect.cpp" "src/CMakeFiles/versa.dir/machine/interconnect.cpp.o" "gcc" "src/CMakeFiles/versa.dir/machine/interconnect.cpp.o.d"
+  "/root/repo/src/machine/kernel_models.cpp" "src/CMakeFiles/versa.dir/machine/kernel_models.cpp.o" "gcc" "src/CMakeFiles/versa.dir/machine/kernel_models.cpp.o.d"
+  "/root/repo/src/machine/machine.cpp" "src/CMakeFiles/versa.dir/machine/machine.cpp.o" "gcc" "src/CMakeFiles/versa.dir/machine/machine.cpp.o.d"
+  "/root/repo/src/machine/machine_file.cpp" "src/CMakeFiles/versa.dir/machine/machine_file.cpp.o" "gcc" "src/CMakeFiles/versa.dir/machine/machine_file.cpp.o.d"
+  "/root/repo/src/machine/memory_space.cpp" "src/CMakeFiles/versa.dir/machine/memory_space.cpp.o" "gcc" "src/CMakeFiles/versa.dir/machine/memory_space.cpp.o.d"
+  "/root/repo/src/machine/presets.cpp" "src/CMakeFiles/versa.dir/machine/presets.cpp.o" "gcc" "src/CMakeFiles/versa.dir/machine/presets.cpp.o.d"
+  "/root/repo/src/perf/calibrate.cpp" "src/CMakeFiles/versa.dir/perf/calibrate.cpp.o" "gcc" "src/CMakeFiles/versa.dir/perf/calibrate.cpp.o.d"
+  "/root/repo/src/perf/report.cpp" "src/CMakeFiles/versa.dir/perf/report.cpp.o" "gcc" "src/CMakeFiles/versa.dir/perf/report.cpp.o.d"
+  "/root/repo/src/perf/run_stats.cpp" "src/CMakeFiles/versa.dir/perf/run_stats.cpp.o" "gcc" "src/CMakeFiles/versa.dir/perf/run_stats.cpp.o.d"
+  "/root/repo/src/perf/timeline.cpp" "src/CMakeFiles/versa.dir/perf/timeline.cpp.o" "gcc" "src/CMakeFiles/versa.dir/perf/timeline.cpp.o.d"
+  "/root/repo/src/perf/trace.cpp" "src/CMakeFiles/versa.dir/perf/trace.cpp.o" "gcc" "src/CMakeFiles/versa.dir/perf/trace.cpp.o.d"
+  "/root/repo/src/perf/utilization.cpp" "src/CMakeFiles/versa.dir/perf/utilization.cpp.o" "gcc" "src/CMakeFiles/versa.dir/perf/utilization.cpp.o.d"
+  "/root/repo/src/runtime/config.cpp" "src/CMakeFiles/versa.dir/runtime/config.cpp.o" "gcc" "src/CMakeFiles/versa.dir/runtime/config.cpp.o.d"
+  "/root/repo/src/runtime/runtime.cpp" "src/CMakeFiles/versa.dir/runtime/runtime.cpp.o" "gcc" "src/CMakeFiles/versa.dir/runtime/runtime.cpp.o.d"
+  "/root/repo/src/sched/affinity_scheduler.cpp" "src/CMakeFiles/versa.dir/sched/affinity_scheduler.cpp.o" "gcc" "src/CMakeFiles/versa.dir/sched/affinity_scheduler.cpp.o.d"
+  "/root/repo/src/sched/dep_aware_scheduler.cpp" "src/CMakeFiles/versa.dir/sched/dep_aware_scheduler.cpp.o" "gcc" "src/CMakeFiles/versa.dir/sched/dep_aware_scheduler.cpp.o.d"
+  "/root/repo/src/sched/fifo_scheduler.cpp" "src/CMakeFiles/versa.dir/sched/fifo_scheduler.cpp.o" "gcc" "src/CMakeFiles/versa.dir/sched/fifo_scheduler.cpp.o.d"
+  "/root/repo/src/sched/hints_file.cpp" "src/CMakeFiles/versa.dir/sched/hints_file.cpp.o" "gcc" "src/CMakeFiles/versa.dir/sched/hints_file.cpp.o.d"
+  "/root/repo/src/sched/locality_versioning_scheduler.cpp" "src/CMakeFiles/versa.dir/sched/locality_versioning_scheduler.cpp.o" "gcc" "src/CMakeFiles/versa.dir/sched/locality_versioning_scheduler.cpp.o.d"
+  "/root/repo/src/sched/profile_table.cpp" "src/CMakeFiles/versa.dir/sched/profile_table.cpp.o" "gcc" "src/CMakeFiles/versa.dir/sched/profile_table.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/CMakeFiles/versa.dir/sched/scheduler.cpp.o" "gcc" "src/CMakeFiles/versa.dir/sched/scheduler.cpp.o.d"
+  "/root/repo/src/sched/scheduler_factory.cpp" "src/CMakeFiles/versa.dir/sched/scheduler_factory.cpp.o" "gcc" "src/CMakeFiles/versa.dir/sched/scheduler_factory.cpp.o.d"
+  "/root/repo/src/sched/sufferage_scheduler.cpp" "src/CMakeFiles/versa.dir/sched/sufferage_scheduler.cpp.o" "gcc" "src/CMakeFiles/versa.dir/sched/sufferage_scheduler.cpp.o.d"
+  "/root/repo/src/sched/versioning_scheduler.cpp" "src/CMakeFiles/versa.dir/sched/versioning_scheduler.cpp.o" "gcc" "src/CMakeFiles/versa.dir/sched/versioning_scheduler.cpp.o.d"
+  "/root/repo/src/sched/xml_hints.cpp" "src/CMakeFiles/versa.dir/sched/xml_hints.cpp.o" "gcc" "src/CMakeFiles/versa.dir/sched/xml_hints.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/versa.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/versa.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/noise.cpp" "src/CMakeFiles/versa.dir/sim/noise.cpp.o" "gcc" "src/CMakeFiles/versa.dir/sim/noise.cpp.o.d"
+  "/root/repo/src/task/access.cpp" "src/CMakeFiles/versa.dir/task/access.cpp.o" "gcc" "src/CMakeFiles/versa.dir/task/access.cpp.o.d"
+  "/root/repo/src/task/dependency_analyzer.cpp" "src/CMakeFiles/versa.dir/task/dependency_analyzer.cpp.o" "gcc" "src/CMakeFiles/versa.dir/task/dependency_analyzer.cpp.o.d"
+  "/root/repo/src/task/task.cpp" "src/CMakeFiles/versa.dir/task/task.cpp.o" "gcc" "src/CMakeFiles/versa.dir/task/task.cpp.o.d"
+  "/root/repo/src/task/task_graph.cpp" "src/CMakeFiles/versa.dir/task/task_graph.cpp.o" "gcc" "src/CMakeFiles/versa.dir/task/task_graph.cpp.o.d"
+  "/root/repo/src/task/version_registry.cpp" "src/CMakeFiles/versa.dir/task/version_registry.cpp.o" "gcc" "src/CMakeFiles/versa.dir/task/version_registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_file_test.dir/machine_file_test.cpp.o"
+  "CMakeFiles/machine_file_test.dir/machine_file_test.cpp.o.d"
+  "machine_file_test"
+  "machine_file_test.pdb"
+  "machine_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_utilization_test.dir/priority_utilization_test.cpp.o"
+  "CMakeFiles/priority_utilization_test.dir/priority_utilization_test.cpp.o.d"
+  "priority_utilization_test"
+  "priority_utilization_test.pdb"
+  "priority_utilization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_utilization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

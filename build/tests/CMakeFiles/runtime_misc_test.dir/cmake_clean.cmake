@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_misc_test.dir/runtime_misc_test.cpp.o"
+  "CMakeFiles/runtime_misc_test.dir/runtime_misc_test.cpp.o.d"
+  "runtime_misc_test"
+  "runtime_misc_test.pdb"
+  "runtime_misc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_sim_test.dir/runtime_sim_test.cpp.o"
+  "CMakeFiles/runtime_sim_test.dir/runtime_sim_test.cpp.o.d"
+  "runtime_sim_test"
+  "runtime_sim_test.pdb"
+  "runtime_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparselu_test.dir/sparselu_test.cpp.o"
+  "CMakeFiles/sparselu_test.dir/sparselu_test.cpp.o.d"
+  "sparselu_test"
+  "sparselu_test.pdb"
+  "sparselu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparselu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sufferage_test.dir/sufferage_test.cpp.o"
+  "CMakeFiles/sufferage_test.dir/sufferage_test.cpp.o.d"
+  "sufferage_test"
+  "sufferage_test.pdb"
+  "sufferage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sufferage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unregister_test.dir/unregister_test.cpp.o"
+  "CMakeFiles/unregister_test.dir/unregister_test.cpp.o.d"
+  "unregister_test"
+  "unregister_test.pdb"
+  "unregister_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unregister_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/versioning_internals_test.dir/versioning_internals_test.cpp.o"
+  "CMakeFiles/versioning_internals_test.dir/versioning_internals_test.cpp.o.d"
+  "versioning_internals_test"
+  "versioning_internals_test.pdb"
+  "versioning_internals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/versioning_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

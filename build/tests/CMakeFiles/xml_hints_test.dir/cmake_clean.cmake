@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_hints_test.dir/xml_hints_test.cpp.o"
+  "CMakeFiles/xml_hints_test.dir/xml_hints_test.cpp.o.d"
+  "xml_hints_test"
+  "xml_hints_test.pdb"
+  "xml_hints_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_hints_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
