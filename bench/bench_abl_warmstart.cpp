@@ -1,0 +1,131 @@
+// Ablation — persistent profile store: cold start vs. warm start vs.
+// warm start under injected drift.
+//
+// A first run learns its TaskVersionSet tables and persists them through
+// the ProfileStore; a second run warm-starts from the store and performs
+// zero learning-phase executions. The third run also warm-starts, but the
+// GPU version is slowed 2x mid-run: the stored mean is now a lie, the
+// CUSUM drift detector alarms, the affected size group re-enters the
+// learning phase, and the assignment shares converge to the post-drift
+// optimum — the paper's "self-adaptive" claim under behaviour drift.
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "machine/presets.h"
+#include "perf/profile_report.h"
+#include "perf/report.h"
+#include "runtime/runtime.h"
+#include "sched/versioning_scheduler.h"
+
+using namespace versa;
+
+namespace {
+
+constexpr double kGpuMs = 8e-3;
+constexpr double kSmpMs = 12e-3;
+constexpr std::size_t kWaves = 40;
+constexpr std::size_t kTasksPerWave = 10;
+
+struct Outcome {
+  double elapsed_ms = 0.0;
+  std::uint64_t learning = 0;
+  std::size_t drift_events = 0;
+  std::uint64_t gpu_runs = 0;
+  std::uint64_t smp_runs = 0;
+  double gpu_pct = 0.0;
+  double smp_pct = 0.0;
+  std::string load_summary;
+};
+
+/// One run. `drift_at_wave` < kWaves doubles the GPU cost from that wave
+/// on (the cost model reads `gpu_scale` through a callable, so the change
+/// is invisible to the scheduler except through measured durations).
+Outcome run(const std::string& load, const std::string& save,
+            bool drift_detection, std::size_t drift_at_wave) {
+  const Machine machine = make_minotauro_node(4, 2);
+  RuntimeConfig config;
+  config.backend = Backend::kSim;
+  config.scheduler = "versioning";
+  config.profile.lambda = 3;
+  config.profile.drift.enabled = drift_detection;
+  config.profile_load_path = load;
+  config.profile_save_path = save;
+
+  double gpu_scale = 1.0;
+  Outcome outcome;
+  {
+    Runtime rt(machine, config);
+    const TaskTypeId t = rt.declare_task("kernel");
+    const VersionId gpu = rt.add_version(
+        t, DeviceKind::kCuda, "gpu", nullptr,
+        make_callable_cost([&gpu_scale](std::uint64_t) {
+          return kGpuMs * gpu_scale;
+        }));
+    const VersionId smp = rt.add_version(t, DeviceKind::kSmp, "smp", nullptr,
+                                         make_constant_cost(kSmpMs));
+    const RegionId r = rt.register_data("data", 4 << 20);
+    for (std::size_t wave = 0; wave < kWaves; ++wave) {
+      if (wave == drift_at_wave) gpu_scale = 2.0;
+      for (std::size_t i = 0; i < kTasksPerWave; ++i) {
+        rt.submit(t, {Access::in(r)});
+      }
+      rt.taskwait();
+    }
+    const auto& versioning =
+        dynamic_cast<const VersioningScheduler&>(rt.scheduler());
+    outcome.elapsed_ms = rt.elapsed() * 1e3;
+    outcome.learning = versioning.learning_executions();
+    outcome.drift_events = versioning.profile().drift_events().size();
+    outcome.gpu_runs = rt.run_stats().count(gpu);
+    outcome.smp_runs = rt.run_stats().count(smp);
+    outcome.gpu_pct = rt.run_stats().percent(t, gpu);
+    outcome.smp_pct = rt.run_stats().percent(t, smp);
+    outcome.load_summary = profile_load_summary(rt.profile_load_result());
+  }
+  return outcome;
+}
+
+std::string share(const char* name, std::uint64_t runs, double pct) {
+  return std::string(name) + " " + std::to_string(runs) + " (" +
+         format_double(pct, 1) + " %)";
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation: persistent profile store (gpu %.0f ms vs smp %.0f ms, "
+      "lambda=3, %zu waves x %zu tasks)\n"
+      "drift run: gpu cost doubled from wave %zu on.\n\n",
+      kGpuMs * 1e3, kSmpMs * 1e3, kWaves, kTasksPerWave, kWaves / 4);
+
+  const std::string store = "/tmp/versa_abl_warmstart.store";
+  std::remove(store.c_str());
+
+  const Outcome cold = run("", store, false, kWaves);
+  const Outcome warm = run(store, "", false, kWaves);
+  const Outcome drift = run(store, "", true, kWaves / 4);
+  const Outcome stale = run(store, "", false, kWaves / 4);
+
+  std::printf("warm-start %s\n\n", warm.load_summary.c_str());
+
+  TablePrinter table({"mode", "elapsed", "learning execs", "drift alarms",
+                      "version counts"});
+  auto row = [&table](const char* mode, const Outcome& o) {
+    table.add_row({mode, format_double(o.elapsed_ms, 2) + " ms",
+                   std::to_string(o.learning), std::to_string(o.drift_events),
+                   share("gpu", o.gpu_runs, o.gpu_pct) + ", " +
+                       share("smp", o.smp_runs, o.smp_pct)});
+  };
+  row("cold", cold);
+  row("warm", warm);
+  row("warm+drift+detector", drift);
+  row("warm+drift, no detector", stale);
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf(
+      "The detector row re-enters learning after the injected slowdown and\n"
+      "shifts work to the SMP version; the no-detector row keeps trusting\n"
+      "the stale GPU mean and only drifts back through slow mean decay.\n");
+  return 0;
+}

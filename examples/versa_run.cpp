@@ -19,7 +19,9 @@
 #include "machine/machine_file.h"
 #include "machine/presets.h"
 #include "perf/calibrate.h"
+#include "perf/profile_report.h"
 #include "perf/run_stats.h"
+#include "sched/versioning_scheduler.h"
 #include "perf/timeline.h"
 #include "perf/trace.h"
 #include "perf/utilization.h"
@@ -48,6 +50,9 @@ struct Options {
   std::string trace_path;
   std::string hints_load;
   std::string hints_save;
+  std::string profile_load;
+  std::string profile_save;
+  bool drift = false;
 };
 
 void print_usage() {
@@ -69,7 +74,10 @@ void print_usage() {
       "  --calibrate                    measure this host's kernel rates\n"
       "                                 and exit\n"
       "  --trace <path>                 write a Chrome trace\n"
-      "  --hints-load/--hints-save <p>  profile hints files\n");
+      "  --hints-load/--hints-save <p>  legacy profile hints files\n"
+      "  --profile-load <path>          warm-start from a profile store\n"
+      "  --profile-save <path>          persist the learned profile\n"
+      "  --drift                        drift-adaptive relearning\n");
 }
 
 bool parse_args(int argc, char** argv, Options& options) {
@@ -98,6 +106,8 @@ bool parse_args(int argc, char** argv, Options& options) {
       std::exit(0);
     } else if (flag == "--no-prefetch") {
       options.prefetch = false;
+    } else if (flag == "--drift") {
+      options.drift = true;
     } else if (flag == "--utilization") {
       options.utilization = true;
     } else if (flag == "--analyze") {
@@ -132,6 +142,10 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.hints_load = value;
     } else if (flag == "--hints-save") {
       options.hints_save = value;
+    } else if (flag == "--profile-load") {
+      options.profile_load = value;
+    } else if (flag == "--profile-save") {
+      options.profile_save = value;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return false;
@@ -179,6 +193,9 @@ int main(int argc, char** argv) {
   config.prefetch = options.prefetch;
   config.hints_load_path = options.hints_load;
   config.hints_save_path = options.hints_save;
+  config.profile_load_path = options.profile_load;
+  config.profile_save_path = options.profile_save;
+  config.profile.drift.enabled = options.drift;
   if (make_scheduler(options.scheduler) == nullptr) {
     std::fprintf(stderr, "unknown scheduler '%s'\n",
                  options.scheduler.c_str());
@@ -238,6 +255,20 @@ int main(int argc, char** argv) {
     std::printf("  %s versions:\n",
                 rt.version_registry().task_name(type).c_str());
     print_version_split(rt, type);
+  }
+  if (!options.profile_load.empty() || !options.hints_load.empty()) {
+    std::printf("%s\n", profile_load_summary(rt.profile_load_result()).c_str());
+  }
+  if (const auto* versioning =
+          dynamic_cast<const VersioningScheduler*>(&rt.scheduler())) {
+    std::printf("learning-phase executions: %llu\n",
+                static_cast<unsigned long long>(
+                    versioning->learning_executions()));
+    const auto& events = versioning->profile().drift_events();
+    if (!events.empty()) {
+      std::printf("drift relearn events: %zu\n%s", events.size(),
+                  drift_event_table(rt.version_registry(), events).c_str());
+    }
   }
   if (options.utilization) {
     const auto rows =

@@ -15,10 +15,40 @@ RunningMean::RunningMean(MeanKind kind, double ema_alpha)
 void RunningMean::add(double value) {
   ++count_;
   if (kind_ == MeanKind::kArithmetic) {
-    mean_ += (value - mean_) / static_cast<double>(count_);
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+  } else if (count_ == 1) {
+    mean_ = value;
+    m2_ = 0.0;
   } else {
-    mean_ = (count_ == 1) ? value : mean_ + ema_alpha_ * (value - mean_);
+    // West's exponentially-weighted mean/variance update.
+    const double delta = value - mean_;
+    const double incr = ema_alpha_ * delta;
+    mean_ += incr;
+    m2_ = (1.0 - ema_alpha_) * (m2_ + delta * incr);
   }
+}
+
+double RunningMean::variance() const {
+  if (count_ < 2) return 0.0;
+  if (kind_ == MeanKind::kArithmetic) {
+    return m2_ / static_cast<double>(count_ - 1);
+  }
+  return m2_;
+}
+
+void RunningMean::restore(double mean, std::uint64_t count, double m2) {
+  VERSA_CHECK(m2 >= 0.0);
+  mean_ = mean;
+  count_ = count;
+  m2_ = m2;
+}
+
+void RunningMean::reset() {
+  mean_ = 0.0;
+  m2_ = 0.0;
+  count_ = 0;
 }
 
 void Welford::add(double value) {

@@ -17,7 +17,10 @@ enum class MeanKind : std::uint8_t {
 };
 
 /// Running mean of a stream of durations. Supports both averaging policies;
-/// the count is tracked either way (the learning phase needs it).
+/// the count is tracked either way (the learning phase needs it). Also
+/// tracks a second moment so the profile store can persist variance:
+/// Welford M2 under the arithmetic policy, the exponentially-weighted
+/// variance itself under the EMA policy.
 class RunningMean {
  public:
   explicit RunningMean(MeanKind kind = MeanKind::kArithmetic,
@@ -30,12 +33,28 @@ class RunningMean {
   std::uint64_t count() const { return count_; }
   bool empty() const { return count_ == 0; }
 
+  /// Sample variance of the stream (n-1 denominator for arithmetic, the
+  /// exponentially-weighted variance for EMA). Zero below two samples.
+  double variance() const;
+
+  /// Raw second-moment accumulator, for exact serialization round-trips.
+  double m2() const { return m2_; }
+
+  /// Overwrite the accumulator state (profile-store warm start). The mean
+  /// kind and EMA weight are unchanged; `m2` must be the value a previous
+  /// `m2()` call returned (or 0 when unknown).
+  void restore(double mean, std::uint64_t count, double m2);
+
+  /// Forget all observations (drift relearning).
+  void reset();
+
   MeanKind kind() const { return kind_; }
 
  private:
   MeanKind kind_;
   double ema_alpha_;
   double mean_ = 0.0;
+  double m2_ = 0.0;
   std::uint64_t count_ = 0;
 };
 

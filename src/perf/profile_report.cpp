@@ -1,0 +1,39 @@
+#include "perf/profile_report.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+#include "perf/report.h"
+
+namespace versa {
+
+std::string profile_load_summary(const ProfileLoadResult& result) {
+  std::ostringstream out;
+  out << "profile load: " << to_string(result.status);
+  if (result.status == ProfileLoadStatus::kOk) {
+    out << " — " << result.applied << " applied (hits), " << result.skipped
+        << " skipped (misses)";
+  } else if (!result.message.empty()) {
+    out << " — " << result.message;
+  }
+  return out.str();
+}
+
+std::string drift_event_table(
+    const VersionRegistry& registry,
+    const std::vector<ProfileTable::DriftEvent>& events) {
+  if (events.empty()) return {};
+  TablePrinter table(
+      {"task", "group", "version", "stale mean", "observed", "samples"});
+  for (const ProfileTable::DriftEvent& event : events) {
+    table.add_row({registry.task_name(event.type),
+                   std::to_string(event.group_key),
+                   registry.version(event.version).name,
+                   format_duration(event.stale_mean),
+                   format_duration(event.observed),
+                   std::to_string(event.at_count)});
+  }
+  return table.to_string();
+}
+
+}  // namespace versa

@@ -1,0 +1,24 @@
+// Reporting for the profile-persistence subsystem: how the warm-start load
+// went (store hits/misses, signature or corruption fallbacks) and which
+// size groups the drift detector sent back into the learning phase.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "profile/profile_store.h"
+#include "sched/profile_table.h"
+#include "task/version_registry.h"
+
+namespace versa {
+
+/// One-line summary of a load outcome, e.g.
+/// "profile load: ok — 6 applied (hits), 1 skipped (misses)".
+std::string profile_load_summary(const ProfileLoadResult& result);
+
+/// Table of drift/relearn events (empty string when none fired):
+/// task | group | version | stale mean | observed | samples.
+std::string drift_event_table(const VersionRegistry& registry,
+                              const std::vector<ProfileTable::DriftEvent>& events);
+
+}  // namespace versa

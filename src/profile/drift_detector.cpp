@@ -1,0 +1,42 @@
+#include "profile/drift_detector.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace versa {
+
+CusumDetector::CusumDetector(DriftConfig config) : config_(config) {
+  VERSA_CHECK(config.delta >= 0.0);
+  VERSA_CHECK(config.threshold > 0.0);
+}
+
+void CusumDetector::arm(double reference_mean) {
+  armed_ = reference_mean > 0.0;
+  if (armed_) reference_ = reference_mean;
+  g_up_ = 0.0;
+  g_down_ = 0.0;
+}
+
+void CusumDetector::disarm() {
+  // Keeps reference_ so an alarm's stale mean stays readable.
+  armed_ = false;
+  g_up_ = 0.0;
+  g_down_ = 0.0;
+}
+
+bool CusumDetector::add(double observed) {
+  if (!armed()) return false;
+  const double x = observed / reference_;
+  g_up_ = std::max(0.0, g_up_ + (x - 1.0 - config_.delta));
+  g_down_ = std::max(0.0, g_down_ + (1.0 - x - config_.delta));
+  if (statistic() > config_.threshold) {
+    disarm();
+    return true;
+  }
+  return false;
+}
+
+double CusumDetector::statistic() const { return std::max(g_up_, g_down_); }
+
+}  // namespace versa

@@ -1,0 +1,66 @@
+// Online drift detection for learned task-version timings.
+//
+// The paper's versioning scheduler "never stops profiling" (§IV-B), but a
+// long-running mean only *decays* toward new behaviour — after a frequency
+// change, a driver update, or contention from a co-runner, the stale mean
+// can dominate placement for thousands of tasks. This detector makes the
+// self-adaptive claim explicit: once a size-group's version has a reliable
+// mean, every new observation feeds a two-sided CUSUM test against that
+// reference; a sustained shift raises an alarm and the profile table throws
+// the stale history away, re-entering the learning phase for that group.
+//
+// Observations are normalized by the reference mean, so the slack `delta`
+// and alarm threshold are dimensionless and one calibration works for
+// microsecond and second-scale kernels alike. With the defaults (delta
+// 0.10, threshold 2.0) the test is silent under the simulator's lognormal
+// noise at several times its default magnitude, while a 2x cost shift
+// accumulates ~0.9 per observation and alarms within a handful of tasks.
+#pragma once
+
+#include <cstdint>
+
+namespace versa {
+
+struct DriftConfig {
+  /// Master switch; off keeps the paper's decay-only behaviour.
+  bool enabled = false;
+  /// Dead zone around the reference, as a fraction of it: observations
+  /// within [1-delta, 1+delta] of the reference never accumulate evidence.
+  double delta = 0.10;
+  /// CUSUM alarm threshold, in the same normalized units.
+  double threshold = 2.0;
+};
+
+/// Two-sided CUSUM over observations normalized by a reference mean.
+/// Detects both slowdowns (the version got worse) and speedups (a
+/// competitor-relevant improvement) — either way the stored mean is wrong.
+class CusumDetector {
+ public:
+  explicit CusumDetector(DriftConfig config = {});
+
+  /// Start (or restart) the test against `reference_mean`. Non-positive
+  /// references cannot be normalized against and leave the test disarmed.
+  void arm(double reference_mean);
+  void disarm();
+  bool armed() const { return armed_; }
+  /// The reference of the current test — or, after an alarm disarmed the
+  /// detector, of the test that alarmed (the stale mean, for reporting).
+  double reference() const { return reference_; }
+
+  /// Feed one observation. Returns true when the accumulated evidence
+  /// crosses the threshold; the detector disarms itself on alarm (the
+  /// caller re-arms once a fresh mean is reliable again).
+  bool add(double observed);
+
+  /// Current evidence, max of the up/down branches (tests, reporting).
+  double statistic() const;
+
+ private:
+  DriftConfig config_;
+  bool armed_ = false;
+  double reference_ = 0.0;
+  double g_up_ = 0.0;
+  double g_down_ = 0.0;
+};
+
+}  // namespace versa

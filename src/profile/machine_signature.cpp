@@ -1,0 +1,78 @@
+#include "profile/machine_signature.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace versa {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void mix_bytes(std::uint64_t& hash, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+}
+
+void mix_string(std::uint64_t& hash, std::string_view text) {
+  // Length-prefix so ("ab","c") and ("a","bc") hash differently.
+  const std::uint64_t size = text.size();
+  mix_bytes(hash, &size, sizeof(size));
+  mix_bytes(hash, text.data(), text.size());
+}
+
+void mix_u64(std::uint64_t& hash, std::uint64_t value) {
+  mix_bytes(hash, &value, sizeof(value));
+}
+
+void mix_double(std::uint64_t& hash, double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  mix_u64(hash, bits);
+}
+
+}  // namespace
+
+std::string MachineSignature::hex() const {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buffer;
+}
+
+MachineSignature compute_machine_signature(const Machine& machine,
+                                           std::string_view calibration_token) {
+  std::uint64_t hash = kFnvOffset;
+  mix_u64(hash, machine.devices().size());
+  for (const DeviceDesc& device : machine.devices()) {
+    mix_u64(hash, static_cast<std::uint64_t>(device.kind));
+    mix_u64(hash, device.space);
+    mix_string(hash, device.name);
+    mix_double(hash, device.peak_flops);
+  }
+  mix_u64(hash, machine.worker_count());
+  for (const WorkerDesc& worker : machine.workers()) {
+    mix_u64(hash, worker.device);
+    mix_u64(hash, static_cast<std::uint64_t>(worker.kind));
+  }
+  mix_u64(hash, machine.space_count());
+  for (const MemorySpaceDesc& space : machine.spaces()) {
+    mix_u64(hash, space.capacity);
+  }
+  mix_string(hash, calibration_token);
+
+  MachineSignature signature;
+  signature.hash = hash;
+  signature.text = machine.summary();
+  if (!calibration_token.empty()) {
+    signature.text += " / calib:";
+    signature.text += calibration_token;
+  }
+  return signature;
+}
+
+}  // namespace versa

@@ -1,0 +1,35 @@
+// Machine signatures key persisted profiles to the hardware they were
+// measured on. A TaskVersionSet table learned on 12 SMP cores + 2 GPUs is
+// actively misleading on a different node: warm-starting from it would skip
+// the learning phase with wrong means. The signature hashes everything the
+// learned timings depend on — device set (kind, name, peak rate), worker
+// counts, memory-space capacities — plus an optional calibration token the
+// embedder derives from its cost-model calibration (host kernel rates), so
+// re-calibrated installs invalidate stale stores too.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "machine/machine.h"
+
+namespace versa {
+
+struct MachineSignature {
+  /// 64-bit FNV-1a over the fields described above.
+  std::uint64_t hash = 0;
+  /// Human-readable summary, stored alongside the hash so a mismatch
+  /// message can say what the file was recorded on.
+  std::string text;
+
+  std::string hex() const;
+};
+
+/// Compute the signature of `machine`. `calibration_token` is any string
+/// identifying the cost-model calibration in force (e.g. serialized host
+/// kernel rates); changing it changes the hash.
+MachineSignature compute_machine_signature(
+    const Machine& machine, std::string_view calibration_token = {});
+
+}  // namespace versa

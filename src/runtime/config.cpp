@@ -24,6 +24,24 @@ RuntimeConfig apply_env_overrides(RuntimeConfig config) {
   if (const char* seed = std::getenv("VERSA_SEED")) {
     config.seed = std::strtoull(seed, nullptr, 10);
   }
+  if (const char* path = std::getenv("VERSA_PROFILE_LOAD")) {
+    config.profile_load_path = path;
+  }
+  if (const char* path = std::getenv("VERSA_PROFILE_SAVE")) {
+    config.profile_save_path = path;
+  }
+  if (const char* drift = std::getenv("VERSA_DRIFT")) {
+    config.profile.drift.enabled = std::string(drift) != "0";
+  }
+  if (const char* threshold = std::getenv("VERSA_DRIFT_THRESHOLD")) {
+    const double value = std::strtod(threshold, nullptr);
+    if (value > 0.0) {
+      config.profile.drift.threshold = value;
+    } else {
+      VERSA_LOG(kWarn) << "ignoring invalid VERSA_DRIFT_THRESHOLD="
+                       << threshold;
+    }
+  }
   return config;
 }
 

@@ -2,11 +2,15 @@
 // environment variables so the same binary can be re-run under different
 // schedulers without recompiling (§III):
 //
-//   VERSA_SCHEDULER  — scheduler name (fifo / dep-aware / affinity /
-//                      versioning / versioning-locality)
-//   VERSA_LAMBDA     — learning-phase threshold λ
-//   VERSA_PREFETCH   — 0/1, transfer overlap + prefetch
-//   VERSA_SEED       — simulation RNG seed
+//   VERSA_SCHEDULER        — scheduler name (fifo / dep-aware / affinity /
+//                            versioning / versioning-locality)
+//   VERSA_LAMBDA           — learning-phase threshold λ
+//   VERSA_PREFETCH         — 0/1, transfer overlap + prefetch
+//   VERSA_SEED             — simulation RNG seed
+//   VERSA_PROFILE_LOAD     — warm-start profile path (store/hints/XML)
+//   VERSA_PROFILE_SAVE     — persist the learned profile on shutdown
+//   VERSA_DRIFT            — 0/1, drift-adaptive relearning
+//   VERSA_DRIFT_THRESHOLD  — CUSUM alarm threshold (normalized units)
 #pragma once
 
 #include <cstdint>
@@ -51,8 +55,20 @@ struct RuntimeConfig {
   bool emulate_costs = false;
   double emulation_time_scale = 1.0;
 
-  /// Profile hints (§VII future work #3): loaded before the first task,
-  /// saved after the last taskwait. Empty = disabled.
+  /// Persistent profile store: loaded before the first task, saved at
+  /// runtime shutdown. Load sniffs the content format (native store, text
+  /// hints, XML hints); save picks the format from the extension (".xml",
+  /// ".txt"/".hints", else the signed native store). Empty = disabled.
+  std::string profile_load_path;
+  std::string profile_save_path;
+
+  /// Extra salt mixed into the machine signature — set it to a digest of
+  /// the host calibration so re-calibrated installs reject stale stores.
+  std::string profile_signature_token;
+
+  /// Legacy hint files (§VII future work #3). Both route through the same
+  /// ProfileStore import path as profile_load_path; saves here keep the
+  /// historical format rule (".xml" → XML, anything else → text hints).
   std::string hints_load_path;
   std::string hints_save_path;
 };

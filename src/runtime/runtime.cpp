@@ -7,10 +7,9 @@
 #include "common/log.h"
 #include "exec/sim_executor.h"
 #include "exec/thread_executor.h"
-#include "sched/hints_file.h"
+#include "profile/machine_signature.h"
 #include "sched/scheduler_factory.h"
 #include "sched/versioning_scheduler.h"
-#include "sched/xml_hints.h"
 
 namespace versa {
 
@@ -51,7 +50,7 @@ Runtime::~Runtime() {
   // Join worker threads before anything else is torn down, then persist
   // the learned profile if requested.
   executor_.reset();
-  maybe_save_hints();
+  maybe_save_profile();
 }
 
 TaskTypeId Runtime::declare_task(std::string name) {
@@ -73,15 +72,6 @@ RegionId Runtime::register_data(std::string name, std::uint64_t size,
   return directory_.register_region(std::move(name), size, host_ptr);
 }
 
-namespace {
-
-/// §VII names an XML file explicitly; pick the format by extension.
-bool is_xml_path(const std::string& path) {
-  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".xml") == 0;
-}
-
-}  // namespace
-
 void Runtime::unregister_data(RegionId region) {
   std::lock_guard lock(mutex_);
   // Guard against use-after-free at the task level: no live task may still
@@ -98,41 +88,67 @@ void Runtime::unregister_data(RegionId region) {
   directory_.unregister_region(region);
 }
 
-void Runtime::maybe_load_hints() {
-  if (hints_loaded_) return;
-  hints_loaded_ = true;
-  if (config_.hints_load_path.empty()) return;
-  auto* versioning = dynamic_cast<VersioningScheduler*>(scheduler_.get());
-  if (versioning == nullptr) {
-    VERSA_LOG(kWarn) << "hints file ignored: scheduler has no profile table";
+ProfileStore Runtime::make_profile_store() const {
+  return ProfileStore(
+      registry_,
+      compute_machine_signature(machine_, config_.profile_signature_token));
+}
+
+void Runtime::maybe_load_profile() {
+  if (profile_loaded_) return;
+  profile_loaded_ = true;
+  if (config_.profile_load_path.empty() && config_.hints_load_path.empty()) {
     return;
   }
-  const int applied =
-      is_xml_path(config_.hints_load_path)
-          ? load_xml_hints(config_.hints_load_path, registry_,
-                           versioning->mutable_profile())
-          : load_hints(config_.hints_load_path, registry_,
-                       versioning->mutable_profile());
-  if (applied < 0) {
-    VERSA_LOG(kWarn) << "could not load hints from "
-                     << config_.hints_load_path;
-  } else {
-    VERSA_LOG(kInfo) << "loaded " << applied << " hints from "
-                     << config_.hints_load_path;
+  auto* versioning = dynamic_cast<VersioningScheduler*>(scheduler_.get());
+  if (versioning == nullptr) {
+    VERSA_LOG(kWarn) << "profile/hints file ignored: scheduler has no "
+                        "profile table";
+    return;
+  }
+  const ProfileStore store = make_profile_store();
+  // The legacy hints path is just another importer into the same store, so
+  // the two hint formats and the binary store cannot diverge in how they
+  // seed the profile table. When both paths are set, profile_load_path is
+  // primary and its result is the one reported.
+  bool primary = true;
+  for (const std::string* path :
+       {&config_.profile_load_path, &config_.hints_load_path}) {
+    if (!path->empty()) {
+      const ProfileLoadResult result =
+          store.load(*path, versioning->mutable_profile());
+      if (result.status == ProfileLoadStatus::kOk) {
+        VERSA_LOG(kInfo) << "profile " << *path << ": warm start, "
+                         << result.applied << " entries applied, "
+                         << result.skipped << " skipped (" << result.message
+                         << ")";
+      }
+      if (primary) profile_load_ = result;
+      primary = false;
+    }
   }
 }
 
-void Runtime::maybe_save_hints() {
-  if (config_.hints_save_path.empty()) return;
+void Runtime::maybe_save_profile() {
+  if (config_.profile_save_path.empty() && config_.hints_save_path.empty()) {
+    return;
+  }
   auto* versioning = dynamic_cast<VersioningScheduler*>(scheduler_.get());
   if (versioning == nullptr) return;
-  const bool saved =
-      is_xml_path(config_.hints_save_path)
-          ? save_xml_hints(config_.hints_save_path, registry_,
-                           versioning->profile())
-          : save_hints(config_.hints_save_path, registry_,
-                       versioning->profile());
-  if (!saved) {
+  const ProfileStore store = make_profile_store();
+  if (!config_.profile_save_path.empty() &&
+      !store.save(config_.profile_save_path, versioning->profile())) {
+    VERSA_LOG(kWarn) << "could not save profile to "
+                     << config_.profile_save_path;
+  }
+  if (!config_.hints_save_path.empty() &&
+      !store.save(config_.hints_save_path, versioning->profile(),
+                  config_.hints_save_path.size() >= 4 &&
+                          config_.hints_save_path.compare(
+                              config_.hints_save_path.size() - 4, 4,
+                              ".xml") == 0
+                      ? ProfileStore::Format::kXmlHints
+                      : ProfileStore::Format::kTextHints)) {
     VERSA_LOG(kWarn) << "could not save hints to " << config_.hints_save_path;
   }
 }
@@ -140,7 +156,7 @@ void Runtime::maybe_save_hints() {
 TaskId Runtime::submit(TaskTypeId type, AccessList accesses, std::string label,
                        int priority) {
   std::lock_guard lock(mutex_);
-  maybe_load_hints();
+  maybe_load_profile();
 
   // Resolve open-ended lengths and compute the data-set size with every
   // region counted once (paper footnote 2).

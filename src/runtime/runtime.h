@@ -29,6 +29,7 @@
 #include "exec/executor.h"
 #include "machine/machine.h"
 #include "perf/run_stats.h"
+#include "profile/profile_store.h"
 #include "runtime/config.h"
 #include "sched/scheduler.h"
 #include "task/dependency_analyzer.h"
@@ -93,6 +94,13 @@ class Runtime final : public SchedulerContext, public ExecutorPort {
   const std::vector<TransferRecord>* transfer_records() const;
 
   const RunStatsCollector& run_stats() const { return run_stats_; }
+
+  /// Outcome of the warm-start profile load (kMissing when no load path
+  /// was configured or the first task has not been submitted yet).
+  const ProfileLoadResult& profile_load_result() const {
+    return profile_load_;
+  }
+
   Scheduler& scheduler() { return *scheduler_; }
   const VersionRegistry& version_registry() const { return registry_; }
   DataDirectory& data_directory() { return directory_; }
@@ -137,10 +145,12 @@ class Runtime final : public SchedulerContext, public ExecutorPort {
   std::unique_ptr<Executor> executor_;
   Time makespan_ = 0.0;
   std::uint64_t failed_attempts_ = 0;
-  bool hints_loaded_ = false;
+  bool profile_loaded_ = false;
+  ProfileLoadResult profile_load_;
 
-  void maybe_load_hints();
-  void maybe_save_hints();
+  ProfileStore make_profile_store() const;
+  void maybe_load_profile();
+  void maybe_save_profile();
   void release_ready(const std::vector<TaskId>& ready);
 };
 

@@ -45,13 +45,7 @@ int parse_hints(std::string_view text, const VersionRegistry& registry,
       VERSA_LOG(kWarn) << "hints: unknown task '" << task_name << "' skipped";
       continue;
     }
-    VersionId version = kInvalidVersion;
-    for (VersionId v : registry.versions(type)) {
-      if (registry.version(v).name == version_name) {
-        version = v;
-        break;
-      }
-    }
+    const VersionId version = registry.find_version(type, version_name);
     if (version == kInvalidVersion) {
       VERSA_LOG(kWarn) << "hints: unknown version '" << version_name
                        << "' of task '" << task_name << "' skipped";

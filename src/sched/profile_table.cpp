@@ -28,9 +28,24 @@ std::uint64_t ProfileTable::group_key(std::uint64_t data_set_size) const {
 void ProfileTable::record(TaskTypeId type, VersionId version,
                           std::uint64_t data_set_size, Duration measured) {
   VERSA_CHECK(measured >= 0.0);
-  Group& group = groups_[{type, group_key(data_set_size)}];
+  const std::uint64_t key = group_key(data_set_size);
+  Group& group = groups_[{type, key}];
   auto [it, inserted] = group.per_version.try_emplace(version, config_);
-  it->second.mean.add(measured);
+  VersionStats& stats = it->second;
+  if (stats.detector.add(measured)) {
+    // Sustained shift away from the reference mean: the history is stale.
+    // Forget it and fall back into the learning phase for this group; the
+    // alarm observation becomes the first sample of the relearn.
+    drift_events_.push_back(DriftEvent{type, key, version,
+                                       stats.detector.reference(), measured,
+                                       stats.mean.count()});
+    stats.mean.reset();
+  }
+  stats.mean.add(measured);
+  if (config_.drift.enabled && !stats.detector.armed() &&
+      stats.mean.count() >= config_.lambda) {
+    stats.detector.arm(stats.mean.mean());
+  }
 }
 
 const ProfileTable::VersionStats* ProfileTable::find(
@@ -53,6 +68,12 @@ std::uint64_t ProfileTable::count(TaskTypeId type, VersionId version,
                                   std::uint64_t data_set_size) const {
   const VersionStats* stats = find(type, version, data_set_size);
   return stats == nullptr ? 0 : stats->mean.count();
+}
+
+double ProfileTable::variance(TaskTypeId type, VersionId version,
+                              std::uint64_t data_set_size) const {
+  const VersionStats* stats = find(type, version, data_set_size);
+  return stats == nullptr ? 0.0 : stats->mean.variance();
 }
 
 bool ProfileTable::reliable(TaskTypeId type,
@@ -89,6 +110,34 @@ void ProfileTable::prime(TaskTypeId type, VersionId version,
   for (std::uint64_t i = 0; i < count; ++i) {
     it->second.mean.add(mean);
   }
+  if (config_.drift.enabled && count >= config_.lambda) {
+    it->second.detector.arm(it->second.mean.mean());
+  }
+}
+
+void ProfileTable::restore(TaskTypeId type, VersionId version,
+                           std::uint64_t group_key, Duration mean,
+                           std::uint64_t count, double m2) {
+  VERSA_CHECK(count >= 1);
+  VERSA_CHECK(mean >= 0.0);
+  Group& group = groups_[{type, group_key}];
+  auto [it, inserted] = group.per_version.try_emplace(version, config_);
+  it->second.mean.restore(mean, count, m2);
+  if (config_.drift.enabled && count >= config_.lambda) {
+    it->second.detector.arm(mean);
+  } else {
+    it->second.detector.disarm();
+  }
+}
+
+void ProfileTable::reset_version(TaskTypeId type, VersionId version,
+                                 std::uint64_t group_key) {
+  auto group_it = groups_.find({type, group_key});
+  if (group_it == groups_.end()) return;
+  auto it = group_it->second.per_version.find(version);
+  if (it == group_it->second.per_version.end()) return;
+  it->second.mean.reset();
+  it->second.detector.disarm();
 }
 
 std::string ProfileTable::dump() const {
@@ -124,7 +173,7 @@ std::vector<ProfileTable::Entry> ProfileTable::entries() const {
   for (const auto& [key, group] : groups_) {
     for (const auto& [version, stats] : group.per_version) {
       out.push_back(Entry{key.first, key.second, version, stats.mean.mean(),
-                          stats.mean.count()});
+                          stats.mean.count(), stats.mean.m2()});
     }
   }
   return out;

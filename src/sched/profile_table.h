@@ -16,6 +16,7 @@
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "profile/drift_detector.h"
 #include "task/version_registry.h"
 
 namespace versa {
@@ -35,6 +36,10 @@ struct ProfileConfig {
   /// For kRange: sizes s1, s2 share a group iff their log-ratio bucket
   /// matches; 1.25 means roughly ±12 % of data size join one group.
   double range_ratio = 1.25;
+  /// Change-point detection on reliable groups: a sustained shift of a
+  /// version's observations away from its stored mean resets that version
+  /// back into the learning phase (see profile/drift_detector.h).
+  DriftConfig drift;
 };
 
 class ProfileTable {
@@ -56,6 +61,10 @@ class ProfileTable {
   std::uint64_t count(TaskTypeId type, VersionId version,
                       std::uint64_t data_set_size) const;
 
+  /// Sample variance of the recorded durations (0 below two samples).
+  double variance(TaskTypeId type, VersionId version,
+                  std::uint64_t data_set_size) const;
+
   /// Reliable-information test: every registered version of `type` has run
   /// at least λ times for this size's group.
   bool reliable(TaskTypeId type, std::uint64_t data_set_size) const;
@@ -68,6 +77,27 @@ class ProfileTable {
   /// entry with a given mean and count.
   void prime(TaskTypeId type, VersionId version, std::uint64_t group_key,
              Duration mean, std::uint64_t count);
+
+  /// Warm start from a persisted store: overwrite the entry's accumulator
+  /// state exactly (mean, count, raw second moment), arming the drift
+  /// detector against the restored mean when the entry is reliable.
+  void restore(TaskTypeId type, VersionId version, std::uint64_t group_key,
+               Duration mean, std::uint64_t count, double m2);
+
+  /// Forget one version's history for a group (drift relearning, tests).
+  void reset_version(TaskTypeId type, VersionId version,
+                     std::uint64_t group_key);
+
+  /// Drift alarms raised so far, in detection order.
+  struct DriftEvent {
+    TaskTypeId type;
+    std::uint64_t group_key;
+    VersionId version;
+    Duration stale_mean;    ///< the mean the detector was armed against
+    Duration observed;      ///< the observation that raised the alarm
+    std::uint64_t at_count; ///< samples accumulated when the alarm fired
+  };
+  const std::vector<DriftEvent>& drift_events() const { return drift_events_; }
 
   const ProfileConfig& config() const { return config_; }
 
@@ -82,6 +112,7 @@ class ProfileTable {
     VersionId version;
     Duration mean;
     std::uint64_t count;
+    double m2;  ///< raw second moment (see RunningMean::m2)
   };
   std::vector<Entry> entries() const;
 
@@ -90,8 +121,9 @@ class ProfileTable {
  private:
   struct VersionStats {
     RunningMean mean;
+    CusumDetector detector;
     explicit VersionStats(const ProfileConfig& cfg)
-        : mean(cfg.mean_kind, cfg.ema_alpha) {}
+        : mean(cfg.mean_kind, cfg.ema_alpha), detector(cfg.drift) {}
   };
   using GroupKey = std::pair<TaskTypeId, std::uint64_t>;
   struct Group {
@@ -101,6 +133,7 @@ class ProfileTable {
   const VersionRegistry& registry_;
   ProfileConfig config_;
   std::map<GroupKey, Group> groups_;
+  std::vector<DriftEvent> drift_events_;
 
   const VersionStats* find(TaskTypeId type, VersionId version,
                            std::uint64_t data_set_size) const;

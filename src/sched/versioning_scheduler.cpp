@@ -13,6 +13,7 @@ VersioningScheduler::VersioningScheduler(ProfileConfig config)
 void VersioningScheduler::attach(SchedulerContext& ctx) {
   QueueScheduler::attach(ctx);
   profile_.emplace(ctx.registry(), config_);
+  learning_executions_ = 0;
   pool_.clear();
   learning_inflight_.clear();
   rr_cursor_.clear();
@@ -83,6 +84,7 @@ WorkerId VersioningScheduler::least_busy_worker(
 
 void VersioningScheduler::push_learning(Task& task, VersionId version,
                                         WorkerId worker) {
+  ++learning_executions_;
   ++learning_inflight_[{group_of(task), version}];
   task.scheduler_estimate =
       profile_->mean(task.type, version, task.data_set_size).value_or(0.0);

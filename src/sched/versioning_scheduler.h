@@ -60,6 +60,14 @@ class VersioningScheduler : public QueueScheduler {
   const ProfileTable& profile() const;
   ProfileTable& mutable_profile();
 
+  /// Tasks dispatched through the learning phase so far (forced version
+  /// sampling). Zero on a fully warm-started run; the warm-start tests and
+  /// benches assert on it.
+  std::uint64_t learning_executions() const { return learning_executions_; }
+
+  /// Drift alarms raised by the profile table so far (relearn events).
+  std::size_t relearn_events() const { return profile().drift_events().size(); }
+
  protected:
   /// Extension hook: extra cost charged for placing `task` on `worker`
   /// (zero here; the locality-aware subclass adds a transfer estimate).
@@ -74,6 +82,7 @@ class VersioningScheduler : public QueueScheduler {
 
   ProfileConfig config_;
   bool fastest_executor_only_ = false;
+  std::uint64_t learning_executions_ = 0;
   std::optional<ProfileTable> profile_;  // built at attach (needs registry)
 
   /// Ready tasks not yet assigned to any worker (learning back-pressure).

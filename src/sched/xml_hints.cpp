@@ -251,13 +251,8 @@ int parse_xml_hints(std::string_view text, const VersionRegistry& registry,
       if (mean_value < 0.0 || count_value == 0) {
         return fail("non-positive mean/count in version element");
       }
-      VersionId version = kInvalidVersion;
-      for (VersionId v : registry.versions(current_task)) {
-        if (registry.version(v).name == name->second) {
-          version = v;
-          break;
-        }
-      }
+      const VersionId version =
+          registry.find_version(current_task, name->second);
       if (version == kInvalidVersion) {
         VERSA_LOG(kWarn) << "xml hints: unknown version '" << name->second
                          << "' skipped";

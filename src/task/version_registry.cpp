@@ -46,6 +46,14 @@ TaskTypeId VersionRegistry::find_task(const std::string& name) const {
   return kInvalidTaskType;
 }
 
+VersionId VersionRegistry::find_version(TaskTypeId type,
+                                        std::string_view name) const {
+  for (VersionId id : versions(type)) {
+    if (versions_[id].name == name) return id;
+  }
+  return kInvalidVersion;
+}
+
 const std::vector<VersionId>& VersionRegistry::versions(TaskTypeId type) const {
   VERSA_CHECK(type < types_.size());
   VERSA_CHECK_MSG(!types_[type].versions.empty(),

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "machine/cost_model.h"
@@ -39,6 +40,10 @@ class VersionRegistry {
   const TaskVersion& version(VersionId id) const;
   const std::string& task_name(TaskTypeId type) const;
   TaskTypeId find_task(const std::string& name) const;  ///< kInvalidTaskType if absent
+
+  /// Version of `type` named `name`; kInvalidVersion if absent. The lookup
+  /// every external-profile importer (hints, XML, store) resolves through.
+  VersionId find_version(TaskTypeId type, std::string_view name) const;
 
   /// All versions of a type, in registration order (main first).
   const std::vector<VersionId>& versions(TaskTypeId type) const;

@@ -1,0 +1,160 @@
+// Acceptance tests for the ISSUE's two end-to-end criteria: a
+// warm-started matmul run performs zero learning-phase executions while
+// matching the cold run's steady-state GFLOP/s, and after an injected
+// mid-run 2x slowdown the drift detector re-enters learning and the
+// assignment shares recover to within 10 points of an oracle that knew
+// the post-drift costs from the start.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "apps/matmul.h"
+#include "machine/presets.h"
+#include "perf/run_stats.h"
+#include "runtime/runtime.h"
+#include "sched/versioning_scheduler.h"
+
+namespace versa {
+namespace {
+
+struct MatmulOutcome {
+  double gflops = 0.0;
+  std::uint64_t learning = 0;
+  bool warm = false;
+};
+
+MatmulOutcome run_matmul(const std::string& load, const std::string& save) {
+  RuntimeConfig config;
+  config.backend = Backend::kSim;
+  config.scheduler = "versioning";
+  config.seed = 42;
+  config.profile_load_path = load;
+  config.profile_save_path = save;
+
+  MatmulOutcome outcome;
+  const Machine machine = make_minotauro_node(4, 2);  // must outlive rt
+  Runtime rt(machine, config);
+  // Paper scale (4096 tasks): the cold run's learning transient is a small
+  // fraction of the total, so cold throughput ~= cold steady state.
+  apps::MatmulParams params;
+  params.n = 16384;
+  params.tile = 1024;
+  apps::MatmulApp app(rt, params);
+  app.run();
+  outcome.gflops = gflops(app.total_flops(), rt.elapsed());
+  outcome.learning =
+      dynamic_cast<const VersioningScheduler&>(rt.scheduler())
+          .learning_executions();
+  outcome.warm = rt.profile_load_result().warm();
+  return outcome;
+}
+
+TEST(WarmStart, ZeroLearningExecutionsAndColdSteadyStatePerformance) {
+  const std::string store = testing::TempDir() + "warmstart_matmul.profile";
+  std::remove(store.c_str());
+
+  const MatmulOutcome cold = run_matmul("", store);
+  EXPECT_FALSE(cold.warm);
+  EXPECT_GT(cold.learning, 0u);
+
+  const MatmulOutcome warm = run_matmul(store, "");
+  EXPECT_TRUE(warm.warm);
+  EXPECT_EQ(warm.learning, 0u);
+  // Warm start must match cold steady-state throughput within 5 %.
+  EXPECT_NEAR(warm.gflops, cold.gflops, 0.05 * cold.gflops)
+      << "cold " << cold.gflops << " GFLOP/s vs warm " << warm.gflops;
+}
+
+// --- drift recovery ------------------------------------------------------
+
+constexpr double kGpuMs = 8e-3;
+constexpr double kSmpMs = 12e-3;
+constexpr std::size_t kWaves = 40;
+constexpr std::size_t kTasksPerWave = 10;
+constexpr std::size_t kDriftWave = 10;
+
+struct DriftOutcome {
+  double post_drift_smp_pct = 0.0;  ///< SMP share of post-drift tasks
+  std::size_t drift_events = 0;
+  std::uint64_t relearning = 0;  ///< learning executions after warm wave 0
+};
+
+/// Wave-submitted kernel run on make_minotauro_node(4, 2). The GPU cost
+/// model reads `scale` through a callable, so flipping it mid-run changes
+/// measured durations without the scheduler being told.
+DriftOutcome run_drift(double initial_scale, bool flip_at_drift_wave,
+                       bool detector) {
+  RuntimeConfig config;
+  config.backend = Backend::kSim;
+  config.scheduler = "versioning";
+  config.seed = 42;
+  config.profile.lambda = 3;
+  config.profile.drift.enabled = detector;
+
+  double scale = initial_scale;
+  DriftOutcome outcome;
+  const Machine machine = make_minotauro_node(4, 2);  // must outlive rt
+  Runtime rt(machine, config);
+  const TaskTypeId t = rt.declare_task("kernel");
+  const VersionId gpu = rt.add_version(
+      t, DeviceKind::kCuda, "gpu", nullptr,
+      make_callable_cost([&scale](std::uint64_t) { return kGpuMs * scale; }));
+  const VersionId smp = rt.add_version(t, DeviceKind::kSmp, "smp", nullptr,
+                                       make_constant_cost(kSmpMs));
+  const RegionId r = rt.register_data("data", 4 << 20);
+
+  std::uint64_t gpu_at_drift = 0, smp_at_drift = 0;
+  for (std::size_t wave = 0; wave < kWaves; ++wave) {
+    if (wave == kDriftWave) {
+      if (flip_at_drift_wave) scale = 2.0;
+      gpu_at_drift = rt.run_stats().count(gpu);
+      smp_at_drift = rt.run_stats().count(smp);
+    }
+    for (std::size_t i = 0; i < kTasksPerWave; ++i) {
+      rt.submit(t, {Access::in(r)});
+    }
+    rt.taskwait();
+  }
+
+  const double post_gpu =
+      static_cast<double>(rt.run_stats().count(gpu) - gpu_at_drift);
+  const double post_smp =
+      static_cast<double>(rt.run_stats().count(smp) - smp_at_drift);
+  outcome.post_drift_smp_pct = 100.0 * post_smp / (post_gpu + post_smp);
+  const auto& versioning =
+      dynamic_cast<const VersioningScheduler&>(rt.scheduler());
+  outcome.drift_events = versioning.profile().drift_events().size();
+  outcome.relearning = versioning.learning_executions();
+  return outcome;
+}
+
+TEST(DriftRecovery, SharesRecoverWithinTenPointsOfPostDriftOracle) {
+  // Oracle: the GPU was 2x slower from the very first task.
+  const DriftOutcome oracle = run_drift(2.0, false, false);
+  EXPECT_EQ(oracle.drift_events, 0u);
+
+  // Detector run: costs flip at wave kDriftWave; the stored GPU mean is
+  // now stale and the CUSUM alarm resets the group into learning.
+  const DriftOutcome adaptive = run_drift(1.0, true, true);
+  EXPECT_GE(adaptive.drift_events, 1u);
+  EXPECT_NEAR(adaptive.post_drift_smp_pct, oracle.post_drift_smp_pct, 10.0)
+      << "oracle smp share " << oracle.post_drift_smp_pct
+      << " % vs adaptive " << adaptive.post_drift_smp_pct << " %";
+}
+
+TEST(DriftRecovery, DetectorDisabledNeverRaisesEvents) {
+  const DriftOutcome stale = run_drift(1.0, true, false);
+  EXPECT_EQ(stale.drift_events, 0u);
+}
+
+TEST(DriftRecovery, NoFalseAlarmsWithoutDrift) {
+  // Same workload, no cost change: the detector must stay silent for the
+  // whole run despite the simulator's lognormal noise.
+  const DriftOutcome steady = run_drift(1.0, false, true);
+  EXPECT_EQ(steady.drift_events, 0u);
+}
+
+}  // namespace
+}  // namespace versa
