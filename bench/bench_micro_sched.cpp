@@ -1,0 +1,221 @@
+// Micro-benchmarks (google-benchmark) for the scheduling core: placement
+// decisions per second at deep queue depths on a 24-worker node.
+//
+// The interesting comparison is BM_PlacementVersioning (incremental load
+// account + finish-time index) against BM_PlacementLegacyRescan, a faithful
+// in-bench reimplementation of the pre-refactor earliest-executor loop that
+// recomputed every worker's busy time by rescanning its queue against the
+// profile table on every decision — O(versions x workers x queue depth) per
+// placement. Each measured step places one task and retires one from the
+// receiving worker, so the queue depth stays pinned at the Arg value.
+#include <benchmark/benchmark.h>
+
+#include <deque>
+#include <vector>
+
+#include "machine/presets.h"
+#include "sched/fifo_scheduler.h"
+#include "sched/versioning_scheduler.h"
+
+namespace versa {
+namespace {
+
+constexpr std::uint64_t kSize = 1 << 20;
+constexpr int kBatch = 64;  // placements per benchmark iteration
+
+/// A 24-worker fat node (16 cores + 8 GPUs) — bigger than the MinoTauro
+/// preset allows, to stress the index at realistic future scale.
+Machine make_fat_node() {
+  Machine::Builder builder;
+  builder.set_host_capacity(64ull << 30);
+  for (std::size_t i = 0; i < 16; ++i) {
+    const DeviceId core = builder.add_device(
+        DeviceKind::kSmp, kHostSpace, "core-" + std::to_string(i), 10e9);
+    builder.add_worker(core, "smp-" + std::to_string(i));
+  }
+  for (std::size_t g = 0; g < 8; ++g) {
+    const SpaceId space =
+        builder.add_space("gpu-mem-" + std::to_string(g), 6ull << 30);
+    const DeviceId dev = builder.add_device(
+        DeviceKind::kCuda, space, "gpu-" + std::to_string(g), 600e9);
+    builder.add_worker(dev, "gpu-" + std::to_string(g));
+    builder.add_bidi_link(kHostSpace, space, 6.0e9, 15e-6);
+  }
+  return builder.build();
+}
+
+/// Minimal SchedulerContext recording the last assignment target.
+class BenchContext : public SchedulerContext {
+ public:
+  explicit BenchContext(Machine machine)
+      : machine_(std::move(machine)), directory_(machine_) {
+    type_ = registry_.declare_task("t");
+    registry_.add_version(type_, DeviceKind::kSmp, "smp", nullptr, nullptr);
+    registry_.add_version(type_, DeviceKind::kCuda, "gpu", nullptr, nullptr);
+  }
+
+  const Machine& machine() const override { return machine_; }
+  const VersionRegistry& registry() const override { return registry_; }
+  DataDirectory& directory() override { return directory_; }
+  TaskGraph& graph() override { return graph_; }
+  Time now() const override { return 0.0; }
+  void task_assigned(TaskId, WorkerId worker) override {
+    last_worker_ = worker;
+  }
+
+  Task& ready_task() {
+    Task& task = graph_.create_task(type_, {}, kSize, "");
+    task.state = TaskState::kReady;
+    return task;
+  }
+
+  VersionRegistry registry_;
+  Machine machine_;
+  DataDirectory directory_;
+  TaskGraph graph_;
+  TaskTypeId type_ = kInvalidTaskType;
+  WorkerId last_worker_ = kInvalidWorker;
+};
+
+/// Prime every version past λ so placement takes the reliable-phase
+/// earliest-executor path (the hot path under study), with distinct means
+/// so decisions are not degenerate.
+void prime_reliable(ProfileTable& profile, const BenchContext& ctx) {
+  Duration mean = 1e-3;
+  for (VersionId v : ctx.registry_.versions(ctx.type_)) {
+    profile.prime(ctx.type_, v, profile.group_key(kSize), mean, 16);
+    mean *= 0.4;  // GPU version faster, as on the real node
+  }
+}
+
+void BM_PlacementVersioning(benchmark::State& state) {
+  const std::size_t depth = static_cast<std::size_t>(state.range(0));
+  BenchContext ctx(make_fat_node());
+  VersioningScheduler sched;
+  sched.attach(ctx);
+  prime_reliable(sched.mutable_profile(), ctx);
+  for (std::size_t i = 0; i < depth; ++i) {
+    sched.task_ready(ctx.ready_task());
+  }
+  sched.ready_batch_done();
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      sched.task_ready(ctx.ready_task());
+      // Retire one task from the receiving worker: depth stays constant.
+      benchmark::DoNotOptimize(sched.pop_task(ctx.last_worker_));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_PlacementVersioning)->Arg(1000)->Arg(10000)->Arg(50000);
+
+/// The pre-refactor decision loop, reimplemented verbatim as a baseline:
+/// per placement, for every version and every compatible worker, busy time
+/// is recomputed by walking the worker's queue and summing the current
+/// profile means of the queued tasks.
+struct LegacyRescanSched {
+  struct Entry {
+    TaskTypeId type;
+    VersionId version;
+    std::uint64_t size;
+  };
+
+  const Machine& machine;
+  const VersionRegistry& registry;
+  const ProfileTable& profile;
+  std::vector<std::deque<Entry>> queues;
+
+  LegacyRescanSched(const Machine& m, const VersionRegistry& r,
+                    const ProfileTable& p)
+      : machine(m), registry(r), profile(p), queues(m.worker_count()) {}
+
+  Duration busy(WorkerId w) const {
+    Duration sum = 0.0;
+    for (const Entry& e : queues[w]) {
+      sum += profile.mean(e.type, e.version, e.size).value_or(0.0);
+    }
+    return sum;
+  }
+
+  WorkerId place(TaskTypeId type, std::uint64_t size) {
+    VersionId best_version = kInvalidVersion;
+    WorkerId best_worker = kInvalidWorker;
+    Duration best_finish = 0.0;
+    for (VersionId v : registry.versions(type)) {
+      const TaskVersion& version = registry.version(v);
+      const Duration mean = profile.mean(type, v, size).value_or(0.0);
+      for (const WorkerDesc& w : machine.workers()) {
+        if (w.kind != version.device) continue;
+        const Duration finish = busy(w.id) + mean;
+        if (best_worker == kInvalidWorker || finish < best_finish) {
+          best_finish = finish;
+          best_version = v;
+          best_worker = w.id;
+        }
+      }
+    }
+    queues[best_worker].push_back(Entry{type, best_version, size});
+    return best_worker;
+  }
+};
+
+void BM_PlacementLegacyRescan(benchmark::State& state) {
+  const std::size_t depth = static_cast<std::size_t>(state.range(0));
+  BenchContext ctx(make_fat_node());
+  VersioningScheduler donor;  // profile table with the same primed means
+  donor.attach(ctx);
+  prime_reliable(donor.mutable_profile(), ctx);
+  LegacyRescanSched sched(ctx.machine_, ctx.registry_, donor.profile());
+  for (std::size_t i = 0; i < depth; ++i) {
+    sched.place(ctx.type_, kSize);
+  }
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      const WorkerId w = sched.place(ctx.type_, kSize);
+      sched.queues[w].pop_front();
+      benchmark::DoNotOptimize(sched.queues[w].size());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_PlacementLegacyRescan)->Arg(1000)->Arg(10000);
+
+void BM_PlacementFifo(benchmark::State& state) {
+  const std::size_t depth = static_cast<std::size_t>(state.range(0));
+  BenchContext ctx(make_fat_node());
+  FifoScheduler sched;
+  sched.attach(ctx);
+  for (std::size_t i = 0; i < depth; ++i) {
+    sched.task_ready(ctx.ready_task());
+  }
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      sched.task_ready(ctx.ready_task());
+      benchmark::DoNotOptimize(sched.pop_task(0));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_PlacementFifo)->Arg(10000);
+
+void BM_LeastBusyLookup(benchmark::State& state) {
+  BenchContext ctx(make_fat_node());
+  VersioningScheduler sched;
+  sched.attach(ctx);
+  prime_reliable(sched.mutable_profile(), ctx);
+  for (std::size_t i = 0; i < 10000; ++i) {
+    sched.task_ready(ctx.ready_task());
+  }
+  for (auto _ : state) {
+    for (WorkerId w = 0; w < 24; ++w) {
+      benchmark::DoNotOptimize(sched.estimated_busy(w));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 24);
+}
+BENCHMARK(BM_LeastBusyLookup);
+
+}  // namespace
+}  // namespace versa
+
+BENCHMARK_MAIN();

@@ -22,6 +22,7 @@
 #include "perf/profile_report.h"
 #include "perf/run_stats.h"
 #include "sched/versioning_scheduler.h"
+#include "perf/sched_trace.h"
 #include "perf/timeline.h"
 #include "perf/trace.h"
 #include "perf/utilization.h"
@@ -48,6 +49,7 @@ struct Options {
   bool analyze = false;
   std::string machine_file;
   std::string trace_path;
+  std::string sched_trace_path;
   std::string hints_load;
   std::string hints_save;
   std::string profile_load;
@@ -74,6 +76,10 @@ void print_usage() {
       "  --calibrate                    measure this host's kernel rates\n"
       "                                 and exit\n"
       "  --trace <path>                 write a Chrome trace\n"
+      "  --sched-trace <path>           record the scheduler decision\n"
+      "                                 trace: prints the tail as a table\n"
+      "                                 and writes busy-counter tracks as\n"
+      "                                 Chrome-trace JSON to <path>\n"
       "  --hints-load/--hints-save <p>  legacy profile hints files\n"
       "  --profile-load <path>          warm-start from a profile store\n"
       "  --profile-save <path>          persist the learned profile\n"
@@ -138,6 +144,8 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.machine_file = value;
     } else if (flag == "--trace") {
       options.trace_path = value;
+    } else if (flag == "--sched-trace") {
+      options.sched_trace_path = value;
     } else if (flag == "--hints-load") {
       options.hints_load = value;
     } else if (flag == "--hints-save") {
@@ -196,6 +204,7 @@ int main(int argc, char** argv) {
   config.profile_load_path = options.profile_load;
   config.profile_save_path = options.profile_save;
   config.profile.drift.enabled = options.drift;
+  config.sched_trace = !options.sched_trace_path.empty();
   if (make_scheduler(options.scheduler) == nullptr) {
     std::fprintf(stderr, "unknown scheduler '%s'\n",
                  options.scheduler.c_str());
@@ -291,6 +300,19 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "could not write trace to %s\n",
                    options.trace_path.c_str());
+    }
+  }
+  if (!options.sched_trace_path.empty()) {
+    const auto& trace = rt.scheduler().decision_trace();
+    std::printf("\nscheduler decisions (last 32):\n%s",
+                sched_trace_table(trace, rt.version_registry(), machine, 32)
+                    .c_str());
+    if (write_sched_trace(options.sched_trace_path, trace, machine)) {
+      std::printf("scheduler trace written to %s\n",
+                  options.sched_trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "could not write scheduler trace to %s\n",
+                   options.sched_trace_path.c_str());
     }
   }
   return 0;

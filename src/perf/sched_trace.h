@@ -1,0 +1,34 @@
+// Rendering for the scheduling core's decision trace (versa_run
+// --sched-trace): a column-aligned table of the most recent decisions with
+// the terms that drove them, and a Chrome-trace export with one counter
+// track per worker showing the estimated busy time each placement saw —
+// so "why did this task land there" is answerable after the run without
+// instrumenting a policy.
+#pragma once
+
+#include <string>
+
+#include "machine/machine.h"
+#include "sched/core/decision_trace.h"
+#include "task/version_registry.h"
+
+namespace versa {
+
+/// ASCII table of the last `max_rows` retained events (0 = all retained),
+/// oldest first, with a totals line (recorded / retained / dropped).
+std::string sched_trace_table(const core::DecisionTrace& trace,
+                              const VersionRegistry& registry,
+                              const Machine& machine,
+                              std::size_t max_rows = 0);
+
+/// Chrome-trace JSON: per-worker counter tracks of the busy estimate at
+/// each decision, plus instant events for steals and failures.
+std::string sched_trace_counters_json(const core::DecisionTrace& trace,
+                                      const Machine& machine);
+
+/// Write sched_trace_counters_json() to `path`. False on I/O failure.
+bool write_sched_trace(const std::string& path,
+                       const core::DecisionTrace& trace,
+                       const Machine& machine);
+
+}  // namespace versa

@@ -42,6 +42,9 @@ RuntimeConfig apply_env_overrides(RuntimeConfig config) {
                        << threshold;
     }
   }
+  if (const char* trace = std::getenv("VERSA_SCHED_TRACE")) {
+    config.sched_trace = std::string(trace) != "0";
+  }
   return config;
 }
 

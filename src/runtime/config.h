@@ -11,6 +11,7 @@
 //   VERSA_PROFILE_SAVE     — persist the learned profile on shutdown
 //   VERSA_DRIFT            — 0/1, drift-adaptive relearning
 //   VERSA_DRIFT_THRESHOLD  — CUSUM alarm threshold (normalized units)
+//   VERSA_SCHED_TRACE      — 0/1, record the scheduler decision trace
 #pragma once
 
 #include <cstdint>
@@ -71,6 +72,12 @@ struct RuntimeConfig {
   /// historical format rule (".xml" → XML, anything else → text hints).
   std::string hints_load_path;
   std::string hints_save_path;
+
+  /// Record the scheduling core's decision trace (ring of the last
+  /// sched_trace_capacity events; see sched/core/decision_trace.h). Free
+  /// when off; versa_run --sched-trace renders it after the run.
+  bool sched_trace = false;
+  std::size_t sched_trace_capacity = 1 << 16;
 };
 
 /// Overlay environment-variable overrides onto `config`.

@@ -20,6 +20,9 @@ Runtime::Runtime(const Machine& machine, RuntimeConfig config)
   scheduler_ = make_scheduler(config_.scheduler, config_.profile);
   VERSA_CHECK_MSG(scheduler_ != nullptr, "unknown scheduler name");
   scheduler_->attach(*this);
+  if (config_.sched_trace) {
+    scheduler_->decision_trace().enable(config_.sched_trace_capacity);
+  }
 
   switch (config_.backend) {
     case Backend::kSim: {

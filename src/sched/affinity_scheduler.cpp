@@ -25,7 +25,9 @@ void AffinityScheduler::task_ready(Task& task) {
       best_queue = queue;
     }
   }
-  push_to_worker(task, main.id, best);
+  PushInfo info;
+  info.candidates = static_cast<std::uint32_t>(candidates.size());
+  push_to_worker(task, main.id, best, info);
 }
 
 }  // namespace versa

@@ -1,0 +1,75 @@
+// Decision trace — a ring-buffered event stream emitted by the scheduling
+// core. Every placement (learning or reliable phase), steal, transient
+// failure and completion is recorded with the terms that drove the
+// decision (charged worker's busy time, the version mean, the locality
+// penalty, and the number of candidate (version, worker) pairs evaluated),
+// so a run can be audited after the fact without instrumenting a policy.
+//
+// Disabled by default and free when disabled (one branch per event). The
+// ring keeps the last `capacity` events plus totals, bounding memory at
+// PBPI scale; src/perf/sched_trace.h renders the buffer as a table and as
+// Chrome-trace counter tracks (versa_run --sched-trace).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace versa::core {
+
+enum class TraceEventKind : std::uint8_t {
+  kPlacement,          ///< reliable-phase placement (earliest executor &c.)
+  kLearningPlacement,  ///< learning-phase forced sampling placement
+  kSteal,              ///< same-kind work steal re-homed a queued task
+  kFailure,            ///< transient failure released a running charge
+  kComplete,           ///< completion released a running charge
+};
+
+const char* to_string(TraceEventKind kind);
+
+struct TraceEvent {
+  Time time = 0.0;
+  TaskId task = kInvalidTask;
+  TaskTypeId type = kInvalidTaskType;
+  VersionId version = kInvalidVersion;
+  WorkerId worker = kInvalidWorker;
+  /// Chosen worker's estimated busy time when the decision was made (for
+  /// kComplete/kFailure: the busy time left after the release).
+  Duration busy_term = 0.0;
+  /// Estimated execution time charged (for kComplete: the measured
+  /// duration that was recorded into the profile).
+  Duration mean_term = 0.0;
+  /// Extra placement cost (locality transfer estimate; zero elsewhere).
+  Duration penalty_term = 0.0;
+  /// (version, worker) pairs evaluated before choosing.
+  std::uint32_t candidates = 0;
+  TraceEventKind kind = TraceEventKind::kPlacement;
+};
+
+class DecisionTrace {
+ public:
+  /// Start recording into a ring of `capacity` events (>= 1).
+  void enable(std::size_t capacity);
+  void disable();
+  bool enabled() const { return capacity_ != 0; }
+
+  void record(const TraceEvent& event);
+
+  /// Events recorded since enable() (including overwritten ones).
+  std::uint64_t total() const { return total_; }
+  std::uint64_t dropped() const {
+    return total_ > ring_.size() ? total_ - ring_.size() : 0;
+  }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Retained events, oldest first.
+  std::vector<TraceEvent> events() const;
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace versa::core

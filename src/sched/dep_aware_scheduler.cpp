@@ -11,7 +11,9 @@ DepAwareScheduler::DepAwareScheduler() {
   set_stealing(true);
 }
 
-void DepAwareScheduler::task_completed(Task&, WorkerId worker, Duration) {
+void DepAwareScheduler::task_completed(Task& task, WorkerId worker,
+                                       Duration measured) {
+  QueueScheduler::task_completed(task, worker, measured);
   // The runtime calls task_ready for the released successors immediately
   // after this, so remembering the completing worker implements a cheap
   // "continue the chain where its input was produced" rule.
@@ -24,10 +26,15 @@ void DepAwareScheduler::task_ready(Task& task) {
   // worker. Otherwise (or for dependence-free tasks) spread by load.
   if (releasing_worker_ != kInvalidWorker &&
       ctx_->machine().worker(releasing_worker_).kind == main.device) {
-    push_to_worker(task, main.id, releasing_worker_);
+    PushInfo info;
+    info.candidates = 1;
+    push_to_worker(task, main.id, releasing_worker_, info);
     return;
   }
-  push_to_worker(task, main.id, least_loaded(compatible_workers(main)));
+  const std::vector<WorkerId> candidates = compatible_workers(main);
+  PushInfo info;
+  info.candidates = static_cast<std::uint32_t>(candidates.size());
+  push_to_worker(task, main.id, least_loaded(candidates), info);
 }
 
 }  // namespace versa

@@ -22,15 +22,22 @@ void FifoScheduler::task_ready(Task& task) {
 
 TaskId FifoScheduler::pop_task(WorkerId worker) {
   const DeviceKind kind = ctx_->machine().worker(worker).kind;
+  std::uint32_t scanned = 0;
   for (auto it = ready_.begin(); it != ready_.end(); ++it) {
     Task& task = ctx_->graph().task(*it);
     const TaskVersion& main = main_version_of(task);
+    ++scanned;
     if (main.device != kind) continue;
     const TaskId id = *it;
     ready_.erase(it);
     task.chosen_version = main.id;
     task.assigned_worker = worker;
     task.state = TaskState::kQueued;
+    if (trace_.enabled()) {
+      trace_.record(core::TraceEvent{ctx_->now(), id, task.type, main.id,
+                                     worker, 0.0, 0.0, 0.0, scanned,
+                                     core::TraceEventKind::kPlacement});
+    }
     return id;
   }
   return kInvalidTask;

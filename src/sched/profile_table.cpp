@@ -46,6 +46,47 @@ void ProfileTable::record(TaskTypeId type, VersionId version,
       stats.mean.count() >= config_.lambda) {
     stats.detector.arm(stats.mean.mean());
   }
+  notify_mean(type, version, key);
+}
+
+void ProfileTable::set_mean_listener(MeanListener listener) {
+  mean_listener_ = std::move(listener);
+}
+
+void ProfileTable::notify_mean(TaskTypeId type, VersionId version,
+                               std::uint64_t group_key) const {
+  if (!mean_listener_) return;
+  std::optional<Duration> current;
+  auto group_it = groups_.find({type, group_key});
+  if (group_it != groups_.end()) {
+    auto it = group_it->second.per_version.find(version);
+    if (it != group_it->second.per_version.end() && !it->second.mean.empty()) {
+      current = it->second.mean.mean();
+    }
+  }
+  mean_listener_(type, version, group_key, current);
+}
+
+std::optional<Duration> ProfileTable::nearest_group_mean(
+    TaskTypeId type, VersionId version, std::uint64_t group_key) const {
+  std::optional<Duration> best;
+  std::uint64_t best_distance = 0;
+  std::uint64_t best_key = 0;
+  for (const auto& [key, group] : groups_) {
+    if (key.first != type) continue;
+    auto it = group.per_version.find(version);
+    if (it == group.per_version.end() || it->second.mean.empty()) continue;
+    const std::uint64_t distance = key.second > group_key
+                                       ? key.second - group_key
+                                       : group_key - key.second;
+    if (!best || distance < best_distance ||
+        (distance == best_distance && key.second < best_key)) {
+      best = it->second.mean.mean();
+      best_distance = distance;
+      best_key = key.second;
+    }
+  }
+  return best;
 }
 
 const ProfileTable::VersionStats* ProfileTable::find(
@@ -113,6 +154,7 @@ void ProfileTable::prime(TaskTypeId type, VersionId version,
   if (config_.drift.enabled && count >= config_.lambda) {
     it->second.detector.arm(it->second.mean.mean());
   }
+  notify_mean(type, version, group_key);
 }
 
 void ProfileTable::restore(TaskTypeId type, VersionId version,
@@ -128,6 +170,7 @@ void ProfileTable::restore(TaskTypeId type, VersionId version,
   } else {
     it->second.detector.disarm();
   }
+  notify_mean(type, version, group_key);
 }
 
 void ProfileTable::reset_version(TaskTypeId type, VersionId version,
@@ -138,6 +181,7 @@ void ProfileTable::reset_version(TaskTypeId type, VersionId version,
   if (it == group_it->second.per_version.end()) return;
   it->second.mean.reset();
   it->second.detector.disarm();
+  notify_mean(type, version, group_key);
 }
 
 std::string ProfileTable::dump() const {

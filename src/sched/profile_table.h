@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -101,6 +102,22 @@ class ProfileTable {
 
   const ProfileConfig& config() const { return config_; }
 
+  /// Observer for mean movement: fired whenever a version's mean for a
+  /// group changes — new measurement, hint prime, warm-start restore, or a
+  /// reset (drift relearning), in which case the mean is nullopt. The
+  /// scheduling core's LoadAccount hooks in here to re-price the busy
+  /// charges of already-queued tasks instead of rescanning queues.
+  using MeanListener = std::function<void(
+      TaskTypeId, VersionId, std::uint64_t group_key, std::optional<Duration>)>;
+  void set_mean_listener(MeanListener listener);
+
+  /// Best estimate for a version whose (type, size) group has no mean yet:
+  /// the mean of the nearest size group (by group key) that recorded this
+  /// version, if any. Used by the busy-accounting fallback chain so
+  /// unknown-mean tasks do not get charged as free.
+  std::optional<Duration> nearest_group_mean(TaskTypeId type, VersionId version,
+                                             std::uint64_t group_key) const;
+
   /// Table I-style ASCII dump.
   std::string dump() const;
 
@@ -134,6 +151,10 @@ class ProfileTable {
   ProfileConfig config_;
   std::map<GroupKey, Group> groups_;
   std::vector<DriftEvent> drift_events_;
+  MeanListener mean_listener_;
+
+  void notify_mean(TaskTypeId type, VersionId version,
+                   std::uint64_t group_key) const;
 
   const VersionStats* find(TaskTypeId type, VersionId version,
                            std::uint64_t data_set_size) const;

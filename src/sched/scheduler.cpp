@@ -31,19 +31,31 @@ void QueueScheduler::attach(SchedulerContext& ctx) {
   Scheduler::attach(ctx);
   queues_.assign(ctx.machine().worker_count(), {});
   pending_ = 0;
+  account_.reset(ctx.machine());
+}
+
+std::uint64_t QueueScheduler::price_group(const Task& task) const {
+  return task.data_set_size;
 }
 
 void QueueScheduler::push_to_worker(Task& task, VersionId version,
-                                    WorkerId worker) {
+                                    WorkerId worker, const PushInfo& info) {
   VERSA_CHECK(ctx_ != nullptr);
   VERSA_CHECK(worker < queues_.size());
   const TaskVersion& v = ctx_->registry().version(version);
   VERSA_CHECK_MSG(v.device == ctx_->machine().worker(worker).kind,
                   "version/worker device mismatch");
   VERSA_CHECK(task.state == TaskState::kReady);
+  const Duration busy_before = account_.busy(worker);
   task.chosen_version = version;
   task.assigned_worker = worker;
   task.state = TaskState::kQueued;
+  // Charge the account; freeze the applied charge (the current profile
+  // mean when known, else the caller's estimate) so a later mean-forgotten
+  // re-price — and the rescan reference — can still price this task.
+  task.scheduler_estimate = account_.on_push(
+      task.id, core::PriceKey{task.type, version, price_group(task)}, worker,
+      info.estimate);
   // Priority insertion, stable within a priority level: walk back past
   // queued tasks with strictly lower priority.
   std::deque<TaskId>& queue = queues_[worker];
@@ -54,6 +66,13 @@ void QueueScheduler::push_to_worker(Task& task, VersionId version,
   }
   queue.insert(it, task.id);
   ++pending_;
+  if (trace_.enabled()) {
+    trace_.record(core::TraceEvent{
+        ctx_->now(), task.id, task.type, version, worker, busy_before,
+        task.scheduler_estimate, info.penalty, info.candidates,
+        info.learning ? core::TraceEventKind::kLearningPlacement
+                      : core::TraceEventKind::kPlacement});
+  }
   ctx_->task_assigned(task.id, worker);
 }
 
@@ -63,6 +82,7 @@ TaskId QueueScheduler::pop_task(WorkerId worker) {
     const TaskId id = queues_[worker].front();
     queues_[worker].pop_front();
     --pending_;
+    account_.on_pop(id, worker);
     return id;
   }
   if (stealing_) return steal_for(worker);
@@ -89,7 +109,39 @@ TaskId QueueScheduler::steal_for(WorkerId thief) {
   // Re-home the task so the executor acquires data for the thief's space.
   Task& task = ctx_->graph().task(id);
   task.assigned_worker = thief;
+  account_.on_steal(id, victim, thief);
+  account_.on_pop(id, thief);
+  if (trace_.enabled()) {
+    trace_.record(core::TraceEvent{
+        ctx_->now(), id, task.type, task.chosen_version, thief,
+        account_.busy(victim), task.scheduler_estimate, 0.0, 0,
+        core::TraceEventKind::kSteal});
+  }
   return id;
+}
+
+void QueueScheduler::task_completed(Task& task, WorkerId worker,
+                                    Duration measured) {
+  account_.on_settle(worker);
+  if (trace_.enabled()) {
+    trace_.record(core::TraceEvent{
+        ctx_->now(), task.id, task.type, task.chosen_version, worker,
+        account_.busy(worker), measured, 0.0, 0,
+        core::TraceEventKind::kComplete});
+  }
+}
+
+void QueueScheduler::task_failed(Task& task, WorkerId worker) {
+  account_.on_settle(worker);
+  if (trace_.enabled()) {
+    trace_.record(core::TraceEvent{
+        ctx_->now(), task.id, task.type, task.chosen_version, worker,
+        account_.busy(worker), 0.0, 0.0, 0, core::TraceEventKind::kFailure});
+  }
+}
+
+Duration QueueScheduler::estimated_busy(WorkerId worker) const {
+  return account_.busy(worker);
 }
 
 bool QueueScheduler::has_pending() const { return pending_ > 0; }

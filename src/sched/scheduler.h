@@ -20,6 +20,8 @@
 
 #include "data/directory.h"
 #include "machine/machine.h"
+#include "sched/core/decision_trace.h"
+#include "sched/core/load_account.h"
 #include "task/task.h"
 #include "task/task_graph.h"
 #include "task/version_registry.h"
@@ -73,8 +75,15 @@ class Scheduler {
   /// True if some ready task has not been handed to a worker yet.
   virtual bool has_pending() const = 0;
 
+  /// Decision-trace ring shared by every policy: disabled (and free) by
+  /// default; the runtime enables it on --sched-trace / VERSA_SCHED_TRACE
+  /// and src/perf/sched_trace.h renders it after the run.
+  core::DecisionTrace& decision_trace() { return trace_; }
+  const core::DecisionTrace& decision_trace() const { return trace_; }
+
  protected:
   SchedulerContext* ctx_ = nullptr;
+  core::DecisionTrace trace_;
 
   /// Main-version helpers shared by the baseline policies (which, per the
   /// paper, ignore `implements` and only ever run the main version).
@@ -82,6 +91,15 @@ class Scheduler {
 
   /// Workers whose device kind can run `version`.
   std::vector<WorkerId> compatible_workers(const TaskVersion& version) const;
+};
+
+/// Placement context threaded into the load account and the decision
+/// trace by QueueScheduler::push_to_worker.
+struct PushInfo {
+  Duration estimate = 0.0;       ///< execution-time charge for the account
+  Duration penalty = 0.0;        ///< extra placement cost (locality)
+  std::uint32_t candidates = 0;  ///< (version, worker) pairs evaluated
+  bool learning = false;         ///< forced-sampling placement
 };
 
 /// Shared per-worker FIFO queue machinery for push-style policies.
@@ -97,15 +115,34 @@ class QueueScheduler : public Scheduler {
   /// The tasks queued on a worker, head first (busy-time estimation).
   const std::deque<TaskId>& queue(WorkerId worker) const;
 
+  /// Estimated seconds of queued + running work, maintained incrementally
+  /// by the load account (exact zero for policies that charge no
+  /// estimates, matching the historical behaviour).
+  Duration estimated_busy(WorkerId worker) const override;
+
+  void task_completed(Task& task, WorkerId worker, Duration measured) override;
+  void task_failed(Task& task, WorkerId worker) override;
+
  protected:
-  /// Assign `task` to `worker` running `version`; fires the prefetch hook.
-  void push_to_worker(Task& task, VersionId version, WorkerId worker);
+  /// Assign `task` to `worker` running `version`: charges the account,
+  /// records the trace event, freezes the applied charge into
+  /// task.scheduler_estimate, queues with priority insertion, and fires
+  /// the prefetch hook.
+  void push_to_worker(Task& task, VersionId version, WorkerId worker,
+                      const PushInfo& info = PushInfo());
+
+  /// Size-group component of the account price key for `task` (policies
+  /// with profile tables override this with their grouping policy).
+  virtual std::uint64_t price_group(const Task& task) const;
 
   /// Enable same-device-kind work stealing on empty pops.
   void set_stealing(bool enabled) { stealing_ = enabled; }
 
   /// Least-loaded worker among `candidates` (by queue length, then id).
   WorkerId least_loaded(const std::vector<WorkerId>& candidates) const;
+
+  /// Incremental busy accounting + per-kind finish-time index.
+  core::LoadAccount account_;
 
  private:
   std::vector<std::deque<TaskId>> queues_;

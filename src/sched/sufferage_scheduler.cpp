@@ -18,15 +18,19 @@ SufferageScheduler::Placement SufferageScheduler::evaluate(
     const TaskVersion& version = ctx_->registry().version(v);
     const auto mean = profile().mean(task.type, v, task.data_set_size);
     if (!mean) continue;
-    for (const WorkerDesc& w : ctx_->machine().workers()) {
-      if (w.kind != version.device) continue;
-      const Duration finish = estimated_busy(w.id) + *mean;
+    // Finish-time index walk in increasing busy order: once busy + mean
+    // cannot improve the second-best finish it cannot improve anything
+    // (second >= best), so the rest of the kind is pruned.
+    for (const core::LoadAccount::IndexKey& key :
+         account_.workers_by_busy(version.device)) {
+      const Duration finish = core::to_seconds(std::get<0>(key)) + *mean;
+      if (finish >= second) break;
       if (finish < best) {
         second = best;
         best = finish;
         placement.version = v;
-        placement.worker = w.id;
-      } else if (finish < second) {
+        placement.worker = std::get<2>(key);
+      } else {
         second = finish;
       }
     }
@@ -58,11 +62,10 @@ void SufferageScheduler::drain_reliable_pool() {
     Task& task = ctx_->graph().task(reliable_pool_[chosen]);
     reliable_pool_.erase(reliable_pool_.begin() +
                          static_cast<std::ptrdiff_t>(chosen));
-    task.scheduler_estimate =
-        profile()
-            .mean(task.type, chosen_placement.version, task.data_set_size)
-            .value_or(0.0);
-    push_to_worker(task, chosen_placement.version, chosen_placement.worker);
+    PushInfo info;
+    info.estimate = estimate_for(task, chosen_placement.version);
+    push_to_worker(task, chosen_placement.version, chosen_placement.worker,
+                   info);
   }
 }
 

@@ -13,11 +13,18 @@ VersioningScheduler::VersioningScheduler(ProfileConfig config)
 void VersioningScheduler::attach(SchedulerContext& ctx) {
   QueueScheduler::attach(ctx);
   profile_.emplace(ctx.registry(), config_);
+  // Every mean movement — new measurement, hint prime, warm-start restore,
+  // drift-relearn reset — re-prices the queued charges of exactly that
+  // (type, version, group) key; estimates stay current without rescans.
+  profile_->set_mean_listener(
+      [this](TaskTypeId type, VersionId version, std::uint64_t group,
+             std::optional<Duration> mean) {
+        account_.reprice(core::PriceKey{type, version, group}, mean);
+      });
   learning_executions_ = 0;
   pool_.clear();
   learning_inflight_.clear();
   rr_cursor_.clear();
-  running_estimate_.assign(ctx.machine().worker_count(), 0.0);
 }
 
 const ProfileTable& VersioningScheduler::profile() const {
@@ -52,43 +59,58 @@ bool VersioningScheduler::reliable_runnable(TaskTypeId type,
   return true;
 }
 
-Duration VersioningScheduler::estimated_busy(WorkerId worker) const {
-  VERSA_CHECK(worker < running_estimate_.size());
-  // §IV-B: the sum of the estimated execution times of the task versions
-  // in the worker's queue — evaluated against the *current* means, so the
-  // estimate tightens as the profile learns.
-  Duration busy = running_estimate_[worker];
-  for (TaskId id : queue(worker)) {
-    const Task& task = ctx_->graph().task(id);
-    busy += profile_->mean(task.type, task.chosen_version, task.data_set_size)
-                .value_or(0.0);
+std::uint64_t VersioningScheduler::price_group(const Task& task) const {
+  return profile_->group_key(task.data_set_size);
+}
+
+Duration VersioningScheduler::estimate_for(const Task& task,
+                                           VersionId version) const {
+  // §IV-B with a fallback chain for the unknown-mean case: charging zero
+  // would make a worker buried under unmeasured tasks look idle.
+  if (const auto mean =
+          profile_->mean(task.type, version, task.data_set_size)) {
+    return *mean;
   }
-  return busy;
+  if (task.scheduler_estimate > 0.0) return task.scheduler_estimate;
+  return profile_
+      ->nearest_group_mean(task.type, version,
+                           profile_->group_key(task.data_set_size))
+      .value_or(0.0);
+}
+
+Duration VersioningScheduler::estimated_busy(WorkerId worker) const {
+  if (debug_cross_check_) {
+    // O(queue) rescan reference: the queued charge must equal the sum of
+    // the current means of the queued tasks (push-time charges where the
+    // mean is unknown — exactly what scheduler_estimate froze).
+    core::Ticks reference = 0;
+    for (TaskId id : queue(worker)) {
+      const Task& task = ctx_->graph().task(id);
+      const auto mean =
+          profile_->mean(task.type, task.chosen_version, task.data_set_size);
+      reference += core::to_ticks(mean.value_or(task.scheduler_estimate));
+    }
+    VERSA_CHECK_MSG(reference == account_.queued_ticks(worker),
+                    "incremental busy account diverged from rescan reference");
+  }
+  return account_.busy(worker);
 }
 
 WorkerId VersioningScheduler::least_busy_worker(
     const TaskVersion& version) const {
-  WorkerId best = kInvalidWorker;
-  Duration best_busy = 0.0;
-  for (const WorkerDesc& w : ctx_->machine().workers()) {
-    if (w.kind != version.device) continue;
-    const Duration busy = estimated_busy(w.id);
-    if (best == kInvalidWorker || busy < best_busy ||
-        (busy == best_busy && queue_length(w.id) < queue_length(best))) {
-      best = w.id;
-      best_busy = busy;
-    }
-  }
-  return best;
+  // The finish-time index orders workers by (busy, queue length, id) —
+  // the historical tie-break — so this is one O(log workers) lookup.
+  return account_.least_busy(version.device);
 }
 
 void VersioningScheduler::push_learning(Task& task, VersionId version,
                                         WorkerId worker) {
   ++learning_executions_;
   ++learning_inflight_[{group_of(task), version}];
-  task.scheduler_estimate =
-      profile_->mean(task.type, version, task.data_set_size).value_or(0.0);
-  push_to_worker(task, version, worker);
+  PushInfo info;
+  info.estimate = estimate_for(task, version);
+  info.learning = true;
+  push_to_worker(task, version, worker, info);
 }
 
 bool VersioningScheduler::try_place(Task& task) {
@@ -148,30 +170,61 @@ void VersioningScheduler::assign_earliest_executor(Task& task) {
   WorkerId best_worker = kInvalidWorker;
   Duration best_finish = 0.0;
   Duration best_estimate = 0.0;
+  Duration best_penalty = 0.0;
+  std::uint32_t candidates = 0;
 
   for (VersionId v : ctx_->registry().versions(task.type)) {
     const TaskVersion& version = ctx_->registry().version(v);
     const auto mean = profile_->mean(task.type, v, task.data_set_size);
     if (!mean) continue;  // version's device has no workers (never ran)
-    for (const WorkerDesc& w : ctx_->machine().workers()) {
-      if (w.kind != version.device) continue;
-      const Duration busy =
-          fastest_executor_only_
-              ? static_cast<Duration>(queue_length(w.id)) * 1e-12
-              : estimated_busy(w.id);
-      const Duration finish = busy + *mean + placement_penalty(task, w.id);
+    if (fastest_executor_only_) {
+      // Ablation strawman: the queue-length epsilon only spreads exact
+      // ties; perf is irrelevant, so keep the plain worker sweep.
+      for (const WorkerDesc& w : ctx_->machine().workers()) {
+        if (w.kind != version.device) continue;
+        const Duration busy =
+            static_cast<Duration>(queue_length(w.id)) * 1e-12;
+        const Duration penalty = placement_penalty(task, w.id);
+        const Duration finish = busy + *mean + penalty;
+        ++candidates;
+        if (best_worker == kInvalidWorker || finish < best_finish) {
+          best_version = v;
+          best_worker = w.id;
+          best_finish = finish;
+          best_estimate = *mean;
+          best_penalty = penalty;
+        }
+      }
+      continue;
+    }
+    // Finish-time index walk: workers of the version's kind arrive in
+    // increasing busy order, so the first one whose lower bound
+    // busy + mean cannot beat the best finish ends the version (the
+    // placement penalty is never negative).
+    for (const core::LoadAccount::IndexKey& key :
+         account_.workers_by_busy(version.device)) {
+      const Duration busy = core::to_seconds(std::get<0>(key));
+      if (best_worker != kInvalidWorker && busy + *mean >= best_finish) break;
+      const WorkerId w = std::get<2>(key);
+      const Duration penalty = placement_penalty(task, w);
+      const Duration finish = busy + *mean + penalty;
+      ++candidates;
       if (best_worker == kInvalidWorker || finish < best_finish) {
         best_version = v;
-        best_worker = w.id;
+        best_worker = w;
         best_finish = finish;
         best_estimate = *mean;
+        best_penalty = penalty;
       }
     }
   }
   VERSA_CHECK_MSG(best_worker != kInvalidWorker,
                   "no runnable version for task on this machine");
-  task.scheduler_estimate = best_estimate;
-  push_to_worker(task, best_version, best_worker);
+  PushInfo info;
+  info.estimate = best_estimate;
+  info.penalty = best_penalty;
+  info.candidates = candidates;
+  push_to_worker(task, best_version, best_worker, info);
 }
 
 TaskId VersioningScheduler::pull_from_pool(WorkerId worker) {
@@ -215,25 +268,23 @@ TaskId VersioningScheduler::pull_from_pool(WorkerId worker) {
 }
 
 TaskId VersioningScheduler::pop_task(WorkerId worker) {
+  // The base pop moves the task's charge into the worker's running slot;
+  // nothing versioning-specific remains here beyond the pool fallback.
   TaskId id = QueueScheduler::pop_task(worker);
   if (id == kInvalidTask && !pool_.empty()) {
     id = pull_from_pool(worker);
-  }
-  if (id != kInvalidTask) {
-    const Task& task = ctx_->graph().task(id);
-    running_estimate_[worker] =
-        profile_->mean(task.type, task.chosen_version, task.data_set_size)
-            .value_or(0.0);
   }
   return id;
 }
 
 void VersioningScheduler::task_completed(Task& task, WorkerId worker,
                                          Duration measured) {
-  // The scheduler is always learning (§IV-B): record in both phases.
+  // The scheduler is always learning (§IV-B): record in both phases. The
+  // record fires the mean listener, re-pricing queued charges of the key
+  // before the base class settles the running slot.
   profile_->record(task.type, task.chosen_version, task.data_set_size,
                    measured);
-  running_estimate_[worker] = 0.0;
+  QueueScheduler::task_completed(task, worker, measured);
   auto it = learning_inflight_.find({group_of(task), task.chosen_version});
   if (it != learning_inflight_.end() && it->second > 0) {
     --it->second;
@@ -245,7 +296,7 @@ void VersioningScheduler::task_failed(Task& task, WorkerId worker) {
   // Release the per-worker accounting without recording the wasted time
   // as a measurement (the attempt tells us nothing about the version's
   // true cost, only that the device hiccupped).
-  running_estimate_[worker] = 0.0;
+  QueueScheduler::task_failed(task, worker);
   auto it = learning_inflight_.find({group_of(task), task.chosen_version});
   if (it != learning_inflight_.end() && it->second > 0) {
     --it->second;

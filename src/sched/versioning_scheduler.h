@@ -21,10 +21,16 @@
 //
 // A worker's estimated busy time is the sum of the *current* mean execution
 // times of the tasks in its queue plus the task it is running (§IV-B), so
-// estimates sharpen as the table learns. Profiling never stops: completion
-// times keep updating the means in both phases, and a task arriving with a
-// previously unseen data-set size re-enters the learning phase for that new
-// group only.
+// estimates sharpen as the table learns. Since the scheduling-core refactor
+// this quantity is maintained incrementally by the shared load account
+// (src/sched/core/load_account.h): pushes charge, pops move the charge to
+// the running slot, completions release it, and a mean movement re-prices
+// the queued charges of exactly that profile cell — no queue rescans.
+// Placement walks the per-kind finish-time index in increasing busy order
+// and prunes once busy + mean cannot beat the best finish. Profiling never
+// stops: completion times keep updating the means in both phases, and a
+// task arriving with a previously unseen data-set size re-enters the
+// learning phase for that new group only.
 #pragma once
 
 #include <deque>
@@ -68,6 +74,11 @@ class VersioningScheduler : public QueueScheduler {
   /// Drift alarms raised by the profile table so far (relearn events).
   std::size_t relearn_events() const { return profile().drift_events().size(); }
 
+  /// Debug aid for tests: every estimated_busy() call cross-checks the
+  /// incremental account against the O(queue) rescan reference and aborts
+  /// on divergence. Off by default (it reintroduces the rescan cost).
+  void set_debug_cross_check(bool enabled) { debug_cross_check_ = enabled; }
+
  protected:
   /// Extension hook: extra cost charged for placing `task` on `worker`
   /// (zero here; the locality-aware subclass adds a transfer estimate).
@@ -77,11 +88,22 @@ class VersioningScheduler : public QueueScheduler {
   /// Shared with subclasses that replace the reliable-phase mapping rule.
   bool reliable_runnable(TaskTypeId type, std::uint64_t size) const;
 
+  /// Account price keys group by the profile table's size grouping so a
+  /// mean movement re-prices exactly the tasks that mean priced.
+  std::uint64_t price_group(const Task& task) const override;
+
+  /// The charge for placing `version` of `task` when no mean exists yet:
+  /// the group mean, else the task's frozen scheduler_estimate (a failed
+  /// task re-entering keeps its last charge), else the version's mean from
+  /// the nearest size group — zero only when the version never ran at all.
+  Duration estimate_for(const Task& task, VersionId version) const;
+
  private:
   using GroupKey = std::pair<TaskTypeId, std::uint64_t>;
 
   ProfileConfig config_;
   bool fastest_executor_only_ = false;
+  bool debug_cross_check_ = false;
   std::uint64_t learning_executions_ = 0;
   std::optional<ProfileTable> profile_;  // built at attach (needs registry)
 
@@ -93,10 +115,6 @@ class VersioningScheduler : public QueueScheduler {
 
   /// Round-robin cursor per group for the learning phase.
   std::map<GroupKey, std::size_t> rr_cursor_;
-
-  /// Estimated mean of the task each worker is currently running (0 when
-  /// idle); counted into estimated_busy.
-  std::vector<Duration> running_estimate_;
 
   GroupKey group_of(const Task& task) const;
 
