@@ -13,11 +13,14 @@
 //                     backend (the CI host has a single core, so wall-clock
 //                     speedups are not meaningful there).
 //
-// The runtime implements ExecutorPort; all port calls happen under the
-// runtime lock (a recursive mutex exposed via port_mutex()).
+// The runtime implements ExecutorPort. The port exposes its lock as an
+// annotated versa::RecursiveMutex (lock class kLockRankRuntime) so the
+// thread-safety analysis checks executors hold it where required: the
+// graph/directory accessors and the completion/failure reports carry
+// REQUIRES(port_mutex()). Dequeuing already-placed work is the one port
+// interaction that does NOT need it — Scheduler::try_pop_queued
+// synchronizes itself (DESIGN.md §9).
 #pragma once
-
-#include <mutex>
 
 #include "data/directory.h"
 #include "data/transfer_engine.h"
@@ -25,27 +28,36 @@
 #include "sched/scheduler.h"
 #include "task/task_graph.h"
 #include "task/version_registry.h"
+#include "util/annotated_sync.h"
 
 namespace versa {
 
 class ExecutorPort {
  public:
   virtual ~ExecutorPort() = default;
+  /// The scheduler itself may be grabbed without the lock; which of its
+  /// methods need the runtime lock is part of the Scheduler contract.
   virtual Scheduler& port_scheduler() = 0;
-  virtual TaskGraph& port_graph() = 0;
-  virtual DataDirectory& port_directory() = 0;
+  virtual TaskGraph& port_graph() VERSA_REQUIRES(port_mutex()) = 0;
+  virtual DataDirectory& port_directory() VERSA_REQUIRES(port_mutex()) = 0;
   virtual const VersionRegistry& port_registry() = 0;
   virtual const Machine& port_machine() = 0;
   /// Report a finished task; the runtime releases successors, notifies the
   /// scheduler, and re-pokes the executor.
   virtual void port_complete(TaskId task, WorkerId worker, Time start,
-                             Time finish) = 0;
+                             Time finish) VERSA_REQUIRES(port_mutex()) = 0;
 
   /// Report a transiently failed attempt; the runtime notifies the
   /// scheduler and makes the task ready again for another attempt.
   virtual void port_failed(TaskId task, WorkerId worker, Time start,
-                           Time finish) = 0;
-  virtual std::recursive_mutex& port_mutex() = 0;
+                           Time finish) VERSA_REQUIRES(port_mutex()) = 0;
+
+  /// The runtime lock (annotated, rank kLockRankRuntime). Recursive for
+  /// one reason only: task bodies run while an executor holds it (sim
+  /// event loop) and may re-enter the public runtime API (nested submit,
+  /// taskwait). Executors lock it with versa::RecursiveLockGuard — never
+  /// around a scheduler dequeue fast path.
+  virtual versa::RecursiveMutex& port_mutex() = 0;
 };
 
 class Executor {
@@ -55,9 +67,11 @@ class Executor {
   virtual void attach(ExecutorPort& port) { port_ = &port; }
 
   /// A scheduler placed `task` on `worker`'s queue (prefetch hook).
+  /// Called with the runtime lock held.
   virtual void task_assigned(TaskId task, WorkerId worker) = 0;
 
   /// Ready work may exist for idle workers (pull-style schedulers).
+  /// Called with the runtime lock held.
   virtual void work_available() = 0;
 
   /// Block until every submitted task finished. Must be called from the
@@ -80,6 +94,7 @@ class Executor {
   virtual Time now() const = 0;
 
   /// Realize taskwait flush copies; returns their completion time.
+  /// Called with the runtime lock held.
   virtual Time flush(const TransferList& ops) = 0;
 
  protected:

@@ -34,6 +34,10 @@ void SimExecutor::acquire_for(Task& task, SpaceId space) {
 }
 
 void SimExecutor::task_assigned(TaskId id, WorkerId worker) {
+  // Called from the scheduler's push, under the runtime lock (contract);
+  // the assertion bridges the analysis and is checked dynamically against
+  // the held-lock stack.
+  port_->port_mutex().assert_held();
   if (config_.prefetch) {
     // Overlap: start this task's copies now, while workers compute.
     Task& task = port_->port_graph().task(id);
@@ -47,6 +51,9 @@ void SimExecutor::work_available() {}
 void SimExecutor::start_task(WorkerId worker, TaskId id, bool occupy_worker) {
   Task& task = port_->port_graph().task(id);
   VERSA_CHECK(task.state == TaskState::kQueued);
+  // Re-home stolen tasks: the steal path no longer writes the graph, so
+  // the executor records the actual worker here.
+  task.assigned_worker = worker;
   const TaskVersion& version =
       port_->port_registry().version(task.chosen_version);
   const SpaceId space = machine_.worker(worker).space;
@@ -81,7 +88,9 @@ void SimExecutor::start_task(WorkerId worker, TaskId id, bool occupy_worker) {
   }
 
   // Run the real body, if any, so functional results are exact; its wall
-  // time is irrelevant — virtual time charges `duration`.
+  // time is irrelevant — virtual time charges `duration`. The body runs
+  // under the (recursive) runtime lock, which is what lets it re-enter
+  // submit/taskwait.
   if (!fails && version.fn) {
     const TaskId previous = current_task_;
     current_task_ = id;
@@ -97,6 +106,11 @@ void SimExecutor::start_task(WorkerId worker, TaskId id, bool occupy_worker) {
   horizon_ = std::max(horizon_, finish);
   queue_.schedule_at(
       finish, [this, id, worker, start, finish, occupy_worker, fails] {
+        // Completion events fire from queue_.step() inside run_until_done,
+        // with the runtime lock held by the enclosing wait entry point;
+        // re-assert it for the analysis (a lambda is a separate function)
+        // and, dynamically, against the held-lock stack.
+        port_->port_mutex().assert_held();
         if (occupy_worker) {
           busy_[worker] = false;
         }
@@ -146,11 +160,20 @@ void SimExecutor::run_until_done(TaskId awaited) {
   }
 }
 
-void SimExecutor::wait_all() { run_until_done(kInvalidTask); }
+void SimExecutor::wait_all() {
+  versa::RecursiveLockGuard lock(port_->port_mutex());
+  run_until_done(kInvalidTask);
+}
 
-void SimExecutor::wait_task(TaskId task) { run_until_done(task); }
+void SimExecutor::wait_task(TaskId task) {
+  versa::RecursiveLockGuard lock(port_->port_mutex());
+  run_until_done(task);
+}
 
 void SimExecutor::wait_children(TaskId parent) {
+  // Entered from inside a task body, which runs under the (recursive)
+  // runtime lock — this acquisition nests.
+  versa::RecursiveLockGuard lock(port_->port_mutex());
   TaskGraph& graph = port_->port_graph();
   const WorkerId worker = graph.task(parent).assigned_worker;
   while (graph.task(parent).live_children > 0) {
@@ -173,6 +196,8 @@ void SimExecutor::wait_children(TaskId parent) {
 Time SimExecutor::now() const { return queue_.now(); }
 
 Time SimExecutor::flush(const TransferList& ops) {
+  // Called with the runtime lock held (taskwait flush path).
+  port_->port_mutex().assert_held();
   const Time done = engine_.enqueue(ops, queue_.now());
   horizon_ = std::max(horizon_, done);
   return done;

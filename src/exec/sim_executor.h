@@ -2,9 +2,21 @@
 //
 // Single-threaded by design: events fire in deterministic order, durations
 // come from version cost models through per-worker noise streams, and
-// transfers occupy interconnect links via the TransferEngine. Task bodies,
-// when present, really execute (virtually instantaneous) so functional
-// results remain correct under simulation.
+// transfers occupy modelled interconnect links via the TransferEngine. Task
+// bodies, when present, really execute (virtually instantaneous) so
+// functional results remain correct under simulation.
+//
+// Locking: the simulation itself needs no concurrency, but its state is
+// reached through the same ExecutorPort as the thread backend, so the
+// annotated lock discipline applies. Each blocking entry point (wait_all,
+// wait_task, wait_children) takes the runtime lock once and holds it for
+// the whole event loop — the annotations are then truthful rather than
+// waived, and the recursive runtime mutex covers task bodies that re-enter
+// the public runtime API (nested submit / taskwait) from under the loop.
+// Completion callbacks scheduled on the event queue run inside that same
+// loop; they re-assert the capability (the analysis treats a lambda as a
+// separate function) and the assertion is corroborated at runtime by the
+// lock-order checker's held-lock stack.
 #pragma once
 
 #include <vector>
@@ -12,6 +24,7 @@
 #include "exec/executor.h"
 #include "sim/event_queue.h"
 #include "sim/noise.h"
+#include "util/annotated_sync.h"
 
 namespace versa {
 
@@ -56,6 +69,9 @@ class SimExecutor final : public Executor {
  private:
   const Machine& machine_;
   SimExecutorConfig config_;
+  // Simulation state below is reached only with the runtime lock held
+  // (entry points acquire it; task_assigned/flush arrive with it held by
+  // contract and re-assert it).
   sim::EventQueue queue_;
   TransferEngine engine_;
   std::vector<sim::NoiseModel> noise_;
@@ -65,16 +81,19 @@ class SimExecutor final : public Executor {
   Rng failure_rng_;
 
   /// Acquire `task`'s data for `space` and record its transfer-done time.
-  void acquire_for(Task& task, SpaceId space);
+  void acquire_for(Task& task, SpaceId space)
+      VERSA_REQUIRES(port_->port_mutex());
 
   /// Pop work for every idle worker until nothing moves.
-  void pump();
+  void pump() VERSA_REQUIRES(port_->port_mutex());
 
   /// Launch `id` on `worker`. `occupy_worker` is false when a worker
   /// blocked in a nested taskwait inline-executes its own queued children
   /// (it is already marked busy by the waiting parent).
-  void start_task(WorkerId worker, TaskId id, bool occupy_worker = true);
-  void run_until_done(TaskId task_or_invalid);
+  void start_task(WorkerId worker, TaskId id, bool occupy_worker = true)
+      VERSA_REQUIRES(port_->port_mutex());
+  void run_until_done(TaskId task_or_invalid)
+      VERSA_REQUIRES(port_->port_mutex());
 };
 
 }  // namespace versa

@@ -1,5 +1,6 @@
 #include "exec/thread_executor.h"
 
+#include <optional>
 #include <thread>
 
 #include "common/check.h"
@@ -15,13 +16,8 @@ ThreadExecutor::ThreadExecutor(const Machine& machine,
 }
 
 ThreadExecutor::~ThreadExecutor() {
-  if (port_ != nullptr) {
-    {
-      std::lock_guard lock(port_->port_mutex());
-      stop_ = true;
-    }
-    work_cv_.notify_all();
-  }
+  stop_.store(true, std::memory_order_release);
+  bump_wake();
   for (std::thread& t : threads_) {
     if (t.joinable()) t.join();
   }
@@ -40,13 +36,33 @@ Time ThreadExecutor::now() const {
   return std::chrono::duration<double>(elapsed).count();
 }
 
-void ThreadExecutor::task_assigned(TaskId, WorkerId) {
-  // Queues live in the scheduler; just wake sleepers. notify with the port
-  // lock held by the caller is correct (and keeps wakeups orderly).
-  work_cv_.notify_all();
+std::uint64_t ThreadExecutor::wake_snapshot() {
+  versa::LockGuard lock(wake_mutex_);
+  return wake_epoch_;
 }
 
-void ThreadExecutor::work_available() { work_cv_.notify_all(); }
+void ThreadExecutor::bump_wake() {
+  {
+    versa::LockGuard lock(wake_mutex_);
+    ++wake_epoch_;
+  }
+  wake_cv_.notify_all();
+}
+
+void ThreadExecutor::wait_wake(std::uint64_t seen) {
+  versa::UniqueLock lock(wake_mutex_);
+  while (!stop_.load(std::memory_order_acquire) && wake_epoch_ == seen) {
+    wake_cv_.wait(lock.native());
+  }
+}
+
+void ThreadExecutor::task_assigned(TaskId, WorkerId) {
+  // Queues live in the scheduler; the push is already visible, so bumping
+  // the epoch here closes the pop-then-sleep race.
+  bump_wake();
+}
+
+void ThreadExecutor::work_available() { bump_wake(); }
 
 namespace {
 
@@ -58,40 +74,56 @@ thread_local TaskId tls_current_task = kInvalidTask;
 
 TaskId ThreadExecutor::current_task() const { return tls_current_task; }
 
-bool ThreadExecutor::run_one(WorkerId worker,
-                             std::unique_lock<std::recursive_mutex>& lock) {
-  const TaskId id = port_->port_scheduler().pop_task(worker);
-  if (id == kInvalidTask) return false;
+bool ThreadExecutor::run_one(WorkerId worker) {
+  // Fast path: dequeue already-placed work (own queue, then steals)
+  // without the runtime lock.
+  TaskId id = port_->port_scheduler().try_pop_queued(worker);
 
-  const SpaceId space = machine_.worker(worker).space;
-  Task& task = port_->port_graph().task(id);
-  VERSA_CHECK(task.state == TaskState::kQueued);
-  if (task.acquired_space != space) {
-    TransferList ops;  // accounting only — data lives in host storage
-    port_->port_directory().acquire(task.accesses, space, ops);
-    task.acquired_space = space;
+  const TaskVersion* version = nullptr;
+  std::optional<TaskContext> ctx;
+  std::uint64_t data_set_size = 0;
+  Time start = 0.0;
+  {
+    versa::RecursiveLockGuard lock(port_->port_mutex());
+    if (id == kInvalidTask) {
+      // Fallback for policies whose dispatch needs the runtime lock
+      // (fifo's graph scan, versioning's learning pool).
+      id = port_->port_scheduler().pop_task(worker);
+    }
+    if (id == kInvalidTask) return false;
+
+    const SpaceId space = machine_.worker(worker).space;
+    Task& task = port_->port_graph().task(id);
+    VERSA_CHECK(task.state == TaskState::kQueued);
+    // Re-home stolen tasks: the steal fast path cannot touch the graph,
+    // so the thief records itself here, under the runtime lock.
+    task.assigned_worker = worker;
+    if (task.acquired_space != space) {
+      TransferList ops;  // accounting only — data lives in host storage
+      port_->port_directory().acquire(task.accesses, space, ops);
+      task.acquired_space = space;
+    }
+    version = &port_->port_registry().version(task.chosen_version);
+    task.state = TaskState::kRunning;
+    data_set_size = task.data_set_size;
+    // Resolve argument pointers while still holding the lock; the body
+    // then runs without touching shared runtime structures.
+    ctx.emplace(task.accesses, port_->port_directory(), worker,
+                version->device);
+    start = now();
   }
-  const TaskVersion& version =
-      port_->port_registry().version(task.chosen_version);
-  task.state = TaskState::kRunning;
-  // Resolve argument pointers while still holding the lock; the body then
-  // runs without touching shared runtime structures.
-  TaskContext ctx(task.accesses, port_->port_directory(), worker,
-                  version.device);
-  const Time start = now();
 
-  lock.unlock();
   const TaskId previous = tls_current_task;
   tls_current_task = id;
-  if (version.fn) {
-    version.fn(ctx);
+  if (version->fn) {
+    version->fn(*ctx);
   }
   tls_current_task = previous;
-  if (config_.emulate_costs && version.cost != nullptr) {
+  if (config_.emulate_costs && version->cost != nullptr) {
     // Device-speed emulation: pad the attempt out to the modelled
     // duration so wall-clock measurements carry the modelled ratios.
-    const Duration modelled = version.cost->mean_duration(task.data_set_size) *
-                              config_.time_scale;
+    const Duration modelled =
+        version->cost->mean_duration(data_set_size) * config_.time_scale;
     const Duration spent = now() - start;
     if (modelled > spent) {
       std::this_thread::sleep_for(
@@ -99,19 +131,24 @@ bool ThreadExecutor::run_one(WorkerId worker,
     }
   }
   const Time finish = now();
-  lock.lock();
 
-  port_->port_complete(id, worker, start, finish);
-  done_cv_.notify_all();
+  {
+    versa::RecursiveLockGuard lock(port_->port_mutex());
+    port_->port_complete(id, worker, start, finish);
+  }
+  // After the completion is visible: wake workers (successors may have
+  // been released) and waiters (all_finished / live_children moved).
+  bump_wake();
   return true;
 }
 
 void ThreadExecutor::worker_loop(WorkerId worker) {
-  std::unique_lock lock(port_->port_mutex());
-  while (!stop_) {
-    if (!run_one(worker, lock)) {
-      work_cv_.wait(lock);
-    }
+  while (!stop_.load(std::memory_order_acquire)) {
+    const std::uint64_t seen = wake_snapshot();
+    if (run_one(worker)) continue;
+    // The pop failed after the snapshot; any push after the pop bumps the
+    // epoch past `seen`, so this wait cannot miss it.
+    wait_wake(seen);
   }
 }
 
@@ -119,25 +156,46 @@ void ThreadExecutor::wait_children(TaskId parent) {
   // Called from inside `parent`'s body on its worker thread. Work while
   // waiting (the OmpSs task-switching behaviour): execute queued tasks —
   // children included — instead of blocking the worker.
-  const WorkerId worker = port_->port_graph().task(parent).assigned_worker;
-  std::unique_lock lock(port_->port_mutex());
-  while (port_->port_graph().task(parent).live_children > 0) {
-    if (!run_one(worker, lock)) {
-      done_cv_.wait(lock);
+  WorkerId worker;
+  {
+    versa::RecursiveLockGuard lock(port_->port_mutex());
+    Task& task = port_->port_graph().task(parent);
+    if (task.live_children == 0) return;
+    worker = task.assigned_worker;
+  }
+  for (;;) {
+    const std::uint64_t seen = wake_snapshot();
+    {
+      versa::RecursiveLockGuard lock(port_->port_mutex());
+      if (port_->port_graph().task(parent).live_children == 0) return;
     }
+    if (run_one(worker)) continue;
+    wait_wake(seen);
   }
 }
 
 void ThreadExecutor::wait_all() {
-  std::unique_lock lock(port_->port_mutex());
-  done_cv_.wait(lock, [this] { return port_->port_graph().all_finished(); });
+  for (;;) {
+    const std::uint64_t seen = wake_snapshot();
+    {
+      versa::RecursiveLockGuard lock(port_->port_mutex());
+      if (port_->port_graph().all_finished()) return;
+    }
+    wait_wake(seen);
+  }
 }
 
 void ThreadExecutor::wait_task(TaskId task) {
-  std::unique_lock lock(port_->port_mutex());
-  done_cv_.wait(lock, [this, task] {
-    return port_->port_graph().task(task).state == TaskState::kFinished;
-  });
+  for (;;) {
+    const std::uint64_t seen = wake_snapshot();
+    {
+      versa::RecursiveLockGuard lock(port_->port_mutex());
+      if (port_->port_graph().task(task).state == TaskState::kFinished) {
+        return;
+      }
+    }
+    wait_wake(seen);
+  }
 }
 
 Time ThreadExecutor::flush(const TransferList&) {

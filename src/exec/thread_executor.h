@@ -6,14 +6,29 @@
 // the versioning scheduler learns from genuine measurements. This backend
 // validates functional correctness and the concurrency of the runtime; the
 // timing figures come from SimExecutor.
+//
+// Locking (DESIGN.md §9): since the lock split, the dequeue fast path —
+// Scheduler::try_pop_queued, i.e. popping the worker's own shard or
+// stealing — runs WITHOUT the runtime lock; workers take it only for the
+// graph transitions around a task (argument resolution, completion
+// report) and for the pop_task fallback of policies with no lock-free
+// path. Sleeping and waking go through a dedicated wake mutex (class
+// kLockRankExecWake, the innermost lock) and an epoch counter: a worker
+// samples the epoch before it tries to pop and sleeps only if the epoch
+// is unchanged, and every push/completion bumps the epoch after
+// publishing its work — so a wakeup between the failed pop and the wait
+// can never be lost.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
 #include "exec/executor.h"
+#include "util/annotated_sync.h"
 
 namespace versa {
 
@@ -44,17 +59,29 @@ class ThreadExecutor final : public Executor {
   const Machine& machine_;
   ThreadExecutorConfig config_;
   std::vector<std::thread> threads_;
-  std::condition_variable_any work_cv_;
-  std::condition_variable_any done_cv_;
-  bool stop_ = false;
   std::chrono::steady_clock::time_point epoch_;
+
+  /// Wake protocol: wake_epoch_ counts "something changed" events (task
+  /// pushed, work available, task completed). Workers and waiters sample
+  /// it, re-check their condition, and sleep on wake_cv_ only while the
+  /// epoch is unchanged.
+  versa::Mutex wake_mutex_{lock_order::kLockRankExecWake};
+  std::uint64_t wake_epoch_ VERSA_GUARDED_BY(wake_mutex_) = 0;
+  std::condition_variable_any wake_cv_;
+  std::atomic<bool> stop_{false};
+
+  std::uint64_t wake_snapshot();
+  void bump_wake();
+  /// Sleep until the epoch moves past `seen` (or stop).
+  void wait_wake(std::uint64_t seen);
 
   void worker_loop(WorkerId worker);
 
-  /// Pop and execute one task for `worker`. `lock` must hold the port
-  /// mutex; it is released around the body and re-acquired. Returns false
-  /// if no task was available.
-  bool run_one(WorkerId worker, std::unique_lock<std::recursive_mutex>& lock);
+  /// Pop (fast path first, then the locked fallback) and execute one task
+  /// for `worker`. Takes the runtime lock only around the graph
+  /// transitions, not around the body. Returns false if no task was
+  /// available.
+  bool run_one(WorkerId worker);
 };
 
 }  // namespace versa

@@ -24,6 +24,12 @@
 // The store is also the single import path for the two legacy hint formats
 // (text hints_file.h, XML xml_hints.h): import_text sniffs the format, so
 // the three formats can never diverge in how they seed a profile table.
+//
+// Thread-safety: immutable after construction (registry reference +
+// signature value); load()/save() touch only local state and the
+// filesystem. Callers serialize the *table* they load into — the runtime
+// loads under its lock at first-submit and saves at destruction, after
+// worker threads have joined.
 #pragma once
 
 #include <string>

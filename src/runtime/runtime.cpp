@@ -57,26 +57,26 @@ Runtime::~Runtime() {
 }
 
 TaskTypeId Runtime::declare_task(std::string name) {
-  std::lock_guard lock(mutex_);
+  versa::RecursiveLockGuard lock(mutex_);
   return registry_.declare_task(std::move(name));
 }
 
 VersionId Runtime::add_version(TaskTypeId type, DeviceKind device,
                                std::string name, TaskFn fn,
                                CostModelPtr cost) {
-  std::lock_guard lock(mutex_);
+  versa::RecursiveLockGuard lock(mutex_);
   return registry_.add_version(type, device, std::move(name), std::move(fn),
                                std::move(cost));
 }
 
 RegionId Runtime::register_data(std::string name, std::uint64_t size,
                                 void* host_ptr) {
-  std::lock_guard lock(mutex_);
+  versa::RecursiveLockGuard lock(mutex_);
   return directory_.register_region(std::move(name), size, host_ptr);
 }
 
 void Runtime::unregister_data(RegionId region) {
-  std::lock_guard lock(mutex_);
+  versa::RecursiveLockGuard lock(mutex_);
   // Guard against use-after-free at the task level: no live task may still
   // reference the region. (Linear scan: deregistration is a coarse event,
   // typically after a taskwait.)
@@ -158,7 +158,7 @@ void Runtime::maybe_save_profile() {
 
 TaskId Runtime::submit(TaskTypeId type, AccessList accesses, std::string label,
                        int priority) {
-  std::lock_guard lock(mutex_);
+  versa::RecursiveLockGuard lock(mutex_);
   maybe_load_profile();
 
   // Resolve open-ended lengths and compute the data-set size with every
@@ -216,7 +216,9 @@ void Runtime::release_ready(const std::vector<TaskId>& ready) {
 
 void Runtime::port_complete(TaskId id, WorkerId worker, Time start,
                             Time finish) {
-  std::lock_guard lock(mutex_);
+  // REQUIRES(mutex_): the reporting executor already holds the runtime
+  // lock (thread backend locks around the call; the sim event loop holds
+  // it for the whole wait).
   Task& task = graph_.task(id);
   task.start_time = start;
   task.measured_duration = finish - start;
@@ -238,7 +240,6 @@ void Runtime::port_complete(TaskId id, WorkerId worker, Time start,
 
 void Runtime::port_failed(TaskId id, WorkerId worker, Time /*start*/,
                           Time finish) {
-  std::lock_guard lock(mutex_);
   Task& task = graph_.task(id);
   VERSA_CHECK(task.state == TaskState::kRunning);
   ++failed_attempts_;
@@ -266,7 +267,7 @@ void Runtime::taskwait() {
     return;
   }
   executor_->wait_all();
-  std::lock_guard lock(mutex_);
+  versa::RecursiveLockGuard lock(mutex_);
   TransferList ops;
   directory_.flush_all(ops);
   makespan_ = std::max(makespan_, executor_->flush(ops));
@@ -284,7 +285,7 @@ void Runtime::taskwait_noflush() {
 void Runtime::taskwait_on(RegionId region) {
   TaskId writer = kInvalidTask;
   {
-    std::lock_guard lock(mutex_);
+    versa::RecursiveLockGuard lock(mutex_);
     // Latest writer = the largest task id among interval writers; the
     // analyzer does not expose it directly, so scan the graph tail. Tasks
     // are few enough (and this call rare enough) for a linear scan.
@@ -300,7 +301,7 @@ void Runtime::taskwait_on(RegionId region) {
   if (writer != kInvalidTask) {
     executor_->wait_task(writer);
   }
-  std::lock_guard lock(mutex_);
+  versa::RecursiveLockGuard lock(mutex_);
   TransferList ops;
   directory_.flush_region(region, ops);
   makespan_ = std::max(makespan_, executor_->flush(ops));
@@ -308,7 +309,20 @@ void Runtime::taskwait_on(RegionId region) {
 
 Time Runtime::now() const { return executor_->now(); }
 
-Time Runtime::elapsed() const { return makespan_; }
+Time Runtime::elapsed() const {
+  versa::RecursiveLockGuard lock(mutex_);
+  return makespan_;
+}
+
+std::uint64_t Runtime::failed_attempts() const {
+  versa::RecursiveLockGuard lock(mutex_);
+  return failed_attempts_;
+}
+
+ProfileLoadResult Runtime::profile_load_result() const {
+  versa::RecursiveLockGuard lock(mutex_);
+  return profile_load_;
+}
 
 const TransferStats& Runtime::transfer_stats() const {
   return directory_.stats();

@@ -17,12 +17,16 @@
 //
 // Thread-safety: submit/taskwait are master-thread calls; task bodies may
 // submit nested tasks. The runtime serializes internal state with one
-// recursive lock (scheduler policies therefore need no locking of their
-// own, as stated in the Scheduler contract).
+// annotated recursive lock of class kLockRankRuntime (mutex_). Scheduler
+// *decision* state therefore needs no locking of its own, as stated in the
+// Scheduler contract; the dequeue fast path is the exception and carries
+// its own locks (DESIGN.md §9). The graph, directory, analyzer and
+// registry aggregates are runtime-lock serialized through the REQUIRES
+// annotations on the ExecutorPort accessors; the scalar result fields are
+// GUARDED_BY(mutex_) directly.
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "data/directory.h"
@@ -35,6 +39,7 @@
 #include "task/dependency_analyzer.h"
 #include "task/task_graph.h"
 #include "task/version_registry.h"
+#include "util/annotated_sync.h"
 
 namespace versa {
 
@@ -97,9 +102,9 @@ class Runtime final : public SchedulerContext, public ExecutorPort {
 
   /// Outcome of the warm-start profile load (kMissing when no load path
   /// was configured or the first task has not been submitted yet).
-  const ProfileLoadResult& profile_load_result() const {
-    return profile_load_;
-  }
+  /// Returned by value: the field is lock-guarded, so handing out a
+  /// reference would leak it past the critical section.
+  ProfileLoadResult profile_load_result() const;
 
   Scheduler& scheduler() { return *scheduler_; }
   const VersionRegistry& version_registry() const { return registry_; }
@@ -117,18 +122,23 @@ class Runtime final : public SchedulerContext, public ExecutorPort {
 
   // --- ExecutorPort -------------------------------------------------------
   Scheduler& port_scheduler() override { return *scheduler_; }
-  TaskGraph& port_graph() override { return graph_; }
-  DataDirectory& port_directory() override { return directory_; }
+  TaskGraph& port_graph() override VERSA_REQUIRES(mutex_) { return graph_; }
+  DataDirectory& port_directory() override VERSA_REQUIRES(mutex_) {
+    return directory_;
+  }
   const VersionRegistry& port_registry() override { return registry_; }
   const Machine& port_machine() override { return machine_; }
   void port_complete(TaskId task, WorkerId worker, Time start,
-                     Time finish) override;
+                     Time finish) override VERSA_REQUIRES(mutex_);
   void port_failed(TaskId task, WorkerId worker, Time start,
-                   Time finish) override;
-  std::recursive_mutex& port_mutex() override { return mutex_; }
+                   Time finish) override VERSA_REQUIRES(mutex_);
+  versa::RecursiveMutex& port_mutex() override
+      VERSA_RETURN_CAPABILITY(mutex_) {
+    return mutex_;
+  }
 
   /// Transient attempt failures observed so far (failure injection).
-  std::uint64_t failed_attempts() const { return failed_attempts_; }
+  std::uint64_t failed_attempts() const;
 
  private:
   const Machine& machine_;
@@ -138,20 +148,24 @@ class Runtime final : public SchedulerContext, public ExecutorPort {
   DependencyAnalyzer analyzer_;
   TaskGraph graph_;
   RunStatsCollector run_stats_;
-  std::recursive_mutex mutex_;
+  /// The runtime lock (lock class kLockRankRuntime; see DESIGN.md §9).
+  /// Recursive because task bodies running under the sim event loop may
+  /// re-enter submit/taskwait. Mutable so quiescent const accessors
+  /// (elapsed, failed_attempts) can lock honestly.
+  mutable versa::RecursiveMutex mutex_{lock_order::kLockRankRuntime};
   std::unique_ptr<Scheduler> scheduler_;
   // Destroyed first (declared last): the thread backend joins its workers
   // in its destructor while the rest of the runtime is still alive.
   std::unique_ptr<Executor> executor_;
-  Time makespan_ = 0.0;
-  std::uint64_t failed_attempts_ = 0;
-  bool profile_loaded_ = false;
-  ProfileLoadResult profile_load_;
+  Time makespan_ VERSA_GUARDED_BY(mutex_) = 0.0;
+  std::uint64_t failed_attempts_ VERSA_GUARDED_BY(mutex_) = 0;
+  bool profile_loaded_ VERSA_GUARDED_BY(mutex_) = false;
+  ProfileLoadResult profile_load_ VERSA_GUARDED_BY(mutex_);
 
   ProfileStore make_profile_store() const;
-  void maybe_load_profile();
+  void maybe_load_profile() VERSA_REQUIRES(mutex_);
   void maybe_save_profile();
-  void release_ready(const std::vector<TaskId>& ready);
+  void release_ready(const std::vector<TaskId>& ready) VERSA_REQUIRES(mutex_);
 };
 
 }  // namespace versa

@@ -32,6 +32,13 @@
 // index over (busy, queued count, worker id), so least-busy lookups and
 // earliest-executor walks are O(log workers) instead of sweeping every
 // worker and rescanning its queue.
+//
+// Thread-safety: none of its own, by design — the LoadAccount is a plain
+// data structure. Since the ThreadExecutor lock split it is shared between
+// lock-free poppers/stealers and runtime-locked placement, so every
+// instance lives behind a dedicated mutex: QueueScheduler declares its
+// account_ GUARDED_BY(account_mutex_) (lock class kLockRankAccount) and
+// the thread-safety analysis rejects unlocked access paths (DESIGN.md §9).
 #pragma once
 
 #include <array>

@@ -6,6 +6,14 @@
 // range-based grouping as future work (§VII #2); both are implemented and
 // selectable. The mean is arithmetic by default with an EMA option
 // (footnote 3).
+//
+// Thread-safety: externally synchronized by the runtime lock
+// (kLockRankRuntime). The table is policy-decision state — record() fires
+// from task_completed and mean() from placement, both of which the runtime
+// serializes — so it carries no lock of its own; the lock-split fast path
+// (pop/steal) never touches it. The mean listener it fires is the one
+// bridge to locked state: VersioningScheduler's listener re-prices the
+// load account under the account mutex (DESIGN.md §9).
 #pragma once
 
 #include <cstdint>

@@ -6,6 +6,8 @@ namespace versa {
 
 void Scheduler::attach(SchedulerContext& ctx) { ctx_ = &ctx; }
 
+TaskId Scheduler::try_pop_queued(WorkerId) { return kInvalidTask; }
+
 void Scheduler::task_completed(Task&, WorkerId, Duration) {}
 
 void Scheduler::task_failed(Task&, WorkerId) {}
@@ -29,8 +31,9 @@ std::vector<WorkerId> Scheduler::compatible_workers(
 
 void QueueScheduler::attach(SchedulerContext& ctx) {
   Scheduler::attach(ctx);
-  queues_.assign(ctx.machine().worker_count(), {});
-  pending_ = 0;
+  queues_.reset(ctx.machine().worker_count());
+  pending_.store(0, std::memory_order_relaxed);
+  versa::LockGuard lock(account_mutex_);
   account_.reset(ctx.machine());
 }
 
@@ -41,31 +44,32 @@ std::uint64_t QueueScheduler::price_group(const Task& task) const {
 void QueueScheduler::push_to_worker(Task& task, VersionId version,
                                     WorkerId worker, const PushInfo& info) {
   VERSA_CHECK(ctx_ != nullptr);
-  VERSA_CHECK(worker < queues_.size());
+  VERSA_CHECK(worker < queues_.worker_count());
   const TaskVersion& v = ctx_->registry().version(version);
   VERSA_CHECK_MSG(v.device == ctx_->machine().worker(worker).kind,
                   "version/worker device mismatch");
   VERSA_CHECK(task.state == TaskState::kReady);
-  const Duration busy_before = account_.busy(worker);
   task.chosen_version = version;
   task.assigned_worker = worker;
   task.state = TaskState::kQueued;
   // Charge the account; freeze the applied charge (the current profile
   // mean when known, else the caller's estimate) so a later mean-forgotten
   // re-price — and the rescan reference — can still price this task.
-  task.scheduler_estimate = account_.on_push(
-      task.id, core::PriceKey{task.type, version, price_group(task)}, worker,
-      info.estimate);
-  // Priority insertion, stable within a priority level: walk back past
-  // queued tasks with strictly lower priority.
-  std::deque<TaskId>& queue = queues_[worker];
-  auto it = queue.end();
-  while (it != queue.begin() &&
-         ctx_->graph().task(*(it - 1)).priority < task.priority) {
-    --it;
+  Duration busy_before;
+  {
+    versa::LockGuard lock(account_mutex_);
+    busy_before = account_.busy(worker);
+    task.scheduler_estimate = account_.on_push(
+        task.id, core::PriceKey{task.type, version, price_group(task)},
+        worker, info.estimate);
   }
-  queue.insert(it, task.id);
-  ++pending_;
+  // The push makes the task visible to concurrent lock-free poppers; every
+  // task field above is written before this point, and the shard mutex
+  // pairs the writes with the popping thread's reads.
+  queues_.push(worker, core::QueueEntry{task.id, task.type, version,
+                                        task.priority,
+                                        task.scheduler_estimate});
+  pending_.fetch_add(1, std::memory_order_relaxed);
   if (trace_.enabled()) {
     trace_.record(core::TraceEvent{
         ctx_->now(), task.id, task.type, version, worker, busy_before,
@@ -77,13 +81,18 @@ void QueueScheduler::push_to_worker(Task& task, VersionId version,
 }
 
 TaskId QueueScheduler::pop_task(WorkerId worker) {
-  VERSA_CHECK(worker < queues_.size());
-  if (!queues_[worker].empty()) {
-    const TaskId id = queues_[worker].front();
-    queues_[worker].pop_front();
-    --pending_;
-    account_.on_pop(id, worker);
-    return id;
+  // The queue path never needs the runtime lock; under it this is simply
+  // the same dequeue, serialized.
+  return try_pop_queued(worker);
+}
+
+TaskId QueueScheduler::try_pop_queued(WorkerId worker) {
+  VERSA_CHECK(worker < queues_.worker_count());
+  if (std::optional<core::QueueEntry> entry = queues_.pop_front(worker)) {
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    versa::LockGuard lock(account_mutex_);
+    account_.on_pop(entry->id, worker);
+    return entry->id;
   }
   if (stealing_) return steal_for(worker);
   return kInvalidTask;
@@ -92,76 +101,96 @@ TaskId QueueScheduler::pop_task(WorkerId worker) {
 TaskId QueueScheduler::steal_for(WorkerId thief) {
   const DeviceKind kind = ctx_->machine().worker(thief).kind;
   // Steal from the back of the most loaded queue of a same-kind worker:
-  // the victim keeps its locality-friendly head-of-queue work.
+  // the victim keeps its locality-friendly head-of-queue work. Victim
+  // selection reads only the atomic length mirrors.
   WorkerId victim = kInvalidWorker;
   std::size_t best = 0;
   for (const WorkerDesc& w : ctx_->machine().workers()) {
     if (w.id == thief || w.kind != kind) continue;
-    if (queues_[w.id].size() > best) {
-      best = queues_[w.id].size();
+    const std::size_t len = queues_.length(w.id);
+    if (len > best) {
+      best = len;
       victim = w.id;
     }
   }
   if (victim == kInvalidWorker || best == 0) return kInvalidTask;
-  const TaskId id = queues_[victim].back();
-  queues_[victim].pop_back();
-  --pending_;
-  // Re-home the task so the executor acquires data for the thief's space.
-  Task& task = ctx_->graph().task(id);
-  task.assigned_worker = thief;
-  account_.on_steal(id, victim, thief);
-  account_.on_pop(id, thief);
+  const std::optional<core::QueueEntry> entry = queues_.steal_back(victim);
+  if (!entry) return kInvalidTask;  // raced away under a concurrent pop
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  Duration victim_busy;
+  {
+    versa::LockGuard lock(account_mutex_);
+    account_.on_steal(entry->id, victim, thief);
+    account_.on_pop(entry->id, thief);
+    victim_busy = account_.busy(victim);
+  }
+  // Task::assigned_worker is re-homed by the executor under the runtime
+  // lock when the stolen task starts (this path cannot touch the graph).
   if (trace_.enabled()) {
     trace_.record(core::TraceEvent{
-        ctx_->now(), id, task.type, task.chosen_version, thief,
-        account_.busy(victim), task.scheduler_estimate, 0.0, 0,
-        core::TraceEventKind::kSteal});
+        ctx_->now(), entry->id, entry->type, entry->version, thief,
+        victim_busy, entry->estimate, 0.0, 0, core::TraceEventKind::kSteal});
   }
-  return id;
+  return entry->id;
 }
 
 void QueueScheduler::task_completed(Task& task, WorkerId worker,
                                     Duration measured) {
-  account_.on_settle(worker);
+  Duration busy_after;
+  {
+    versa::LockGuard lock(account_mutex_);
+    account_.on_settle(worker);
+    busy_after = account_.busy(worker);
+  }
   if (trace_.enabled()) {
     trace_.record(core::TraceEvent{
         ctx_->now(), task.id, task.type, task.chosen_version, worker,
-        account_.busy(worker), measured, 0.0, 0,
-        core::TraceEventKind::kComplete});
+        busy_after, measured, 0.0, 0, core::TraceEventKind::kComplete});
   }
 }
 
 void QueueScheduler::task_failed(Task& task, WorkerId worker) {
-  account_.on_settle(worker);
+  Duration busy_after;
+  {
+    versa::LockGuard lock(account_mutex_);
+    account_.on_settle(worker);
+    busy_after = account_.busy(worker);
+  }
   if (trace_.enabled()) {
     trace_.record(core::TraceEvent{
         ctx_->now(), task.id, task.type, task.chosen_version, worker,
-        account_.busy(worker), 0.0, 0.0, 0, core::TraceEventKind::kFailure});
+        busy_after, 0.0, 0.0, 0, core::TraceEventKind::kFailure});
   }
 }
 
 Duration QueueScheduler::estimated_busy(WorkerId worker) const {
+  versa::LockGuard lock(account_mutex_);
   return account_.busy(worker);
 }
 
-bool QueueScheduler::has_pending() const { return pending_ > 0; }
-
-std::size_t QueueScheduler::queue_length(WorkerId worker) const {
-  VERSA_CHECK(worker < queues_.size());
-  return queues_[worker].size();
+bool QueueScheduler::has_pending() const {
+  return pending_.load(std::memory_order_relaxed) > 0;
 }
 
-const std::deque<TaskId>& QueueScheduler::queue(WorkerId worker) const {
-  VERSA_CHECK(worker < queues_.size());
-  return queues_[worker];
+std::size_t QueueScheduler::queue_length(WorkerId worker) const {
+  return queues_.length(worker);
+}
+
+std::vector<TaskId> QueueScheduler::queued_tasks(WorkerId worker) const {
+  return queues_.snapshot(worker);
 }
 
 WorkerId QueueScheduler::least_loaded(
     const std::vector<WorkerId>& candidates) const {
   VERSA_CHECK_MSG(!candidates.empty(), "no compatible worker for task");
   WorkerId best = candidates.front();
+  std::size_t best_len = queues_.length(best);
   for (WorkerId w : candidates) {
-    if (queues_[w].size() < queues_[best].size()) best = w;
+    const std::size_t len = queues_.length(w);
+    if (len < best_len) {
+      best = w;
+      best_len = len;
+    }
   }
   return best;
 }

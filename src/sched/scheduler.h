@@ -9,11 +9,20 @@
 //  * pop_task(w)          — worker w is idle and asks for work.
 //  * task_completed(t,w,d)— t finished on w with measured duration d;
 //                           called before the successors' task_ready.
-// All calls arrive under the runtime lock; policies need no internal
-// synchronization.
+// These calls arrive under the runtime lock; policy-*decision* state
+// (pools, cursors, profile tables) therefore needs no locking of its own.
+//
+// The exception, since the ThreadExecutor lock split, is the dequeue fast
+// path: try_pop_queued(w) may be called by a worker thread WITHOUT the
+// runtime lock. QueueScheduler implements it over the sharded WorkerQueues
+// (per-worker queue mutexes) and the account mutex, so popping and
+// stealing already-placed work never serializes on the runtime lock; the
+// base implementation returns kInvalidTask, which makes executors fall
+// back to pop_task under the runtime lock. Lock classes and ranking are
+// documented in DESIGN.md §9.
 #pragma once
 
-#include <deque>
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,13 +31,16 @@
 #include "machine/machine.h"
 #include "sched/core/decision_trace.h"
 #include "sched/core/load_account.h"
+#include "sched/core/worker_queues.h"
 #include "task/task.h"
 #include "task/task_graph.h"
 #include "task/version_registry.h"
+#include "util/annotated_sync.h"
 
 namespace versa {
 
-/// Runtime services a policy may use.
+/// Runtime services a policy may use. All of them are runtime-lock
+/// serialized (policies call them from under the runtime lock).
 class SchedulerContext {
  public:
   virtual ~SchedulerContext() = default;
@@ -58,8 +70,14 @@ class Scheduler {
   /// (sufferage) decide here; per-task policies ignore it.
   virtual void ready_batch_done() {}
 
-  /// Next task for an idle worker, or kInvalidTask.
+  /// Next task for an idle worker, or kInvalidTask. Runtime lock held.
   virtual TaskId pop_task(WorkerId worker) = 0;
+
+  /// Lock-split fast path: dequeue work already placed on a worker queue
+  /// (own queue first, then steals) WITHOUT the runtime lock. Policies
+  /// with no such path return kInvalidTask and the executor falls back to
+  /// pop_task under the runtime lock. Must not touch the task graph.
+  virtual TaskId try_pop_queued(WorkerId worker);
 
   virtual void task_completed(Task& task, WorkerId worker, Duration measured);
 
@@ -77,7 +95,9 @@ class Scheduler {
 
   /// Decision-trace ring shared by every policy: disabled (and free) by
   /// default; the runtime enables it on --sched-trace / VERSA_SCHED_TRACE
-  /// and src/perf/sched_trace.h renders it after the run.
+  /// and src/perf/sched_trace.h renders it after the run. Internally
+  /// synchronized (lock class kLockRankTrace) — steals record events from
+  /// worker threads outside the runtime lock.
   core::DecisionTrace& decision_trace() { return trace_; }
   const core::DecisionTrace& decision_trace() const { return trace_; }
 
@@ -103,17 +123,29 @@ struct PushInfo {
 };
 
 /// Shared per-worker FIFO queue machinery for push-style policies.
+///
+/// Lock split (DESIGN.md §9): already-placed work lives in the sharded
+/// WorkerQueues (one kLockRankQueue mutex per worker), busy accounting and
+/// the finish-time index live in account_ under the kLockRankAccount
+/// mutex, and the pending counter is atomic — so try_pop_queued (pop +
+/// steal) runs without the runtime lock. Placement *decisions*
+/// (task_ready and subclass policy state) still arrive under the runtime
+/// lock, which orders them against the task graph.
 class QueueScheduler : public Scheduler {
  public:
   void attach(SchedulerContext& ctx) override;
   TaskId pop_task(WorkerId worker) override;
+  TaskId try_pop_queued(WorkerId worker) override;
   bool has_pending() const override;
 
-  /// Queue length of a worker (tie-breaking and tests).
+  /// Queue length of a worker (tie-breaking and tests). Lock-free read of
+  /// the shard's atomic length mirror.
   std::size_t queue_length(WorkerId worker) const;
 
-  /// The tasks queued on a worker, head first (busy-time estimation).
-  const std::deque<TaskId>& queue(WorkerId worker) const;
+  /// Snapshot of the task ids queued on a worker, head first (busy-time
+  /// rescan cross-checks and tests). Replaces the old by-reference
+  /// queue() accessor, which could not survive concurrent shard access.
+  std::vector<TaskId> queued_tasks(WorkerId worker) const;
 
   /// Estimated seconds of queued + running work, maintained incrementally
   /// by the load account (exact zero for policies that charge no
@@ -127,7 +159,7 @@ class QueueScheduler : public Scheduler {
   /// Assign `task` to `worker` running `version`: charges the account,
   /// records the trace event, freezes the applied charge into
   /// task.scheduler_estimate, queues with priority insertion, and fires
-  /// the prefetch hook.
+  /// the prefetch hook. Runtime lock held (mutates the task).
   void push_to_worker(Task& task, VersionId version, WorkerId worker,
                       const PushInfo& info = PushInfo());
 
@@ -135,18 +167,24 @@ class QueueScheduler : public Scheduler {
   /// with profile tables override this with their grouping policy).
   virtual std::uint64_t price_group(const Task& task) const;
 
-  /// Enable same-device-kind work stealing on empty pops.
+  /// Enable same-device-kind work stealing on empty pops. Policies set
+  /// this at construction, before any worker thread exists.
   void set_stealing(bool enabled) { stealing_ = enabled; }
 
   /// Least-loaded worker among `candidates` (by queue length, then id).
   WorkerId least_loaded(const std::vector<WorkerId>& candidates) const;
 
+  /// Guards account_: the incremental busy accounting and its per-kind
+  /// finish-time index. Acquired after the runtime lock and never while a
+  /// queue shard is held (rank 20, between runtime and queue shards).
+  mutable versa::Mutex account_mutex_{lock_order::kLockRankAccount};
+
   /// Incremental busy accounting + per-kind finish-time index.
-  core::LoadAccount account_;
+  core::LoadAccount account_ VERSA_GUARDED_BY(account_mutex_);
 
  private:
-  std::vector<std::deque<TaskId>> queues_;
-  std::size_t pending_ = 0;
+  core::WorkerQueues queues_;
+  std::atomic<std::size_t> pending_{0};
   bool stealing_ = false;
 
   TaskId steal_for(WorkerId thief);

@@ -14,6 +14,9 @@ SufferageScheduler::Placement SufferageScheduler::evaluate(
   Placement placement;
   Duration best = kTimeInfinity;
   Duration second = kTimeInfinity;
+  // The index walk reads the account under its lock; the caller pushes
+  // (re-acquiring it) only after this evaluation returns.
+  versa::LockGuard lock(account_mutex_);
   for (VersionId v : ctx_->registry().versions(task.type)) {
     const TaskVersion& version = ctx_->registry().version(v);
     const auto mean = profile().mean(task.type, v, task.data_set_size);

@@ -19,6 +19,7 @@ void VersioningScheduler::attach(SchedulerContext& ctx) {
   profile_->set_mean_listener(
       [this](TaskTypeId type, VersionId version, std::uint64_t group,
              std::optional<Duration> mean) {
+        versa::LockGuard lock(account_mutex_);
         account_.reprice(core::PriceKey{type, version, group}, mean);
       });
   learning_executions_ = 0;
@@ -82,17 +83,23 @@ Duration VersioningScheduler::estimated_busy(WorkerId worker) const {
   if (debug_cross_check_) {
     // O(queue) rescan reference: the queued charge must equal the sum of
     // the current means of the queued tasks (push-time charges where the
-    // mean is unknown — exactly what scheduler_estimate froze).
+    // mean is unknown — exactly what scheduler_estimate froze). Exact only
+    // while the queues are quiescent or runtime-lock serialized (the sim
+    // backend and the tests that enable it); the snapshot and the account
+    // read are two separate critical sections.
     core::Ticks reference = 0;
-    for (TaskId id : queue(worker)) {
+    for (TaskId id : queued_tasks(worker)) {
       const Task& task = ctx_->graph().task(id);
       const auto mean =
           profile_->mean(task.type, task.chosen_version, task.data_set_size);
       reference += core::to_ticks(mean.value_or(task.scheduler_estimate));
     }
+    versa::LockGuard lock(account_mutex_);
     VERSA_CHECK_MSG(reference == account_.queued_ticks(worker),
                     "incremental busy account diverged from rescan reference");
+    return account_.busy(worker);
   }
+  versa::LockGuard lock(account_mutex_);
   return account_.busy(worker);
 }
 
@@ -100,6 +107,7 @@ WorkerId VersioningScheduler::least_busy_worker(
     const TaskVersion& version) const {
   // The finish-time index orders workers by (busy, queue length, id) —
   // the historical tie-break — so this is one O(log workers) lookup.
+  versa::LockGuard lock(account_mutex_);
   return account_.least_busy(version.device);
 }
 
@@ -173,48 +181,55 @@ void VersioningScheduler::assign_earliest_executor(Task& task) {
   Duration best_penalty = 0.0;
   std::uint32_t candidates = 0;
 
-  for (VersionId v : ctx_->registry().versions(task.type)) {
-    const TaskVersion& version = ctx_->registry().version(v);
-    const auto mean = profile_->mean(task.type, v, task.data_set_size);
-    if (!mean) continue;  // version's device has no workers (never ran)
-    if (fastest_executor_only_) {
-      // Ablation strawman: the queue-length epsilon only spreads exact
-      // ties; perf is irrelevant, so keep the plain worker sweep.
-      for (const WorkerDesc& w : ctx_->machine().workers()) {
-        if (w.kind != version.device) continue;
-        const Duration busy =
-            static_cast<Duration>(queue_length(w.id)) * 1e-12;
-        const Duration penalty = placement_penalty(task, w.id);
+  {
+    // The whole candidate walk reads the finish-time index under the
+    // account lock; the push below re-acquires it, after the decision.
+    versa::LockGuard lock(account_mutex_);
+    for (VersionId v : ctx_->registry().versions(task.type)) {
+      const TaskVersion& version = ctx_->registry().version(v);
+      const auto mean = profile_->mean(task.type, v, task.data_set_size);
+      if (!mean) continue;  // version's device has no workers (never ran)
+      if (fastest_executor_only_) {
+        // Ablation strawman: the queue-length epsilon only spreads exact
+        // ties; perf is irrelevant, so keep the plain worker sweep.
+        for (const WorkerDesc& w : ctx_->machine().workers()) {
+          if (w.kind != version.device) continue;
+          const Duration busy =
+              static_cast<Duration>(queue_length(w.id)) * 1e-12;
+          const Duration penalty = placement_penalty(task, w.id);
+          const Duration finish = busy + *mean + penalty;
+          ++candidates;
+          if (best_worker == kInvalidWorker || finish < best_finish) {
+            best_version = v;
+            best_worker = w.id;
+            best_finish = finish;
+            best_estimate = *mean;
+            best_penalty = penalty;
+          }
+        }
+        continue;
+      }
+      // Finish-time index walk: workers of the version's kind arrive in
+      // increasing busy order, so the first one whose lower bound
+      // busy + mean cannot beat the best finish ends the version (the
+      // placement penalty is never negative).
+      for (const core::LoadAccount::IndexKey& key :
+           account_.workers_by_busy(version.device)) {
+        const Duration busy = core::to_seconds(std::get<0>(key));
+        if (best_worker != kInvalidWorker && busy + *mean >= best_finish) {
+          break;
+        }
+        const WorkerId w = std::get<2>(key);
+        const Duration penalty = placement_penalty(task, w);
         const Duration finish = busy + *mean + penalty;
         ++candidates;
         if (best_worker == kInvalidWorker || finish < best_finish) {
           best_version = v;
-          best_worker = w.id;
+          best_worker = w;
           best_finish = finish;
           best_estimate = *mean;
           best_penalty = penalty;
         }
-      }
-      continue;
-    }
-    // Finish-time index walk: workers of the version's kind arrive in
-    // increasing busy order, so the first one whose lower bound
-    // busy + mean cannot beat the best finish ends the version (the
-    // placement penalty is never negative).
-    for (const core::LoadAccount::IndexKey& key :
-         account_.workers_by_busy(version.device)) {
-      const Duration busy = core::to_seconds(std::get<0>(key));
-      if (best_worker != kInvalidWorker && busy + *mean >= best_finish) break;
-      const WorkerId w = std::get<2>(key);
-      const Duration penalty = placement_penalty(task, w);
-      const Duration finish = busy + *mean + penalty;
-      ++candidates;
-      if (best_worker == kInvalidWorker || finish < best_finish) {
-        best_version = v;
-        best_worker = w;
-        best_finish = finish;
-        best_estimate = *mean;
-        best_penalty = penalty;
       }
     }
   }

@@ -251,7 +251,7 @@ void run_random_workload(VersioningScheduler& sched, std::uint64_t seed) {
   };
   auto expected_busy = [&](WorkerId w) {
     Ticks sum = running_charge[w];
-    for (TaskId id : sched.queue(w)) {
+    for (TaskId id : sched.queued_tasks(w)) {
       sum += charge_of(ctx.graph_.task(id));
     }
     return sum;

@@ -320,9 +320,15 @@ TEST(QueueSchedulerStealing, IdleSameKindWorkerSteals) {
   // Worker 2 (the other GPU) is idle: it steals from worker 1's tail.
   const TaskId stolen = sched.pop_task(2);
   EXPECT_EQ(stolen, b.id);
-  EXPECT_EQ(ctx.graph_.task(stolen).assigned_worker, 2u);
+  // Since the lock split, the steal path never touches the task graph:
+  // re-homing Task::assigned_worker is the executor's job, done under the
+  // runtime lock when the stolen task starts. Here the scheduler only
+  // moved the queue entry.
+  EXPECT_EQ(sched.queue_length(1), 1u);
   // The SMP worker cannot steal GPU work.
   EXPECT_EQ(sched.pop_task(0), kInvalidTask);
+  // The victim keeps its head-of-queue task.
+  EXPECT_EQ(sched.pop_task(1), a.id);
 }
 
 // --- versioning scheduler ----------------------------------------------------
