@@ -79,7 +79,9 @@ void print_usage() {
       "  --sched-trace <path>           record the scheduler decision\n"
       "                                 trace: prints the tail as a table\n"
       "                                 and writes busy-counter tracks as\n"
-      "                                 Chrome-trace JSON to <path>\n"
+      "                                 Chrome-trace JSON to <path>; a\n"
+      "                                 .csv suffix writes the full event\n"
+      "                                 dump for versa_trace_report\n"
       "  --hints-load/--hints-save <p>  legacy profile hints files\n"
       "  --profile-load <path>          warm-start from a profile store\n"
       "  --profile-save <path>          persist the learned profile\n"
@@ -307,12 +309,19 @@ int main(int argc, char** argv) {
     std::printf("\nscheduler decisions (last 32):\n%s",
                 sched_trace_table(trace, rt.version_registry(), machine, 32)
                     .c_str());
-    if (write_sched_trace(options.sched_trace_path, trace, machine)) {
-      std::printf("scheduler trace written to %s\n",
-                  options.sched_trace_path.c_str());
+    // A .csv suffix selects the full-fidelity dump versa_trace_report
+    // replays; anything else gets the Chrome-trace counter export.
+    const std::string& path = options.sched_trace_path;
+    const bool csv =
+        path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+    const bool written =
+        csv ? write_sched_trace_csv(path, trace, rt.scheduler().name())
+            : write_sched_trace(path, trace, machine);
+    if (written) {
+      std::printf("scheduler trace written to %s\n", path.c_str());
     } else {
       std::fprintf(stderr, "could not write scheduler trace to %s\n",
-                   options.sched_trace_path.c_str());
+                   path.c_str());
     }
   }
   return 0;

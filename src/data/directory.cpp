@@ -21,6 +21,7 @@ DataDirectory::DataDirectory(const Machine& machine)
 RegionId DataDirectory::register_region(std::string name, std::uint64_t size,
                                         void* host_ptr) {
   VERSA_CHECK_MSG(size > 0, "zero-sized region");
+  versa::LockGuard lock(mutex_);
   RegionState rs;
   rs.desc.id = static_cast<RegionId>(regions_.size());
   rs.desc.name = std::move(name);
@@ -34,6 +35,7 @@ RegionId DataDirectory::register_region(std::string name, std::uint64_t size,
 }
 
 void DataDirectory::unregister_region(RegionId id) {
+  versa::LockGuard lock(mutex_);
   RegionState& rs = state(id);
   VERSA_CHECK_MSG(!rs.pinned, "cannot unregister a region mid-acquire");
   if (rs.dirty != kInvalidSpace) {
@@ -50,10 +52,14 @@ void DataDirectory::unregister_region(RegionId id) {
 }
 
 bool DataDirectory::is_registered(RegionId id) const {
+  versa::LockGuard lock(mutex_);
   return id < regions_.size() && !regions_[id].removed;
 }
 
 const RegionDesc& DataDirectory::region(RegionId id) const {
+  // Ref-returning accessor: the guard orders the lookup; the reference
+  // stays valid because descriptors are never moved (ids never reused).
+  versa::LockGuard lock(mutex_);
   return state(id).desc;
 }
 
@@ -135,6 +141,7 @@ void DataDirectory::make_room(SpaceId space, std::uint64_t needed,
 void DataDirectory::acquire(const AccessList& accesses, SpaceId space,
                             TransferList& out) {
   VERSA_CHECK(space < machine_.space_count());
+  versa::LockGuard lock(mutex_);
   // Pin the working set so evictions never victimize data this very task
   // is about to use.
   std::uint64_t incoming = 0;
@@ -173,6 +180,7 @@ void DataDirectory::acquire(const AccessList& accesses, SpaceId space,
 
 std::uint64_t DataDirectory::bytes_missing(const AccessList& accesses,
                                            SpaceId space) const {
+  versa::LockGuard lock(mutex_);
   std::uint64_t missing = 0;
   for (const Access& access : accesses) {
     if (!reads(access.mode)) continue;
@@ -184,6 +192,7 @@ std::uint64_t DataDirectory::bytes_missing(const AccessList& accesses,
 
 std::uint64_t DataDirectory::bytes_valid(const AccessList& accesses,
                                          SpaceId space) const {
+  versa::LockGuard lock(mutex_);
   std::uint64_t valid = 0;
   for (const Access& access : accesses) {
     const RegionState& rs = state(access.region);
@@ -193,6 +202,7 @@ std::uint64_t DataDirectory::bytes_valid(const AccessList& accesses,
 }
 
 void DataDirectory::flush_all(TransferList& out) {
+  versa::LockGuard lock(mutex_);
   for (auto& rs : regions_) {
     if (rs.dirty != kInvalidSpace) {
       emit_copy(rs, rs.dirty, kHostSpace, out);
@@ -203,6 +213,7 @@ void DataDirectory::flush_all(TransferList& out) {
 }
 
 void DataDirectory::flush_region(RegionId id, TransferList& out) {
+  versa::LockGuard lock(mutex_);
   RegionState& rs = state(id);
   if (rs.dirty != kInvalidSpace) {
     emit_copy(rs, rs.dirty, kHostSpace, out);
@@ -212,14 +223,17 @@ void DataDirectory::flush_region(RegionId id, TransferList& out) {
 }
 
 bool DataDirectory::is_valid_in(RegionId id, SpaceId space) const {
+  versa::LockGuard lock(mutex_);
   return (state(id).valid_mask & bit(space)) != 0;
 }
 
 SpaceId DataDirectory::dirty_space(RegionId id) const {
+  versa::LockGuard lock(mutex_);
   return state(id).dirty;
 }
 
 std::uint64_t DataDirectory::used_bytes(SpaceId space) const {
+  versa::LockGuard lock(mutex_);
   VERSA_CHECK(space < used_.size());
   return used_[space];
 }

@@ -10,6 +10,14 @@
 // The directory is a pure bookkeeping machine: it decides *which* copies
 // must happen and accounts them (Input/Output/Device Tx, §V-A); executors
 // decide *when* they happen (and, in simulation, how long they take).
+//
+// Thread-safety: the directory state lives behind its own annotated mutex
+// of lock class `data` (rank 13, between the runtime lock and the
+// scheduler's submission buffers). For now this is annotation + rank
+// only: every caller still reaches the directory under the runtime lock,
+// so the mutex is uncontended — but the GUARDED_BY/REQUIRES discipline is
+// machine-checked today, and the rank slot is reserved for the future
+// directory split (DESIGN.md §9).
 #pragma once
 
 #include <cstdint>
@@ -20,6 +28,7 @@
 #include "data/transfer_stats.h"
 #include "machine/machine.h"
 #include "task/access.h"
+#include "util/annotated_sync.h"
 
 namespace versa {
 
@@ -50,9 +59,18 @@ class DataDirectory {
 
   bool is_registered(RegionId id) const;
 
+  /// Borrowed reference into lock-guarded state: valid because region
+  /// descriptors are never moved (ids are never reused) and callers are
+  /// runtime-lock serialized; the guard inside orders the lookup itself.
   const RegionDesc& region(RegionId id) const;
-  std::size_t region_count() const { return regions_.size(); }
-  std::size_t live_region_count() const { return live_regions_; }
+  std::size_t region_count() const {
+    versa::LockGuard lock(mutex_);
+    return regions_.size();
+  }
+  std::size_t live_region_count() const {
+    versa::LockGuard lock(mutex_);
+    return live_regions_;
+  }
 
   /// Make every region accessed by `accesses` coherent for execution in
   /// `space`: appends the copies required to `out`, updates validity
@@ -81,11 +99,21 @@ class DataDirectory {
 
   std::uint64_t used_bytes(SpaceId space) const;
 
-  const TransferStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = TransferStats{}; }
+  /// Borrowed reference into lock-guarded state (see region()).
+  const TransferStats& stats() const {
+    versa::LockGuard lock(mutex_);
+    return stats_;
+  }
+  void reset_stats() {
+    versa::LockGuard lock(mutex_);
+    stats_ = TransferStats{};
+  }
 
   /// Number of evictions performed due to capacity pressure.
-  std::uint64_t eviction_count() const { return evictions_; }
+  std::uint64_t eviction_count() const {
+    versa::LockGuard lock(mutex_);
+    return evictions_;
+  }
 
  private:
   struct RegionState {
@@ -98,25 +126,32 @@ class DataDirectory {
   };
 
   const Machine& machine_;
-  std::vector<RegionState> regions_;
-  std::vector<std::uint64_t> used_;  ///< per-space bytes of valid copies
-  TransferStats stats_;
-  std::uint64_t tick_ = 0;
-  std::uint64_t evictions_ = 0;
-  std::size_t live_regions_ = 0;
+  /// Directory state lock (class `data`, rank 13). Uncontended today —
+  /// see the header comment.
+  mutable versa::Mutex mutex_{lock_order::kLockRankData};
+  std::vector<RegionState> regions_ VERSA_GUARDED_BY(mutex_);
+  /// Per-space bytes of valid copies.
+  std::vector<std::uint64_t> used_ VERSA_GUARDED_BY(mutex_);
+  TransferStats stats_ VERSA_GUARDED_BY(mutex_);
+  std::uint64_t tick_ VERSA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evictions_ VERSA_GUARDED_BY(mutex_) = 0;
+  std::size_t live_regions_ VERSA_GUARDED_BY(mutex_) = 0;
 
-  RegionState& state(RegionId id);
-  const RegionState& state(RegionId id) const;
+  RegionState& state(RegionId id) VERSA_REQUIRES(mutex_);
+  const RegionState& state(RegionId id) const VERSA_REQUIRES(mutex_);
 
   /// Pick the source space for a copy into `to` (prefers host).
-  SpaceId choose_source(const RegionState& rs, SpaceId to) const;
+  SpaceId choose_source(const RegionState& rs, SpaceId to) const
+      VERSA_REQUIRES(mutex_);
 
-  void add_valid(RegionState& rs, SpaceId space);
-  void drop_valid(RegionState& rs, SpaceId space);
-  void emit_copy(RegionState& rs, SpaceId from, SpaceId to, TransferList& out);
+  void add_valid(RegionState& rs, SpaceId space) VERSA_REQUIRES(mutex_);
+  void drop_valid(RegionState& rs, SpaceId space) VERSA_REQUIRES(mutex_);
+  void emit_copy(RegionState& rs, SpaceId from, SpaceId to, TransferList& out)
+      VERSA_REQUIRES(mutex_);
 
   /// Evict LRU unpinned copies from `space` until `needed` bytes fit.
-  void make_room(SpaceId space, std::uint64_t needed, TransferList& out);
+  void make_room(SpaceId space, std::uint64_t needed, TransferList& out)
+      VERSA_REQUIRES(mutex_);
 };
 
 }  // namespace versa

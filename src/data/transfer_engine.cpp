@@ -67,6 +67,11 @@ const std::vector<SpaceId>& TransferEngine::route(SpaceId from, SpaceId to) {
 }
 
 Time TransferEngine::enqueue_one(const TransferOp& op, Time start) {
+  versa::LockGuard lock(mutex_);
+  return enqueue_one_locked(op, start);
+}
+
+Time TransferEngine::enqueue_one_locked(const TransferOp& op, Time start) {
   if (op.from == op.to) return start;
   current_region_ = op.region;
   if (machine_.interconnect().find(op.from, op.to) != nullptr) {
@@ -83,14 +88,16 @@ Time TransferEngine::enqueue_one(const TransferOp& op, Time start) {
 }
 
 Time TransferEngine::enqueue(const TransferList& ops, Time start) {
+  versa::LockGuard lock(mutex_);
   Time done = start;
   for (const TransferOp& op : ops) {
-    done = std::max(done, enqueue_one(op, start));
+    done = std::max(done, enqueue_one_locked(op, start));
   }
   return done;
 }
 
 Time TransferEngine::link_free_at(SpaceId from, SpaceId to) const {
+  versa::LockGuard lock(mutex_);
   for (const auto& link : links_) {
     if (link.from == from && link.to == to) return link.busy_until;
   }
@@ -98,6 +105,7 @@ Time TransferEngine::link_free_at(SpaceId from, SpaceId to) const {
 }
 
 void TransferEngine::reset() {
+  versa::LockGuard lock(mutex_);
   links_.clear();
   routed_bytes_ = 0;
   records_.clear();

@@ -5,6 +5,11 @@
 // what makes transfer/compute overlap and prefetching meaningful in the
 // simulation — a prefetch issued early completes before the task needs it,
 // exactly like the asynchronous CUDA copies the paper's runtime uses.
+//
+// Thread-safety: like DataDirectory, the engine state sits behind its own
+// annotated mutex of lock class `data` (rank 13) — annotation + rank only
+// for now; every caller is the single-threaded sim event loop under the
+// runtime lock, so the mutex is uncontended (DESIGN.md §9).
 #pragma once
 
 #include <cstdint>
@@ -12,6 +17,7 @@
 
 #include "data/directory.h"
 #include "machine/machine.h"
+#include "util/annotated_sync.h"
 
 namespace versa {
 
@@ -44,11 +50,19 @@ class TransferEngine {
   Time link_free_at(SpaceId from, SpaceId to) const;
 
   /// Total bytes routed (including staging hops).
-  std::uint64_t routed_bytes() const { return routed_bytes_; }
+  std::uint64_t routed_bytes() const {
+    versa::LockGuard lock(mutex_);
+    return routed_bytes_;
+  }
 
   /// Per-hop timeline of every modelled copy, in issue order (feeds the
-  /// overlap analyzer and the trace exporter).
-  const std::vector<TransferRecord>& records() const { return records_; }
+  /// overlap analyzer and the trace exporter). Borrowed reference into
+  /// lock-guarded state: callers are runtime-lock serialized (sim-only
+  /// engine); the guard inside orders the lookup itself.
+  const std::vector<TransferRecord>& records() const {
+    versa::LockGuard lock(mutex_);
+    return records_;
+  }
 
   void reset();
 
@@ -60,19 +74,30 @@ class TransferEngine {
   };
 
   const Machine& machine_;
-  std::vector<LinkState> links_;
-  std::uint64_t routed_bytes_ = 0;
-  std::vector<TransferRecord> records_;
-  RegionId current_region_ = 0;  ///< region of the op being enqueued
+  /// Engine state lock (class `data`, rank 13). Uncontended today — see
+  /// the header comment.
+  mutable versa::Mutex mutex_{lock_order::kLockRankData};
+  std::vector<LinkState> links_ VERSA_GUARDED_BY(mutex_);
+  std::uint64_t routed_bytes_ VERSA_GUARDED_BY(mutex_) = 0;
+  std::vector<TransferRecord> records_ VERSA_GUARDED_BY(mutex_);
+  /// Region of the op being enqueued.
+  RegionId current_region_ VERSA_GUARDED_BY(mutex_) = 0;
   /// Memoized fewest-hop routes keyed by (from, to).
-  std::vector<std::vector<std::vector<SpaceId>>> routes_;
+  std::vector<std::vector<std::vector<SpaceId>>> routes_
+      VERSA_GUARDED_BY(mutex_);
 
-  LinkState& link_state(SpaceId from, SpaceId to);
-  Time occupy(SpaceId from, SpaceId to, std::uint64_t bytes, Time start);
+  /// enqueue_one body, shared with enqueue's batch loop.
+  Time enqueue_one_locked(const TransferOp& op, Time start)
+      VERSA_REQUIRES(mutex_);
+
+  LinkState& link_state(SpaceId from, SpaceId to) VERSA_REQUIRES(mutex_);
+  Time occupy(SpaceId from, SpaceId to, std::uint64_t bytes, Time start)
+      VERSA_REQUIRES(mutex_);
 
   /// Space sequence from -> ... -> to (inclusive); computed by BFS over
   /// the link graph and cached. Aborts if no path exists.
-  const std::vector<SpaceId>& route(SpaceId from, SpaceId to);
+  const std::vector<SpaceId>& route(SpaceId from, SpaceId to)
+      VERSA_REQUIRES(mutex_);
 };
 
 }  // namespace versa

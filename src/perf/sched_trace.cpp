@@ -89,4 +89,37 @@ bool write_sched_trace(const std::string& path,
   return static_cast<bool>(file);
 }
 
+std::string sched_trace_csv(const core::DecisionTrace& trace,
+                            const std::string& policy) {
+  std::string out = "# versa-sched-trace v1\n";
+  out += "# policy=" + policy + "\n";
+  char buffer[288];
+  std::snprintf(buffer, sizeof(buffer),
+                "# recorded=%llu dropped=%llu capacity=%zu\n",
+                static_cast<unsigned long long>(trace.total()),
+                static_cast<unsigned long long>(trace.dropped()),
+                trace.capacity());
+  out += buffer;
+  out += "time,kind,task,type,version,worker,busy,estimate,penalty,"
+         "candidates\n";
+  for (const core::TraceEvent& e : trace.events()) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "%.9e,%s,%llu,%u,%u,%u,%.9e,%.9e,%.9e,%u\n", e.time,
+                  to_string(e.kind), static_cast<unsigned long long>(e.task),
+                  e.type, e.version, e.worker, e.busy_term, e.mean_term,
+                  e.penalty_term, e.candidates);
+    out += buffer;
+  }
+  return out;
+}
+
+bool write_sched_trace_csv(const std::string& path,
+                           const core::DecisionTrace& trace,
+                           const std::string& policy) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << sched_trace_csv(trace, policy);
+  return static_cast<bool>(file);
+}
+
 }  // namespace versa

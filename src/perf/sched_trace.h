@@ -31,4 +31,18 @@ bool write_sched_trace(const std::string& path,
                        const core::DecisionTrace& trace,
                        const Machine& machine);
 
+/// Full-fidelity CSV dump of the retained events, oldest first: `#`
+/// metadata lines (format version, policy name, ring totals), a header
+/// row, then one row per TraceEvent with every field round-tripped (%.9e
+/// doubles). The Chrome-trace export above collapses placements into
+/// counter samples; this dump is what the offline analyzer
+/// (versa_trace_report, src/perf/trace_report.h) replays.
+std::string sched_trace_csv(const core::DecisionTrace& trace,
+                            const std::string& policy);
+
+/// Write sched_trace_csv() to `path`. False on I/O failure.
+bool write_sched_trace_csv(const std::string& path,
+                           const core::DecisionTrace& trace,
+                           const std::string& policy);
+
 }  // namespace versa

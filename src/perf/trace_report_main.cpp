@@ -1,0 +1,89 @@
+// versa_trace_report — offline analyzer for --sched-trace CSV dumps.
+//
+//   versa_run --scheduler versioning --sched-trace run.csv ...
+//   versa_trace_report run.csv [more.csv ...]
+//
+// Prints, per dump, the totals plus steal churn and learning-phase
+// coverage; with several dumps a final comparison table lines the
+// policies up side by side.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "perf/report.h"
+#include "perf/trace_report.h"
+
+namespace {
+
+void print_usage() {
+  std::fprintf(
+      stderr,
+      "usage: versa_trace_report <trace.csv> [more.csv ...]\n"
+      "\n"
+      "Analyzes decision-trace CSV dumps written by versa_run\n"
+      "--sched-trace <path>.csv (a .json suffix selects the Chrome-trace\n"
+      "export instead, which this tool does not read). Reports steal churn\n"
+      "and learning-phase coverage per policy.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
+      std::strcmp(argv[1], "-h") == 0) {
+    print_usage();
+    return argc < 2 ? 1 : 0;
+  }
+
+  struct Analyzed {
+    std::string path;
+    versa::SchedTraceDump dump;
+    versa::TraceReport report;
+  };
+  std::vector<Analyzed> analyzed;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    std::ifstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "versa_trace_report: cannot open %s\n",
+                   path.c_str());
+      return 1;
+    }
+    versa::SchedTraceDump dump;
+    std::string error;
+    if (!versa::parse_sched_trace_csv(file, dump, error)) {
+      std::fprintf(stderr, "versa_trace_report: %s: %s\n", path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    analyzed.push_back({path, std::move(dump), {}});
+    analyzed.back().report = versa::analyze_sched_trace(analyzed.back().dump);
+  }
+
+  for (const Analyzed& a : analyzed) {
+    std::printf("== %s ==\n%s\n", a.path.c_str(),
+                versa::render_trace_report(a.dump, a.report).c_str());
+  }
+
+  if (analyzed.size() > 1) {
+    versa::TablePrinter table({"policy", "placements", "learning", "steals",
+                               "churn%", "coverage%"});
+    for (const Analyzed& a : analyzed) {
+      char churn[32];
+      char coverage[32];
+      std::snprintf(churn, sizeof(churn), "%.1f", a.report.steal_churn * 100.0);
+      std::snprintf(coverage, sizeof(coverage), "%.1f",
+                    a.report.learning_share * 100.0);
+      table.add_row({a.dump.policy,
+                     std::to_string(a.report.placements +
+                                    a.report.learning_placements),
+                     std::to_string(a.report.learning_placements),
+                     std::to_string(a.report.steals), churn, coverage});
+    }
+    std::printf("== comparison ==\n%s", table.to_string().c_str());
+  }
+  return 0;
+}

@@ -216,9 +216,10 @@ void Runtime::release_ready(const std::vector<TaskId>& ready) {
 
 void Runtime::port_complete(TaskId id, WorkerId worker, Time start,
                             Time finish) {
-  // REQUIRES(mutex_): the reporting executor already holds the runtime
-  // lock (thread backend locks around the call; the sim event loop holds
-  // it for the whole wait).
+  // Annotated VERSA_REQUIRES(mutex_) in the header, like port_failed: the
+  // reporting executor already holds the runtime lock (the thread backend
+  // locks around the call; the sim event loop holds it for the whole
+  // wait), and the analysis checks every caller against that declaration.
   Task& task = graph_.task(id);
   task.start_time = start;
   task.measured_duration = finish - start;

@@ -118,7 +118,12 @@ class Runtime final : public SchedulerContext, public ExecutorPort {
   DataDirectory& directory() override { return directory_; }
   TaskGraph& graph() override { return graph_; }
   Time now() const override;
-  void task_assigned(TaskId task, WorkerId worker) override;
+  /// Prefetch hook (SchedulerContext): always reached from a placement
+  /// decision made under the runtime lock (task_ready/ready_batch_done or
+  /// pop_task's pool fallback), and the executor side touches the
+  /// directory, so the requirement is annotated like the port_* siblings.
+  void task_assigned(TaskId task, WorkerId worker) override
+      VERSA_REQUIRES(mutex_);
 
   // --- ExecutorPort -------------------------------------------------------
   Scheduler& port_scheduler() override { return *scheduler_; }

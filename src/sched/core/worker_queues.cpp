@@ -12,16 +12,50 @@ void WorkerQueues::reset(std::size_t worker_count) {
   }
 }
 
-void WorkerQueues::push(WorkerId worker, const QueueEntry& entry) {
-  VERSA_CHECK(worker < shards_.size());
-  Shard& shard = *shards_[worker];
-  versa::LockGuard lock(shard.mutex);
+void WorkerQueues::insert_locked(Shard& shard, const QueueEntry& entry) {
   auto it = shard.entries.end();
   while (it != shard.entries.begin() && (it - 1)->priority < entry.priority) {
     --it;
   }
   shard.entries.insert(it, entry);
   shard.length.store(shard.entries.size(), std::memory_order_relaxed);
+}
+
+void WorkerQueues::push(WorkerId worker, const QueueEntry& entry) {
+  VERSA_CHECK(worker < shards_.size());
+  Shard& shard = *shards_[worker];
+  versa::LockGuard lock(shard.mutex);
+  insert_locked(shard, entry);
+}
+
+void WorkerQueues::buffer_push(WorkerId worker, const QueueEntry& entry) {
+  VERSA_CHECK(worker < shards_.size());
+  Shard& shard = *shards_[worker];
+  versa::LockGuard lock(shard.submit_mutex);
+  shard.buffer.push_back(entry);
+  // Release pairs with drain()'s acquire so a drainer that observes the
+  // count also observes the entry.
+  shard.buffered.store(shard.buffer.size(), std::memory_order_release);
+}
+
+void WorkerQueues::drain(WorkerId worker) {
+  VERSA_CHECK(worker < shards_.size());
+  Shard& shard = *shards_[worker];
+  if (shard.buffered.load(std::memory_order_acquire) == 0) return;
+  versa::LockGuard submit_lock(shard.submit_mutex);
+  if (shard.buffer.empty()) return;  // raced with another drainer
+  versa::LockGuard queue_lock(shard.mutex);
+  for (const QueueEntry& entry : shard.buffer) {
+    insert_locked(shard, entry);
+  }
+  shard.buffer.clear();
+  shard.buffered.store(0, std::memory_order_release);
+}
+
+void WorkerQueues::drain_all() {
+  for (WorkerId worker = 0; worker < shards_.size(); ++worker) {
+    drain(worker);
+  }
 }
 
 std::optional<QueueEntry> WorkerQueues::pop_front(WorkerId worker) {
@@ -48,16 +82,28 @@ std::optional<QueueEntry> WorkerQueues::steal_back(WorkerId victim) {
 
 std::size_t WorkerQueues::length(WorkerId worker) const {
   VERSA_CHECK(worker < shards_.size());
-  return shards_[worker]->length.load(std::memory_order_relaxed);
+  const Shard& shard = *shards_[worker];
+  return shard.length.load(std::memory_order_relaxed) +
+         shard.buffered.load(std::memory_order_relaxed);
+}
+
+std::size_t WorkerQueues::buffered_length(WorkerId worker) const {
+  VERSA_CHECK(worker < shards_.size());
+  return shards_[worker]->buffered.load(std::memory_order_relaxed);
 }
 
 std::vector<TaskId> WorkerQueues::snapshot(WorkerId worker) const {
   VERSA_CHECK(worker < shards_.size());
   const Shard& shard = *shards_[worker];
+  // submit(16) before queue(30): documented rank order.
+  versa::LockGuard submit_lock(shard.submit_mutex);
   versa::LockGuard lock(shard.mutex);
   std::vector<TaskId> out;
-  out.reserve(shard.entries.size());
+  out.reserve(shard.entries.size() + shard.buffer.size());
   for (const QueueEntry& entry : shard.entries) {
+    out.push_back(entry.id);
+  }
+  for (const QueueEntry& entry : shard.buffer) {
     out.push_back(entry.id);
   }
   return out;

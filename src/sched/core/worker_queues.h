@@ -7,12 +7,23 @@
 // with each other or with the submitting thread, and victim selection for
 // stealing reads only the atomic lengths (no locks at all).
 //
+// PR 4 adds a producer side: each shard also carries a *submission buffer*
+// under its own mutex of class kLockRankSubmit (rank 16, between the
+// runtime lock and the account lock). Producers append placement records
+// with buffer_push() without touching the queue mutex; the buffer is
+// published into the shard by drain() — from the owning worker before it
+// pops, from a thief before it steals, and from drain_all() at round
+// boundaries (ready_batch_done). Draining inserts the buffered entries in
+// arrival order with the same priority walk as push(), so a drained shard
+// is indistinguishable from one built by direct pushes.
+//
 // A QueueEntry carries everything pop/steal/tracing need about the task
-// (id, type, chosen version, priority, frozen estimate), deliberately
-// duplicated out of the TaskGraph: the graph is runtime-lock-serialized,
-// and the whole point of the split is that the pop fast path does not take
-// the runtime lock. Executors re-home Task::assigned_worker under the
-// runtime lock when they start a (possibly stolen) task.
+// (id, type, chosen version, priority, frozen estimate, price group),
+// deliberately duplicated out of the TaskGraph: the graph is
+// runtime-lock-serialized, and the whole point of the split is that the
+// pop fast path does not take the runtime lock. Executors re-home
+// Task::assigned_worker under the runtime lock when they start a
+// (possibly stolen) task.
 //
 // Ordering per shard matches the historical single-lock queues exactly:
 // priority insertion (stable within a priority level), FIFO pop from the
@@ -22,6 +33,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <optional>
@@ -39,18 +51,37 @@ struct QueueEntry {
   int priority = 0;
   /// The charge push_to_worker froze into Task::scheduler_estimate.
   Duration estimate = 0.0;
+  /// Price group of the task (third PriceKey component) so the pop/steal
+  /// paths can flush a deferred re-price of exactly this key.
+  std::uint64_t group = 0;
 };
 
 class WorkerQueues {
  public:
-  /// Rebuild with `worker_count` empty shards.
+  /// Rebuild with `worker_count` empty shards (and empty buffers).
   void reset(std::size_t worker_count);
 
   /// Priority insertion into `worker`'s shard: walk back past queued
   /// entries with strictly lower priority (stable within a level).
   void push(WorkerId worker, const QueueEntry& entry);
 
-  /// FIFO pop of `worker`'s own queue.
+  /// Producer-side append to `worker`'s submission buffer. Takes only the
+  /// shard's submit mutex (kLockRankSubmit) — never the queue mutex — so
+  /// producers do not contend with the owner's pop fast path. The entry
+  /// becomes poppable/stealable after the next drain of this shard.
+  void buffer_push(WorkerId worker, const QueueEntry& entry);
+
+  /// Publish `worker`'s buffered entries into its shard, inserting each in
+  /// arrival order with the same priority walk as push(). Cheap no-op
+  /// (one relaxed atomic load) when the buffer is empty. Nests submit(16)
+  /// under queue(30) — callers must not hold the account lock (rank 20).
+  void drain(WorkerId worker);
+
+  /// drain() every shard — the round-boundary publish.
+  void drain_all();
+
+  /// FIFO pop of `worker`'s own queue (drained entries only — callers
+  /// drain first; see Scheduler::try_pop_queued).
   std::optional<QueueEntry> pop_front(WorkerId worker);
 
   /// Steal from the back of `victim`'s queue. May return nullopt even
@@ -58,26 +89,44 @@ class WorkerQueues {
   /// that as an empty victim.
   std::optional<QueueEntry> steal_back(WorkerId victim);
 
-  /// Lock-free queue length (victim selection, tie-breaking, tests).
-  /// Exact under the runtime lock; a racy snapshot otherwise.
+  /// Lock-free queue length including still-buffered entries (victim
+  /// selection, tie-breaking, tests). Exact under the runtime lock; a
+  /// racy snapshot otherwise.
   std::size_t length(WorkerId worker) const;
 
-  /// Snapshot of the task ids queued on `worker`, head first (busy-time
-  /// rescan cross-checks and tests).
+  /// Entries currently parked in `worker`'s submission buffer (tests,
+  /// drain early-out).
+  std::size_t buffered_length(WorkerId worker) const;
+
+  /// Snapshot of the task ids queued on `worker`, head first, shard
+  /// entries before still-buffered ones (busy-time rescan cross-checks
+  /// and tests — buffered entries are already charged in the account).
   std::vector<TaskId> snapshot(WorkerId worker) const;
 
   std::size_t worker_count() const { return shards_.size(); }
 
  private:
   struct Shard {
-    Shard() : mutex(lock_order::kLockRankQueue) {}
+    Shard()
+        : mutex(lock_order::kLockRankQueue),
+          submit_mutex(lock_order::kLockRankSubmit) {}
     mutable versa::Mutex mutex;
     std::deque<QueueEntry> entries VERSA_GUARDED_BY(mutex);
     /// Mirrors entries.size(); updated while the shard mutex is held.
+    /// length() reports this plus `buffered`.
     std::atomic<std::size_t> length{0};
+    mutable versa::Mutex submit_mutex;
+    /// Producer-appended entries awaiting the next drain, arrival order.
+    std::deque<QueueEntry> buffer VERSA_GUARDED_BY(submit_mutex);
+    /// Mirrors buffer.size(); drain()'s empty early-out reads it lock-free.
+    std::atomic<std::size_t> buffered{0};
   };
 
-  /// unique_ptr because a Shard (mutex + atomic) is immovable.
+  /// Priority-insertion walk shared by push() and drain().
+  static void insert_locked(Shard& shard, const QueueEntry& entry)
+      VERSA_REQUIRES(shard.mutex);
+
+  /// unique_ptr because a Shard (mutexes + atomics) is immovable.
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

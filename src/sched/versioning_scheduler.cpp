@@ -14,13 +14,15 @@ void VersioningScheduler::attach(SchedulerContext& ctx) {
   QueueScheduler::attach(ctx);
   profile_.emplace(ctx.registry(), config_);
   // Every mean movement — new measurement, hint prime, warm-start restore,
-  // drift-relearn reset — re-prices the queued charges of exactly that
-  // (type, version, group) key; estimates stay current without rescans.
+  // drift-relearn reset — marks that (type, version, group) key dirty; the
+  // actual LoadAccount::reprice is deferred and coalesced per round, so a
+  // completion burst issues one reprice per distinct key instead of one
+  // per measurement. Every price-reading walk flushes first, so estimates
+  // are exactly as current as with the old immediate re-price.
   profile_->set_mean_listener(
       [this](TaskTypeId type, VersionId version, std::uint64_t group,
              std::optional<Duration> mean) {
-        versa::LockGuard lock(account_mutex_);
-        account_.reprice(core::PriceKey{type, version, group}, mean);
+        defer_reprice(core::PriceKey{type, version, group}, mean);
       });
   learning_executions_ = 0;
   pool_.clear();
@@ -95,12 +97,14 @@ Duration VersioningScheduler::estimated_busy(WorkerId worker) const {
       reference += core::to_ticks(mean.value_or(task.scheduler_estimate));
     }
     versa::LockGuard lock(account_mutex_);
+    // The reference above priced with *current* means, so deferred
+    // re-prices must land before the comparison.
+    flush_deferred_reprices();
     VERSA_CHECK_MSG(reference == account_.queued_ticks(worker),
                     "incremental busy account diverged from rescan reference");
     return account_.busy(worker);
   }
-  versa::LockGuard lock(account_mutex_);
-  return account_.busy(worker);
+  return QueueScheduler::estimated_busy(worker);
 }
 
 WorkerId VersioningScheduler::least_busy_worker(
@@ -108,6 +112,7 @@ WorkerId VersioningScheduler::least_busy_worker(
   // The finish-time index orders workers by (busy, queue length, id) —
   // the historical tie-break — so this is one O(log workers) lookup.
   versa::LockGuard lock(account_mutex_);
+  flush_deferred_reprices();
   return account_.least_busy(version.device);
 }
 
@@ -181,10 +186,22 @@ void VersioningScheduler::assign_earliest_executor(Task& task) {
   Duration best_penalty = 0.0;
   std::uint32_t candidates = 0;
 
+  // Placement penalties are computed before the account critical section:
+  // the locality subclass reads the data directory (lock class data, rank
+  // 13), which must not be acquired under the account lock (rank 20).
+  // Pure queries under the runtime lock, so the values are exactly what
+  // an in-walk call would have returned.
+  const std::size_t worker_count = ctx_->machine().worker_count();
+  std::vector<Duration> penalties(worker_count, 0.0);
+  for (WorkerId w = 0; w < worker_count; ++w) {
+    penalties[w] = placement_penalty(task, w);
+  }
+
   {
     // The whole candidate walk reads the finish-time index under the
     // account lock; the push below re-acquires it, after the decision.
     versa::LockGuard lock(account_mutex_);
+    flush_deferred_reprices();
     for (VersionId v : ctx_->registry().versions(task.type)) {
       const TaskVersion& version = ctx_->registry().version(v);
       const auto mean = profile_->mean(task.type, v, task.data_set_size);
@@ -196,7 +213,7 @@ void VersioningScheduler::assign_earliest_executor(Task& task) {
           if (w.kind != version.device) continue;
           const Duration busy =
               static_cast<Duration>(queue_length(w.id)) * 1e-12;
-          const Duration penalty = placement_penalty(task, w.id);
+          const Duration penalty = penalties[w.id];
           const Duration finish = busy + *mean + penalty;
           ++candidates;
           if (best_worker == kInvalidWorker || finish < best_finish) {
@@ -220,7 +237,7 @@ void VersioningScheduler::assign_earliest_executor(Task& task) {
           break;
         }
         const WorkerId w = std::get<2>(key);
-        const Duration penalty = placement_penalty(task, w);
+        const Duration penalty = penalties[w];
         const Duration finish = busy + *mean + penalty;
         ++candidates;
         if (best_worker == kInvalidWorker || finish < best_finish) {
@@ -295,8 +312,9 @@ TaskId VersioningScheduler::pop_task(WorkerId worker) {
 void VersioningScheduler::task_completed(Task& task, WorkerId worker,
                                          Duration measured) {
   // The scheduler is always learning (§IV-B): record in both phases. The
-  // record fires the mean listener, re-pricing queued charges of the key
-  // before the base class settles the running slot.
+  // record fires the mean listener, which marks the key dirty; the
+  // deferred re-price lands at the next flush (round boundary or the
+  // next price-reading walk), coalescing completion bursts.
   profile_->record(task.type, task.chosen_version, task.data_set_size,
                    measured);
   QueueScheduler::task_completed(task, worker, measured);

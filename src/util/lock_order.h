@@ -35,6 +35,8 @@ struct LockClass {
 // See DESIGN.md §9 for what each class guards. Keep ranks spaced so a new
 // class can slot in between without renumbering.
 extern const LockClass kLockRankRuntime;   ///< rank 10: Runtime::mutex_
+extern const LockClass kLockRankData;      ///< rank 13: DataDirectory/TransferEngine state
+extern const LockClass kLockRankSubmit;    ///< rank 16: per-worker submission buffers
 extern const LockClass kLockRankAccount;   ///< rank 20: QueueScheduler account/index
 extern const LockClass kLockRankQueue;     ///< rank 30: per-worker queue shards
 extern const LockClass kLockRankTrace;     ///< rank 40: DecisionTrace ring

@@ -4,12 +4,15 @@
 
 #include <algorithm>
 #include <fstream>
+#include <sstream>
 
 #include "common/string_util.h"
 #include "machine/presets.h"
 #include "perf/report.h"
 #include "perf/run_stats.h"
+#include "perf/sched_trace.h"
 #include "perf/trace.h"
+#include "perf/trace_report.h"
 #include "runtime/runtime.h"
 
 namespace versa {
@@ -159,6 +162,130 @@ TEST(Trace, WriteFileRoundTrip) {
   EXPECT_TRUE(in.good());
   EXPECT_FALSE(write_trace("/nonexistent/dir/trace.json", rt.task_graph(),
                            machine, rt.version_registry()));
+}
+
+TEST(TraceReport, CsvRoundTripPreservesEventsAndMetadata) {
+  // Record a synthetic decision stream, render it with sched_trace_csv and
+  // feed it back through the versa_trace_report parser: every field and
+  // the `#` metadata must survive the trip.
+  core::DecisionTrace trace;
+  trace.enable(16);
+  core::TraceEvent e;
+  e.time = 1.25;
+  e.task = 7;
+  e.type = 2;
+  e.version = 3;
+  e.worker = 1;
+  e.busy_term = 0.5;
+  e.mean_term = 0.25;
+  e.penalty_term = 0.125;
+  e.candidates = 6;
+  e.kind = core::TraceEventKind::kLearningPlacement;
+  trace.record(e);
+  e.time = 2.5;
+  e.task = 8;
+  e.worker = 0;
+  e.kind = core::TraceEventKind::kPlacement;
+  trace.record(e);
+  e.time = 3.0;
+  e.kind = core::TraceEventKind::kSteal;
+  e.worker = 1;
+  trace.record(e);
+  e.time = 4.0;
+  e.kind = core::TraceEventKind::kComplete;
+  trace.record(e);
+
+  const std::string csv = sched_trace_csv(trace, "versioning");
+  std::istringstream in(csv);
+  SchedTraceDump dump;
+  std::string error;
+  ASSERT_TRUE(parse_sched_trace_csv(in, dump, error)) << error;
+  EXPECT_EQ(dump.policy, "versioning");
+  EXPECT_EQ(dump.recorded, 4u);
+  EXPECT_EQ(dump.dropped, 0u);
+  EXPECT_EQ(dump.capacity, 16u);
+  ASSERT_EQ(dump.events.size(), 4u);
+  EXPECT_DOUBLE_EQ(dump.events[0].time, 1.25);
+  EXPECT_EQ(dump.events[0].task, 7u);
+  EXPECT_EQ(dump.events[0].type, 2u);
+  EXPECT_EQ(dump.events[0].version, 3u);
+  EXPECT_EQ(dump.events[0].worker, 1u);
+  EXPECT_DOUBLE_EQ(dump.events[0].busy_term, 0.5);
+  EXPECT_DOUBLE_EQ(dump.events[0].mean_term, 0.25);
+  EXPECT_DOUBLE_EQ(dump.events[0].penalty_term, 0.125);
+  EXPECT_EQ(dump.events[0].candidates, 6u);
+  EXPECT_EQ(dump.events[0].kind, core::TraceEventKind::kLearningPlacement);
+  EXPECT_EQ(dump.events[3].kind, core::TraceEventKind::kComplete);
+
+  const TraceReport report = analyze_sched_trace(dump);
+  EXPECT_EQ(report.placements, 1u);
+  EXPECT_EQ(report.learning_placements, 1u);
+  EXPECT_EQ(report.steals, 1u);
+  EXPECT_EQ(report.completions, 1u);
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_DOUBLE_EQ(report.steal_churn, 0.5);   // 1 steal / 2 placements
+  EXPECT_DOUBLE_EQ(report.learning_share, 0.5);
+  EXPECT_EQ(report.versions_placed, 1u);   // both placements share (2, 3)
+  EXPECT_EQ(report.versions_sampled, 1u);
+  ASSERT_EQ(report.per_worker.size(), 2u);
+  EXPECT_EQ(report.per_worker.at(0).first, 1u);   // placements on worker 0
+  EXPECT_EQ(report.per_worker.at(1).first, 1u);
+  EXPECT_EQ(report.per_worker.at(1).second, 1u);  // the steal, by worker 1
+
+  const std::string rendered = render_trace_report(dump, report);
+  EXPECT_NE(rendered.find("policy: versioning"), std::string::npos);
+  EXPECT_NE(rendered.find("steal churn: 50.0%"), std::string::npos);
+}
+
+TEST(TraceReport, ParserRejectsMalformedInput) {
+  SchedTraceDump dump;
+  std::string error;
+  {
+    // Arbitrary text: no column header.
+    std::istringstream in("hello\nworld\n");
+    EXPECT_FALSE(parse_sched_trace_csv(in, dump, error));
+    EXPECT_NE(error.find("column header"), std::string::npos);
+  }
+  {
+    // Header but a row with the wrong field count.
+    std::istringstream in(
+        "time,kind,task,type,version,worker,busy,estimate,penalty,candidates\n"
+        "1.0,place,1,2,3\n");
+    EXPECT_FALSE(parse_sched_trace_csv(in, dump, error));
+    EXPECT_NE(error.find("10 fields"), std::string::npos);
+  }
+  {
+    // Unknown event kind.
+    std::istringstream in(
+        "time,kind,task,type,version,worker,busy,estimate,penalty,candidates\n"
+        "1.0,bogus,1,2,3,0,0.0,0.0,0.0,1\n");
+    EXPECT_FALSE(parse_sched_trace_csv(in, dump, error));
+    EXPECT_NE(error.find("malformed"), std::string::npos);
+  }
+  {
+    // Empty stream.
+    std::istringstream in("");
+    EXPECT_FALSE(parse_sched_trace_csv(in, dump, error));
+  }
+}
+
+TEST(TraceReport, EmptyTraceAnalyzesToZeros) {
+  // A dump with a header and no rows (enabled trace, nothing recorded) is
+  // valid and must not divide by zero.
+  std::istringstream in(
+      "# versa-sched-trace v1\n"
+      "# policy=fifo\n"
+      "# recorded=0 dropped=0 capacity=8\n"
+      "time,kind,task,type,version,worker,busy,estimate,penalty,candidates\n");
+  SchedTraceDump dump;
+  std::string error;
+  ASSERT_TRUE(parse_sched_trace_csv(in, dump, error)) << error;
+  EXPECT_EQ(dump.policy, "fifo");
+  EXPECT_TRUE(dump.events.empty());
+  const TraceReport report = analyze_sched_trace(dump);
+  EXPECT_DOUBLE_EQ(report.steal_churn, 0.0);
+  EXPECT_DOUBLE_EQ(report.learning_share, 0.0);
+  EXPECT_TRUE(report.per_worker.empty());
 }
 
 }  // namespace

@@ -97,6 +97,78 @@ void run_stress(const std::string& scheduler, int producers, int per_producer,
   }
 }
 
+/// Combined submit-storm + completion-burst: each producer submits an
+/// independent burst (queues fill, steals kick in) followed by a private
+/// chain (readiness trickles, so completions keep re-pricing while later
+/// submissions land). On top of the drain checks this asserts the PR-4
+/// re-price coalescing invariant: completion records only *defer* price
+/// updates, and every flush consumes at least one deferred request, so
+/// flushes can never exceed requests.
+void run_storm_burst(const std::string& scheduler) {
+  const Machine machine = make_smp_machine(4);
+  RuntimeConfig config;
+  config.backend = Backend::kThreads;
+  config.scheduler = scheduler;
+  Runtime rt(machine, config);
+
+  std::atomic<long> executed{0};
+  const TaskTypeId type = rt.declare_task("storm");
+  rt.add_version(type, DeviceKind::kSmp, "v", [&](TaskContext&) {
+    executed.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  constexpr int kProducers = 4;
+  constexpr int kBurst = 24;
+  constexpr int kChain = 16;
+  std::vector<RegionId> chain_regions;
+  for (int p = 0; p < kProducers; ++p) {
+    chain_regions.push_back(rt.register_data("chain" + std::to_string(p), 64));
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kBurst; ++i) {
+        const RegionId r = rt.register_data(
+            "s" + std::to_string(p) + "_" + std::to_string(i), 64);
+        rt.submit(type, {Access::inout(r)}, "", i % 3);
+      }
+      for (int i = 0; i < kChain; ++i) {
+        rt.submit(type,
+                  {Access::inout(chain_regions[static_cast<std::size_t>(p)])});
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  rt.taskwait();
+
+  const long expected = kProducers * (kBurst + kChain);
+  EXPECT_EQ(executed.load(), expected);
+  EXPECT_EQ(rt.run_stats().total_tasks(),
+            static_cast<std::uint64_t>(expected));
+  EXPECT_FALSE(rt.scheduler().has_pending());
+
+  auto* qs = dynamic_cast<QueueScheduler*>(&rt.scheduler());
+  ASSERT_NE(qs, nullptr);
+  EXPECT_LE(qs->reprice_flushes(), qs->reprice_requests());
+  const WorkerId workers = static_cast<WorkerId>(machine.worker_count());
+  for (WorkerId w = 0; w < workers; ++w) {
+    EXPECT_EQ(qs->queue_length(w), 0u) << "worker " << w;
+    EXPECT_DOUBLE_EQ(rt.scheduler().estimated_busy(w), 0.0) << "worker " << w;
+  }
+}
+
+TEST(ThreadStress, StormBurstAllBusyTrackingPolicies) {
+  for (const char* policy : {"dep-aware", "affinity", "versioning",
+                             "versioning-locality", "sufferage"}) {
+    SCOPED_TRACE(policy);
+    run_storm_burst(policy);
+  }
+}
+
 TEST(ThreadStress, VersioningChainsTrickleReadiness) {
   run_stress("versioning", 4, 40, /*independent_tasks=*/false);
 }

@@ -142,6 +142,42 @@ TEST(VersioningInternals, PoolDrainsInSubmissionOrder) {
   }
 }
 
+TEST(VersioningInternals, CompletionRepriceCoalescesPerKey) {
+  // PR-4 batched re-pricing, deterministic shape: 4 identical independent
+  // tasks on 4 identical workers with λ=4 are all placed (as learning
+  // samples) in the first ready batch, before any completion. The 4
+  // completions then defer 4 re-price requests for the *same* price key
+  // (same type, chosen version, size group); nothing places or pops
+  // afterwards, so the requests sit coalesced in the dirty map until a
+  // round boundary applies them — as exactly one LoadAccount::reprice.
+  const Machine machine = make_smp_machine(4);
+  RuntimeConfig config;
+  config.backend = Backend::kSim;
+  config.scheduler = "versioning";
+  config.profile.lambda = 4;
+  config.noise.kind = sim::NoiseKind::kNone;
+  Runtime rt(machine, config);
+  const TaskTypeId t = rt.declare_task("t");
+  rt.add_version(t, DeviceKind::kSmp, "smp", nullptr,
+                 make_constant_cost(1e-3));
+  for (int i = 0; i < 4; ++i) {
+    const RegionId r = rt.register_data("r" + std::to_string(i), 64);
+    rt.submit(t, {Access::inout(r)});
+  }
+  rt.taskwait();
+  EXPECT_EQ(rt.run_stats().total_tasks(), 4u);
+
+  auto* qs = dynamic_cast<QueueScheduler*>(&rt.scheduler());
+  ASSERT_NE(qs, nullptr);
+  EXPECT_EQ(qs->reprice_requests(), 4u);  // one per completion record
+  const auto before = qs->reprice_flushes();
+  EXPECT_LE(before, 1u);
+  (void)qs->estimated_busy(0);  // forces the pending flush, a round boundary
+  // The four same-key requests collapse into at most one applied re-price.
+  EXPECT_LE(qs->reprice_flushes(), before + 1);
+  EXPECT_LT(qs->reprice_flushes(), qs->reprice_requests());
+}
+
 TEST(VersioningInternals, ProfileTableReachableThroughRuntime) {
   const Machine machine = make_minotauro_node(2, 1);
   RuntimeConfig config;
