@@ -1,6 +1,6 @@
 #include "data/directory.h"
 
-#include <algorithm>
+#include <thread>
 
 #include "common/check.h"
 #include "common/log.h"
@@ -13,66 +13,101 @@ constexpr std::uint64_t bit(SpaceId space) { return std::uint64_t{1} << space; }
 }  // namespace
 
 DataDirectory::DataDirectory(const Machine& machine)
-    : machine_(machine), used_(machine.space_count(), 0) {
+    : machine_(machine), used_(machine.space_count()) {
   VERSA_CHECK_MSG(machine.space_count() <= 64,
                   "validity masks support up to 64 memory spaces");
+  for (auto& bytes : used_) {
+    bytes.store(0, std::memory_order_relaxed);
+  }
 }
+
+// Every mutator follows the same publication protocol: serialize on the
+// writer mutex (rank 13), flip the epoch to odd, mutate region state under
+// the per-shard rank-14 locks, flip the epoch back to even. Readers that
+// need cross-region consistency (read_consistent) retry around odd or
+// moved epochs; per-region readers only need the shard lock.
 
 RegionId DataDirectory::register_region(std::string name, std::uint64_t size,
                                         void* host_ptr) {
   VERSA_CHECK_MSG(size > 0, "zero-sized region");
-  versa::LockGuard lock(mutex_);
-  RegionState rs;
-  rs.desc.id = static_cast<RegionId>(regions_.size());
-  rs.desc.name = std::move(name);
-  rs.desc.size = size;
-  rs.desc.host_ptr = host_ptr;
-  rs.valid_mask = bit(kHostSpace);
-  used_[kHostSpace] += size;
-  regions_.push_back(std::move(rs));
-  ++live_regions_;
-  return regions_.back().desc.id;
+  versa::LockGuard writer(mutex_);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  const RegionId id =
+      static_cast<RegionId>(region_limit_.load(std::memory_order_relaxed));
+  Shard& shard = shard_of(id);
+  {
+    versa::LockGuard lock(shard.mutex);
+    VERSA_CHECK(slot_of(id) == shard.regions.size());
+    RegionState rs;
+    rs.desc.id = id;
+    rs.desc.name = std::move(name);
+    rs.desc.size = size;
+    rs.desc.host_ptr = host_ptr;
+    rs.valid_mask = bit(kHostSpace);
+    shard.regions.push_back(std::move(rs));
+  }
+  used_[kHostSpace].fetch_add(size, std::memory_order_relaxed);
+  live_regions_.fetch_add(1, std::memory_order_relaxed);
+  region_limit_.store(id + 1, std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_release);
+  return id;
 }
 
 void DataDirectory::unregister_region(RegionId id) {
-  versa::LockGuard lock(mutex_);
-  RegionState& rs = state(id);
-  VERSA_CHECK_MSG(!rs.pinned, "cannot unregister a region mid-acquire");
-  if (rs.dirty != kInvalidSpace) {
-    VERSA_LOG(kWarn) << "unregistering region '" << rs.desc.name
-                     << "' with unflushed device data";
+  versa::LockGuard writer(mutex_);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    Shard& shard = shard_of(id);
+    versa::LockGuard lock(shard.mutex);
+    RegionState& rs = state_at(shard, id);
+    VERSA_CHECK_MSG(!rs.pinned, "cannot unregister a region mid-acquire");
+    if (rs.dirty != kInvalidSpace) {
+      VERSA_LOG(kWarn) << "unregistering region '" << rs.desc.name
+                       << "' with unflushed device data";
+    }
+    for (SpaceId s = 0; s < machine_.space_count(); ++s) {
+      drop_valid(rs, s);
+    }
+    rs.dirty = kInvalidSpace;
+    rs.removed = true;
   }
-  for (SpaceId s = 0; s < machine_.space_count(); ++s) {
-    drop_valid(rs, s);
-  }
-  rs.dirty = kInvalidSpace;
-  rs.removed = true;
-  VERSA_CHECK(live_regions_ > 0);
-  --live_regions_;
+  VERSA_CHECK(live_regions_.load(std::memory_order_relaxed) > 0);
+  live_regions_.fetch_sub(1, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
 }
 
 bool DataDirectory::is_registered(RegionId id) const {
-  versa::LockGuard lock(mutex_);
-  return id < regions_.size() && !regions_[id].removed;
+  if (id >= region_limit_.load(std::memory_order_acquire)) return false;
+  const Shard& shard = shard_of(id);
+  versa::LockGuard lock(shard.mutex);
+  return !shard.regions[slot_of(id)].removed;
 }
 
 const RegionDesc& DataDirectory::region(RegionId id) const {
-  // Ref-returning accessor: the guard orders the lookup; the reference
-  // stays valid because descriptors are never moved (ids never reused).
-  versa::LockGuard lock(mutex_);
-  return state(id).desc;
+  // Ref-returning accessor: the shard guard orders the lookup; the
+  // reference stays valid because descriptors are never moved (per-shard
+  // deques, ids never reused).
+  const Shard& shard = shard_of(id);
+  versa::LockGuard lock(shard.mutex);
+  return state_at(shard, id).desc;
 }
 
-DataDirectory::RegionState& DataDirectory::state(RegionId id) {
-  VERSA_CHECK(id < regions_.size());
-  VERSA_CHECK_MSG(!regions_[id].removed, "region was unregistered");
-  return regions_[id];
+DataDirectory::RegionState& DataDirectory::state_at(Shard& shard,
+                                                    RegionId id) {
+  VERSA_CHECK(id < region_limit_.load(std::memory_order_acquire));
+  VERSA_CHECK(slot_of(id) < shard.regions.size());
+  RegionState& rs = shard.regions[slot_of(id)];
+  VERSA_CHECK_MSG(!rs.removed, "region was unregistered");
+  return rs;
 }
 
-const DataDirectory::RegionState& DataDirectory::state(RegionId id) const {
-  VERSA_CHECK(id < regions_.size());
-  VERSA_CHECK_MSG(!regions_[id].removed, "region was unregistered");
-  return regions_[id];
+const DataDirectory::RegionState& DataDirectory::state_at(const Shard& shard,
+                                                          RegionId id) const {
+  VERSA_CHECK(id < region_limit_.load(std::memory_order_acquire));
+  VERSA_CHECK(slot_of(id) < shard.regions.size());
+  const RegionState& rs = shard.regions[slot_of(id)];
+  VERSA_CHECK_MSG(!rs.removed, "region was unregistered");
+  return rs;
 }
 
 SpaceId DataDirectory::choose_source(const RegionState& rs,
@@ -92,15 +127,16 @@ SpaceId DataDirectory::choose_source(const RegionState& rs,
 void DataDirectory::add_valid(RegionState& rs, SpaceId space) {
   if ((rs.valid_mask & bit(space)) == 0) {
     rs.valid_mask |= bit(space);
-    used_[space] += rs.desc.size;
+    used_[space].fetch_add(rs.desc.size, std::memory_order_relaxed);
   }
 }
 
 void DataDirectory::drop_valid(RegionState& rs, SpaceId space) {
   if (rs.valid_mask & bit(space)) {
     rs.valid_mask &= ~bit(space);
-    VERSA_DCHECK(used_[space] >= rs.desc.size);
-    used_[space] -= rs.desc.size;
+    VERSA_DCHECK(used_[space].load(std::memory_order_relaxed) >=
+                 rs.desc.size);
+    used_[space].fetch_sub(rs.desc.size, std::memory_order_relaxed);
   }
 }
 
@@ -115,46 +151,70 @@ void DataDirectory::make_room(SpaceId space, std::uint64_t needed,
                               TransferList& out) {
   const std::uint64_t capacity = machine_.space(space).capacity;
   if (capacity == 0) return;  // unlimited
-  while (used_[space] + needed > capacity) {
+  while (used_[space].load(std::memory_order_relaxed) + needed > capacity) {
     // Find the least recently used unpinned region valid in this space.
-    RegionState* victim = nullptr;
-    for (auto& rs : regions_) {
-      if (rs.pinned || (rs.valid_mask & bit(space)) == 0) continue;
-      if (victim == nullptr || rs.last_use < victim->last_use) victim = &rs;
+    // Per-shard scans under the shard locks, combined lexicographically by
+    // (last_use, id) — identical to the historical single-vector scan,
+    // which took the first id among the minimum-last_use candidates.
+    bool found = false;
+    std::uint64_t best_use = 0;
+    RegionId best_id = 0;
+    for (const Shard& shard : shards_) {
+      versa::LockGuard lock(shard.mutex);
+      for (const RegionState& rs : shard.regions) {
+        if (rs.removed || rs.pinned) continue;
+        if ((rs.valid_mask & bit(space)) == 0) continue;
+        if (!found || rs.last_use < best_use ||
+            (rs.last_use == best_use && rs.desc.id < best_id)) {
+          found = true;
+          best_use = rs.last_use;
+          best_id = rs.desc.id;
+        }
+      }
     }
-    if (victim == nullptr) {
+    if (!found) {
       VERSA_LOG(kWarn) << "memory space " << machine_.space(space).name
                        << " over-committed; cannot evict";
       return;
     }
-    if (victim->dirty == space) {
+    // The victim cannot change between the scan and here: the writer mutex
+    // is held, and readers never mutate region state.
+    Shard& shard = shard_of(best_id);
+    versa::LockGuard lock(shard.mutex);
+    RegionState& victim = state_at(shard, best_id);
+    if (victim.dirty == space) {
       // Write back before dropping the only modified copy.
-      emit_copy(*victim, space, kHostSpace, out);
-      add_valid(*victim, kHostSpace);
-      victim->dirty = kInvalidSpace;
+      emit_copy(victim, space, kHostSpace, out);
+      add_valid(victim, kHostSpace);
+      victim.dirty = kInvalidSpace;
     }
-    drop_valid(*victim, space);
-    ++evictions_;
+    drop_valid(victim, space);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 void DataDirectory::acquire(const AccessList& accesses, SpaceId space,
                             TransferList& out) {
   VERSA_CHECK(space < machine_.space_count());
-  versa::LockGuard lock(mutex_);
+  versa::LockGuard writer(mutex_);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
   // Pin the working set so evictions never victimize data this very task
   // is about to use.
   std::uint64_t incoming = 0;
   for (const Access& access : accesses) {
-    RegionState& rs = state(access.region);
+    Shard& shard = shard_of(access.region);
+    versa::LockGuard lock(shard.mutex);
+    RegionState& rs = state_at(shard, access.region);
     rs.pinned = true;
     if ((rs.valid_mask & bit(space)) == 0) incoming += rs.desc.size;
   }
   make_room(space, incoming, out);
 
   for (const Access& access : accesses) {
-    RegionState& rs = state(access.region);
-    rs.last_use = ++tick_;
+    Shard& shard = shard_of(access.region);
+    versa::LockGuard lock(shard.mutex);
+    RegionState& rs = state_at(shard, access.region);
+    rs.last_use = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
     const bool valid_here = (rs.valid_mask & bit(space)) != 0;
     if (reads(access.mode) && !valid_here) {
       const SpaceId from = choose_source(rs, space);
@@ -174,68 +234,124 @@ void DataDirectory::acquire(const AccessList& accesses, SpaceId space,
     }
   }
   for (const Access& access : accesses) {
-    state(access.region).pinned = false;
+    Shard& shard = shard_of(access.region);
+    versa::LockGuard lock(shard.mutex);
+    state_at(shard, access.region).pinned = false;
   }
+  epoch_.fetch_add(1, std::memory_order_release);
+}
+
+template <typename Fn>
+auto DataDirectory::read_consistent(Fn&& fn) const {
+  // Seqlock read path: run `fn` between two even, equal epoch samples.
+  // Each region access inside `fn` takes its shard lock, so there are no
+  // data races regardless — the epoch only vouches for *cross-region*
+  // consistency. Bounded retries, then exclude mutators via the writer
+  // mutex (rank 13 -> shard rank 14 inside `fn` is in documented order).
+  constexpr int kRetries = 8;
+  for (int attempt = 0; attempt < kRetries; ++attempt) {
+    const std::uint64_t before = epoch_.load(std::memory_order_acquire);
+    if (before & 1) {  // a mutator is publishing; let it finish
+      std::this_thread::yield();
+      continue;
+    }
+    auto result = fn();
+    if (epoch_.load(std::memory_order_acquire) == before) return result;
+  }
+  versa::LockGuard writer(mutex_);
+  return fn();
 }
 
 std::uint64_t DataDirectory::bytes_missing(const AccessList& accesses,
                                            SpaceId space) const {
-  versa::LockGuard lock(mutex_);
-  std::uint64_t missing = 0;
-  for (const Access& access : accesses) {
-    if (!reads(access.mode)) continue;
-    const RegionState& rs = state(access.region);
-    if ((rs.valid_mask & bit(space)) == 0) missing += rs.desc.size;
-  }
-  return missing;
+  return read_consistent([&]() {
+    std::uint64_t missing = 0;
+    for (const Access& access : accesses) {
+      if (!reads(access.mode)) continue;
+      const Shard& shard = shard_of(access.region);
+      versa::LockGuard lock(shard.mutex);
+      const RegionState& rs = state_at(shard, access.region);
+      if ((rs.valid_mask & bit(space)) == 0) missing += rs.desc.size;
+    }
+    return missing;
+  });
 }
 
 std::uint64_t DataDirectory::bytes_valid(const AccessList& accesses,
                                          SpaceId space) const {
-  versa::LockGuard lock(mutex_);
-  std::uint64_t valid = 0;
-  for (const Access& access : accesses) {
-    const RegionState& rs = state(access.region);
-    if (rs.valid_mask & bit(space)) valid += rs.desc.size;
-  }
-  return valid;
+  return read_consistent([&]() {
+    std::uint64_t valid = 0;
+    for (const Access& access : accesses) {
+      const Shard& shard = shard_of(access.region);
+      versa::LockGuard lock(shard.mutex);
+      const RegionState& rs = state_at(shard, access.region);
+      if (rs.valid_mask & bit(space)) valid += rs.desc.size;
+    }
+    return valid;
+  });
+}
+
+Duration DataDirectory::transfer_cost(const AccessList& accesses,
+                                      SpaceId space) const {
+  const std::uint64_t missing = bytes_missing(accesses, space);
+  if (missing == 0) return 0.0;
+  // Estimate with the host->space link when it exists (the dominant path);
+  // same-space placements already returned zero above.
+  const LinkDesc* link = machine_.interconnect().find(kHostSpace, space);
+  if (link == nullptr) return 0.0;
+  return link->latency + static_cast<double>(missing) / link->bandwidth;
 }
 
 void DataDirectory::flush_all(TransferList& out) {
-  versa::LockGuard lock(mutex_);
-  for (auto& rs : regions_) {
+  versa::LockGuard writer(mutex_);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  // Walk ids in registration order so the emitted TransferList is ordered
+  // exactly as the historical single-vector walk (the sim replays it).
+  const std::size_t limit = region_limit_.load(std::memory_order_relaxed);
+  for (RegionId id = 0; id < limit; ++id) {
+    Shard& shard = shard_of(id);
+    versa::LockGuard lock(shard.mutex);
+    RegionState& rs = shard.regions[slot_of(id)];
     if (rs.dirty != kInvalidSpace) {
       emit_copy(rs, rs.dirty, kHostSpace, out);
       add_valid(rs, kHostSpace);
       rs.dirty = kInvalidSpace;
     }
   }
+  epoch_.fetch_add(1, std::memory_order_release);
 }
 
 void DataDirectory::flush_region(RegionId id, TransferList& out) {
-  versa::LockGuard lock(mutex_);
-  RegionState& rs = state(id);
-  if (rs.dirty != kInvalidSpace) {
-    emit_copy(rs, rs.dirty, kHostSpace, out);
-    add_valid(rs, kHostSpace);
-    rs.dirty = kInvalidSpace;
+  versa::LockGuard writer(mutex_);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    Shard& shard = shard_of(id);
+    versa::LockGuard lock(shard.mutex);
+    RegionState& rs = state_at(shard, id);
+    if (rs.dirty != kInvalidSpace) {
+      emit_copy(rs, rs.dirty, kHostSpace, out);
+      add_valid(rs, kHostSpace);
+      rs.dirty = kInvalidSpace;
+    }
   }
+  epoch_.fetch_add(1, std::memory_order_release);
 }
 
 bool DataDirectory::is_valid_in(RegionId id, SpaceId space) const {
-  versa::LockGuard lock(mutex_);
-  return (state(id).valid_mask & bit(space)) != 0;
+  const Shard& shard = shard_of(id);
+  versa::LockGuard lock(shard.mutex);
+  return (state_at(shard, id).valid_mask & bit(space)) != 0;
 }
 
 SpaceId DataDirectory::dirty_space(RegionId id) const {
-  versa::LockGuard lock(mutex_);
-  return state(id).dirty;
+  const Shard& shard = shard_of(id);
+  versa::LockGuard lock(shard.mutex);
+  return state_at(shard, id).dirty;
 }
 
 std::uint64_t DataDirectory::used_bytes(SpaceId space) const {
-  versa::LockGuard lock(mutex_);
   VERSA_CHECK(space < used_.size());
-  return used_[space];
+  return used_[space].load(std::memory_order_acquire);
 }
 
 }  // namespace versa

@@ -11,16 +11,24 @@
 // must happen and accounts them (Input/Output/Device Tx, §V-A); executors
 // decide *when* they happen (and, in simulation, how long they take).
 //
-// Thread-safety: the directory state lives behind its own annotated mutex
-// of lock class `data` (rank 13, between the runtime lock and the
-// scheduler's submission buffers). For now this is annotation + rank
-// only: every caller still reaches the directory under the runtime lock,
-// so the mutex is uncontended — but the GUARDED_BY/REQUIRES discipline is
-// machine-checked today, and the rank slot is reserved for the future
-// directory split (DESIGN.md §9).
+// Thread-safety: the directory is internally synchronized and every public
+// method is callable WITHOUT the runtime lock (DESIGN.md §9). Region state
+// is sharded by region id across `kShardCount` shards, each behind its own
+// `data.shard` (rank 14) mutex; mutators additionally serialize on the
+// writer mutex of class `data` (rank 13) and publish through a seqlock
+// epoch. Reads over a single region take only the shard lock; reads that
+// span regions (bytes_missing / bytes_valid / transfer_cost — the
+// schedulers' pricing queries) retry under the epoch until they observe a
+// mutation-free interval, falling back to the writer mutex under sustained
+// write pressure, so every answer corresponds to one consistent directory
+// state. Concurrent placement decisions built on those answers re-validate
+// against mutation_epoch() (the schedulers' re-validation rule).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -59,31 +67,39 @@ class DataDirectory {
 
   bool is_registered(RegionId id) const;
 
-  /// Borrowed reference into lock-guarded state: valid because region
-  /// descriptors are never moved (ids are never reused) and callers are
-  /// runtime-lock serialized; the guard inside orders the lookup itself.
+  /// Borrowed reference into shard-guarded state: valid because region
+  /// descriptors live in per-shard deques and are never moved or erased
+  /// (ids are never reused); the shard guard inside orders the lookup.
   const RegionDesc& region(RegionId id) const;
   std::size_t region_count() const {
-    versa::LockGuard lock(mutex_);
-    return regions_.size();
+    return region_limit_.load(std::memory_order_acquire);
   }
   std::size_t live_region_count() const {
-    versa::LockGuard lock(mutex_);
-    return live_regions_;
+    return live_regions_.load(std::memory_order_acquire);
   }
 
   /// Make every region accessed by `accesses` coherent for execution in
   /// `space`: appends the copies required to `out`, updates validity
   /// (writes invalidate other spaces) and evicts LRU copies if the space
-  /// would overflow. Must be called in dependence order.
+  /// would overflow. Must be called in dependence order per task chain;
+  /// concurrent acquires (prefetch threads vs workers) serialize on the
+  /// writer mutex, so each acquire is atomic as a whole.
   void acquire(const AccessList& accesses, SpaceId space, TransferList& out);
 
   /// Bytes that would need copying into `space` to run `accesses` there.
-  /// Pure query — the affinity scheduler's cost function.
+  /// Pure query — the affinity scheduler's cost function. Answers are
+  /// consistent: computed from one epoch-stable directory state.
   std::uint64_t bytes_missing(const AccessList& accesses, SpaceId space) const;
 
   /// Bytes of `accesses` already valid in `space` (locality score).
   std::uint64_t bytes_valid(const AccessList& accesses, SpaceId space) const;
+
+  /// Estimated seconds to stage the missing bytes of `accesses` into
+  /// `space` over the host->space link (the dominant path): zero when
+  /// nothing is missing or no such link exists, else
+  /// latency + missing/bandwidth. The locality-versioning scheduler's
+  /// placement penalty — callable without any runtime involvement.
+  Duration transfer_cost(const AccessList& accesses, SpaceId space) const;
 
   /// Copy every dirty region back to host (taskwait flush semantics).
   void flush_all(TransferList& out);
@@ -99,20 +115,21 @@ class DataDirectory {
 
   std::uint64_t used_bytes(SpaceId space) const;
 
-  /// Borrowed reference into lock-guarded state (see region()).
-  const TransferStats& stats() const {
-    versa::LockGuard lock(mutex_);
-    return stats_;
+  /// Even mutation counter: bumped to odd when a mutator starts publishing
+  /// and back to even when it finishes. Schedulers snapshot it before
+  /// pricing placements off the runtime lock and re-evaluate if it moved
+  /// (DESIGN.md §9 re-validation rule).
+  std::uint64_t mutation_epoch() const {
+    return epoch_.load(std::memory_order_acquire);
   }
-  void reset_stats() {
-    versa::LockGuard lock(mutex_);
-    stats_ = TransferStats{};
-  }
+
+  /// Plain-value snapshot of the transfer accounting.
+  TransferStats stats() const { return stats_.snapshot(); }
+  void reset_stats() { stats_.reset(); }
 
   /// Number of evictions performed due to capacity pressure.
   std::uint64_t eviction_count() const {
-    versa::LockGuard lock(mutex_);
-    return evictions_;
+    return evictions_.load(std::memory_order_acquire);
   }
 
  private:
@@ -125,33 +142,60 @@ class DataDirectory {
     bool removed = false;  ///< unregistered (tombstone; ids never reused)
   };
 
-  const Machine& machine_;
-  /// Directory state lock (class `data`, rank 13). Uncontended today —
-  /// see the header comment.
-  mutable versa::Mutex mutex_{lock_order::kLockRankData};
-  std::vector<RegionState> regions_ VERSA_GUARDED_BY(mutex_);
-  /// Per-space bytes of valid copies.
-  std::vector<std::uint64_t> used_ VERSA_GUARDED_BY(mutex_);
-  TransferStats stats_ VERSA_GUARDED_BY(mutex_);
-  std::uint64_t tick_ VERSA_GUARDED_BY(mutex_) = 0;
-  std::uint64_t evictions_ VERSA_GUARDED_BY(mutex_) = 0;
-  std::size_t live_regions_ VERSA_GUARDED_BY(mutex_) = 0;
+  /// Region ids stripe across shards (`id % kShardCount`); each shard owns
+  /// a deque (stable references) guarded by its own rank-14 mutex.
+  static constexpr std::size_t kShardCount = 8;
 
-  RegionState& state(RegionId id) VERSA_REQUIRES(mutex_);
-  const RegionState& state(RegionId id) const VERSA_REQUIRES(mutex_);
+  struct Shard {
+    mutable versa::Mutex mutex{lock_order::kLockRankDataShard};
+    std::deque<RegionState> regions VERSA_GUARDED_BY(mutex);
+  };
+
+  const Machine& machine_;
+
+  /// Writer mutex (class `data`, rank 13): serializes every mutator and
+  /// the consistent-read fallback. Shard mutexes (rank 14) nest inside.
+  mutable versa::Mutex mutex_{lock_order::kLockRankData};
+  std::array<Shard, kShardCount> shards_;
+
+  /// Seqlock epoch: odd while a mutator is publishing, even otherwise.
+  std::atomic<std::uint64_t> epoch_{0};
+  /// Number of region ids handed out (tombstones included).
+  std::atomic<std::size_t> region_limit_{0};
+  /// Per-space bytes of valid copies (relaxed mirrors; mutated only by
+  /// writer-serialized code, read lock-free by used_bytes()).
+  std::vector<std::atomic<std::uint64_t>> used_;
+  AtomicTransferStats stats_;
+  std::atomic<std::uint64_t> tick_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::size_t> live_regions_{0};
+
+  Shard& shard_of(RegionId id) { return shards_[id % kShardCount]; }
+  const Shard& shard_of(RegionId id) const { return shards_[id % kShardCount]; }
+  static std::size_t slot_of(RegionId id) { return id / kShardCount; }
+
+  RegionState& state_at(Shard& shard, RegionId id)
+      VERSA_REQUIRES(shard.mutex);
+  const RegionState& state_at(const Shard& shard, RegionId id) const
+      VERSA_REQUIRES(shard.mutex);
 
   /// Pick the source space for a copy into `to` (prefers host).
-  SpaceId choose_source(const RegionState& rs, SpaceId to) const
-      VERSA_REQUIRES(mutex_);
+  SpaceId choose_source(const RegionState& rs, SpaceId to) const;
 
-  void add_valid(RegionState& rs, SpaceId space) VERSA_REQUIRES(mutex_);
-  void drop_valid(RegionState& rs, SpaceId space) VERSA_REQUIRES(mutex_);
-  void emit_copy(RegionState& rs, SpaceId from, SpaceId to, TransferList& out)
-      VERSA_REQUIRES(mutex_);
+  void add_valid(RegionState& rs, SpaceId space);
+  void drop_valid(RegionState& rs, SpaceId space);
+  void emit_copy(RegionState& rs, SpaceId from, SpaceId to, TransferList& out);
 
   /// Evict LRU unpinned copies from `space` until `needed` bytes fit.
+  /// Called with the writer mutex held; takes shard locks internally.
   void make_room(SpaceId space, std::uint64_t needed, TransferList& out)
       VERSA_REQUIRES(mutex_);
+
+  /// Run `fn` (which reads regions under their shard locks) against one
+  /// consistent directory state: seqlock retries on the epoch, then a
+  /// writer-mutex fallback that excludes mutators outright.
+  template <typename Fn>
+  auto read_consistent(Fn&& fn) const;
 };
 
 }  // namespace versa

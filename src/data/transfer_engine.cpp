@@ -26,6 +26,8 @@ Time TransferEngine::occupy(SpaceId from, SpaceId to, std::uint64_t bytes,
   routed_bytes_ += bytes;
   records_.push_back(
       TransferRecord{current_region_, from, to, bytes, begin, link.busy_until});
+  routed_bytes_mirror_.store(routed_bytes_, std::memory_order_release);
+  record_count_.store(records_.size(), std::memory_order_release);
   return link.busy_until;
 }
 
@@ -109,6 +111,8 @@ void TransferEngine::reset() {
   links_.clear();
   routed_bytes_ = 0;
   records_.clear();
+  routed_bytes_mirror_.store(0, std::memory_order_release);
+  record_count_.store(0, std::memory_order_release);
 }
 
 }  // namespace versa

@@ -7,11 +7,14 @@
 // exactly like the asynchronous CUDA copies the paper's runtime uses.
 //
 // Thread-safety: like DataDirectory, the engine state sits behind its own
-// annotated mutex of lock class `data` (rank 13) — annotation + rank only
-// for now; every caller is the single-threaded sim event loop under the
-// runtime lock, so the mutex is uncontended (DESIGN.md §9).
+// annotated mutex of lock class `data` (rank 13) and every public method
+// is callable without the runtime lock. The hot aggregate (routed bytes,
+// record count) is mirrored into relaxed atomics so monitoring reads never
+// touch the mutex; the per-hop timeline borrow (records()) remains a
+// sim-only, runtime-lock-serialized accessor (DESIGN.md §9).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -49,10 +52,17 @@ class TransferEngine {
   /// Earliest time the link from->to becomes free.
   Time link_free_at(SpaceId from, SpaceId to) const;
 
-  /// Total bytes routed (including staging hops).
+  /// Total bytes routed (including staging hops). Lock-free: reads the
+  /// atomic mirror, exact once enqueuers quiesce.
   std::uint64_t routed_bytes() const {
-    versa::LockGuard lock(mutex_);
-    return routed_bytes_;
+    return routed_bytes_mirror_.load(std::memory_order_acquire);
+  }
+
+  /// Number of per-hop records accumulated so far (lock-free mirror of
+  /// records().size() — the concurrency tests poll it while enqueuers
+  /// are still running).
+  std::uint64_t record_count() const {
+    return record_count_.load(std::memory_order_acquire);
   }
 
   /// Per-hop timeline of every modelled copy, in issue order (feeds the
@@ -74,12 +84,16 @@ class TransferEngine {
   };
 
   const Machine& machine_;
-  /// Engine state lock (class `data`, rank 13). Uncontended today — see
-  /// the header comment.
+  /// Engine state lock (class `data`, rank 13); serializes concurrent
+  /// enqueuers — see the header comment.
   mutable versa::Mutex mutex_{lock_order::kLockRankData};
   std::vector<LinkState> links_ VERSA_GUARDED_BY(mutex_);
   std::uint64_t routed_bytes_ VERSA_GUARDED_BY(mutex_) = 0;
   std::vector<TransferRecord> records_ VERSA_GUARDED_BY(mutex_);
+  /// Lock-free mirrors of routed_bytes_ / records_.size(), published by
+  /// enqueuers under the mutex, read by monitoring threads without it.
+  std::atomic<std::uint64_t> routed_bytes_mirror_{0};
+  std::atomic<std::uint64_t> record_count_{0};
   /// Region of the op being enqueued.
   RegionId current_region_ VERSA_GUARDED_BY(mutex_) = 0;
   /// Memoized fewest-hop routes keyed by (from, to).

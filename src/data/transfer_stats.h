@@ -4,6 +4,7 @@
 //   Device Tx — GPU memory -> GPU memory (two-GPU runs).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -44,6 +45,30 @@ struct TransferStats {
 
   /// "in=1.50 GB out=340 MB dev=0 B" — for logs and reports.
   std::string summary() const;
+};
+
+/// Lock-free mirror of TransferStats for the concurrent data path: the
+/// directory records transfers from any thread without a stats lock, and
+/// readers snapshot a plain TransferStats at any time. Per-counter
+/// relaxed atomics — a snapshot taken during a record() may see the byte
+/// counter bumped before the count (or vice versa); totals are exact once
+/// the writers quiesce, which is what the reports read.
+class AtomicTransferStats {
+ public:
+  void record(TransferCategory category, std::uint64_t bytes);
+
+  /// Plain-value snapshot for reporting (`Runtime::transfer_stats()`).
+  TransferStats snapshot() const;
+
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> input_bytes_{0};
+  std::atomic<std::uint64_t> output_bytes_{0};
+  std::atomic<std::uint64_t> device_bytes_{0};
+  std::atomic<std::uint64_t> input_count_{0};
+  std::atomic<std::uint64_t> output_count_{0};
+  std::atomic<std::uint64_t> device_count_{0};
 };
 
 }  // namespace versa

@@ -39,7 +39,11 @@ class ExecutorPort {
   /// methods need the runtime lock is part of the Scheduler contract.
   virtual Scheduler& port_scheduler() = 0;
   virtual TaskGraph& port_graph() VERSA_REQUIRES(port_mutex()) = 0;
-  virtual DataDirectory& port_directory() VERSA_REQUIRES(port_mutex()) = 0;
+  /// The directory is internally synchronized (sharded `data`/`data.shard`
+  /// locks) — deliberately NOT annotated with the runtime capability, so
+  /// lookups, transfer_cost pricing, and prefetch acquires compile without
+  /// the runtime lock (the concurrent data path, DESIGN.md §9).
+  virtual DataDirectory& port_directory() = 0;
   virtual const VersionRegistry& port_registry() = 0;
   virtual const Machine& port_machine() = 0;
   /// Report a finished task; the runtime releases successors, notifies the
@@ -67,8 +71,12 @@ class Executor {
   virtual void attach(ExecutorPort& port) { port_ = &port; }
 
   /// A scheduler placed `task` on `worker`'s queue (prefetch hook).
-  /// Called with the runtime lock held.
-  virtual void task_assigned(TaskId task, WorkerId worker) = 0;
+  /// Called with the runtime lock held; `task` is a stable reference into
+  /// the task graph (deque storage, never moved). Implementations must not
+  /// block: the sim backend acquires synchronously (deterministic virtual
+  /// time), the thread backend records a prefetch intent and stages the
+  /// data off the runtime lock later.
+  virtual void task_queued(Task& task, WorkerId worker) = 0;
 
   /// Ready work may exist for idle workers (pull-style schedulers).
   /// Called with the runtime lock held.

@@ -25,22 +25,22 @@ SimExecutor::SimExecutor(const Machine& machine, SimExecutorConfig config)
 void SimExecutor::attach(ExecutorPort& port) { Executor::attach(port); }
 
 void SimExecutor::acquire_for(Task& task, SpaceId space) {
-  if (task.acquired_space == space) return;
+  if (task.acquired_space.load() == space) return;
   TransferList ops;
   port_->port_directory().acquire(task.accesses, space, ops);
   task.transfers_ready_time = engine_.enqueue(ops, queue_.now());
-  task.acquired_space = space;
+  task.acquired_space.store(space);
   horizon_ = std::max(horizon_, task.transfers_ready_time);
 }
 
-void SimExecutor::task_assigned(TaskId id, WorkerId worker) {
+void SimExecutor::task_queued(Task& task, WorkerId worker) {
   // Called from the scheduler's push, under the runtime lock (contract);
   // the assertion bridges the analysis and is checked dynamically against
-  // the held-lock stack.
+  // the held-lock stack. The sim backend acquires synchronously — the
+  // event loop is single-threaded, so prefetch stays deterministic.
   port_->port_mutex().assert_held();
   if (config_.prefetch) {
     // Overlap: start this task's copies now, while workers compute.
-    Task& task = port_->port_graph().task(id);
     acquire_for(task, machine_.worker(worker).space);
   }
   // Actual dispatch happens in pump(), driven by the wait loops.

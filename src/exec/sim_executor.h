@@ -51,7 +51,7 @@ class SimExecutor final : public Executor {
   SimExecutor(const Machine& machine, SimExecutorConfig config);
 
   void attach(ExecutorPort& port) override;
-  void task_assigned(TaskId task, WorkerId worker) override;
+  void task_queued(Task& task, WorkerId worker) override;
   void work_available() override;
   void wait_all() override;
   void wait_task(TaskId task) override;

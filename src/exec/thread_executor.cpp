@@ -1,6 +1,5 @@
 #include "exec/thread_executor.h"
 
-#include <optional>
 #include <thread>
 
 #include "common/check.h"
@@ -56,9 +55,46 @@ void ThreadExecutor::wait_wake(std::uint64_t seen) {
   }
 }
 
-void ThreadExecutor::task_assigned(TaskId, WorkerId) {
+void ThreadExecutor::task_queued(Task& task, WorkerId worker) {
+  // Called under the runtime lock. Do NOT touch the directory here — that
+  // would serialize every transfer behind the producer path. Record the
+  // intent (rank 10 -> 44 nests in documented order) and let a worker
+  // stage the data off the runtime lock in drain_prefetch().
+  prefetch_inflight_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    versa::LockGuard lock(prefetch_mutex_);
+    prefetch_.push_back(PrefetchIntent{&task, worker});
+    prefetch_pending_.store(true, std::memory_order_release);
+  }
   // Queues live in the scheduler; the push is already visible, so bumping
-  // the epoch here closes the pop-then-sleep race.
+  // the epoch here closes the pop-then-sleep race (and wakes a worker to
+  // drain the intent).
+  bump_wake();
+}
+
+void ThreadExecutor::drain_prefetch() {
+  if (!prefetch_pending_.load(std::memory_order_acquire)) return;
+  std::vector<PrefetchIntent> intents;
+  {
+    versa::LockGuard lock(prefetch_mutex_);
+    intents.swap(prefetch_);
+    prefetch_pending_.store(false, std::memory_order_release);
+  }
+  if (intents.empty()) return;
+  for (const PrefetchIntent& intent : intents) {
+    const SpaceId space = machine_.worker(intent.worker).space;
+    SpaceId expected = kInvalidSpace;
+    if (intent.task->acquired_space.claim(expected, space)) {
+      // Won the claim: stage the data with no lock held but the
+      // directory's own (internally synchronized) classes.
+      TransferList ops;  // accounting only — data lives in host storage
+      port_->port_directory().acquire(intent.task->accesses, space, ops);
+    }
+    // Claim failure: the executing worker (or an earlier intent) already
+    // staged this task for some space — never prefetch over it.
+  }
+  prefetch_inflight_.fetch_sub(intents.size(), std::memory_order_acq_rel);
+  // Waiters (wait_all) also settle on prefetch_inflight_ == 0.
   bump_wake();
 }
 
@@ -75,14 +111,17 @@ thread_local TaskId tls_current_task = kInvalidTask;
 TaskId ThreadExecutor::current_task() const { return tls_current_task; }
 
 bool ThreadExecutor::run_one(WorkerId worker) {
+  // Stage any buffered prefetch intents first — lock-free, so the data
+  // path makes progress even while another worker holds the runtime lock.
+  drain_prefetch();
+
   // Fast path: dequeue already-placed work (own queue, then steals)
   // without the runtime lock.
   TaskId id = port_->port_scheduler().try_pop_queued(worker);
 
   const TaskVersion* version = nullptr;
-  std::optional<TaskContext> ctx;
+  Task* task = nullptr;
   std::uint64_t data_set_size = 0;
-  Time start = 0.0;
   {
     versa::RecursiveLockGuard lock(port_->port_mutex());
     if (id == kInvalidTask) {
@@ -92,31 +131,44 @@ bool ThreadExecutor::run_one(WorkerId worker) {
     }
     if (id == kInvalidTask) return false;
 
-    const SpaceId space = machine_.worker(worker).space;
-    Task& task = port_->port_graph().task(id);
-    VERSA_CHECK(task.state == TaskState::kQueued);
+    task = &port_->port_graph().task(id);  // stable ref (deque storage)
+    VERSA_CHECK(task->state == TaskState::kQueued);
     // Re-home stolen tasks: the steal fast path cannot touch the graph,
     // so the thief records itself here, under the runtime lock.
-    task.assigned_worker = worker;
-    if (task.acquired_space != space) {
-      TransferList ops;  // accounting only — data lives in host storage
-      port_->port_directory().acquire(task.accesses, space, ops);
-      task.acquired_space = space;
-    }
-    version = &port_->port_registry().version(task.chosen_version);
-    task.state = TaskState::kRunning;
-    data_set_size = task.data_set_size;
-    // Resolve argument pointers while still holding the lock; the body
-    // then runs without touching shared runtime structures.
-    ctx.emplace(task.accesses, port_->port_directory(), worker,
-                version->device);
-    start = now();
+    task->assigned_worker = worker;
+    version = &port_->port_registry().version(task->chosen_version);
+    task->state = TaskState::kRunning;
+    data_set_size = task->data_set_size;
   }
+
+  // Off the runtime lock: stage the data. The CAS on acquired_space
+  // arbitrates against the prefetch path — exactly one side performs the
+  // acquire for a given space.
+  const SpaceId space = machine_.worker(worker).space;
+  SpaceId expected = kInvalidSpace;
+  if (task->acquired_space.claim(expected, space)) {
+    TransferList ops;  // accounting only — data lives in host storage
+    port_->port_directory().acquire(task->accesses, space, ops);
+  } else if (expected != space) {
+    // A steal re-homed the task after its data was staged for the
+    // originally assigned worker's space: re-acquire for ours. No
+    // concurrent acquirer exists any more (the prefetch side only ever
+    // claims from kInvalidSpace), so a plain store publishes it.
+    TransferList ops;
+    port_->port_directory().acquire(task->accesses, space, ops);
+    task->acquired_space.store(space);
+  }
+  // Resolve argument pointers (region descriptors are immutable, the
+  // directory lookup synchronizes itself); the body then runs without
+  // touching shared runtime structures.
+  TaskContext ctx(task->accesses, port_->port_directory(), worker,
+                  version->device);
+  const Time start = now();
 
   const TaskId previous = tls_current_task;
   tls_current_task = id;
   if (version->fn) {
-    version->fn(*ctx);
+    version->fn(ctx);
   }
   tls_current_task = previous;
   if (config_.emulate_costs && version->cost != nullptr) {
@@ -179,7 +231,13 @@ void ThreadExecutor::wait_all() {
     const std::uint64_t seen = wake_snapshot();
     {
       versa::RecursiveLockGuard lock(port_->port_mutex());
-      if (port_->port_graph().all_finished()) return;
+      // Settle on zero in-flight prefetch intents too: a taskwait's
+      // transfer accounting (and the flush that follows it) must observe
+      // every staged copy.
+      if (port_->port_graph().all_finished() &&
+          prefetch_inflight_.load(std::memory_order_acquire) == 0) {
+        return;
+      }
     }
     wait_wake(seen);
   }

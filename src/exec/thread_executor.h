@@ -10,9 +10,13 @@
 // Locking (DESIGN.md §9): since the lock split, the dequeue fast path —
 // Scheduler::try_pop_queued, i.e. popping the worker's own shard or
 // stealing — runs WITHOUT the runtime lock; workers take it only for the
-// graph transitions around a task (argument resolution, completion
-// report) and for the pop_task fallback of policies with no lock-free
-// path. Sleeping and waking go through a dedicated wake mutex (class
+// graph transitions around a task (state flip, completion report) and
+// for the pop_task fallback of policies with no lock-free path. The data
+// path is off the runtime lock too: directory acquires (both the
+// prefetch-intent drain and the executing worker's staging) and argument
+// resolution run on the directory's own data/data.shard classes, with
+// Task::acquired_space CAS-arbitrating which side stages each task.
+// Sleeping and waking go through a dedicated wake mutex (class
 // kLockRankExecWake, the innermost lock) and an epoch counter: a worker
 // samples the epoch before it tries to pop and sleeps only if the epoch
 // is unchanged, and every push/completion bumps the epoch after
@@ -46,7 +50,7 @@ class ThreadExecutor final : public Executor {
   ~ThreadExecutor() override;
 
   void attach(ExecutorPort& port) override;
-  void task_assigned(TaskId task, WorkerId worker) override;
+  void task_queued(Task& task, WorkerId worker) override;
   void work_available() override;
   void wait_all() override;
   void wait_task(TaskId task) override;
@@ -70,6 +74,28 @@ class ThreadExecutor final : public Executor {
   std::condition_variable_any wake_cv_;
   std::atomic<bool> stop_{false};
 
+  /// Prefetch intents: the scheduler's push (under the runtime lock)
+  /// records "stage task T's data for worker W" here; workers drain the
+  /// buffer at the top of run_one and perform the directory acquires with
+  /// NO runtime involvement — the directory is internally synchronized
+  /// and Task::acquired_space CAS-arbitrates against the executing
+  /// worker (the concurrent data path, DESIGN.md §9).
+  struct PrefetchIntent {
+    Task* task = nullptr;  ///< stable: the graph stores tasks in a deque
+    WorkerId worker = kInvalidWorker;
+  };
+  versa::Mutex prefetch_mutex_{lock_order::kLockRankExecPrefetch};
+  std::vector<PrefetchIntent> prefetch_ VERSA_GUARDED_BY(prefetch_mutex_);
+  /// Fast "anything buffered?" flag so idle run_one calls skip the lock.
+  std::atomic<bool> prefetch_pending_{false};
+  /// Intents enqueued but not yet fully staged; wait_all settles on zero
+  /// so transfer accounting is complete when a taskwait returns.
+  std::atomic<std::uint64_t> prefetch_inflight_{0};
+
+  /// Swap the intent buffer out and stage each claimed task's data.
+  /// Called lock-free from worker threads.
+  void drain_prefetch();
+
   std::uint64_t wake_snapshot();
   void bump_wake();
   /// Sleep until the epoch moves past `seen` (or stop).
@@ -79,8 +105,8 @@ class ThreadExecutor final : public Executor {
 
   /// Pop (fast path first, then the locked fallback) and execute one task
   /// for `worker`. Takes the runtime lock only around the graph
-  /// transitions, not around the body. Returns false if no task was
-  /// available.
+  /// transitions — the directory acquire, argument resolution, and the
+  /// body all run outside it. Returns false if no task was available.
   bool run_one(WorkerId worker);
 };
 

@@ -201,6 +201,11 @@ TaskId Runtime::submit(TaskTypeId type, AccessList accesses, std::string label,
 }
 
 void Runtime::release_ready(const std::vector<TaskId>& ready) {
+  if (ready.empty()) return;
+  // Bracket the batch: schedulers that buffer submissions stage the whole
+  // batch and publish per-shard runs in ready_batch_done (one submit-mutex
+  // round trip per worker instead of one per task).
+  scheduler_->ready_batch_begin();
   for (TaskId id : ready) {
     Task& task = graph_.task(id);
     VERSA_CHECK(task.state == TaskState::kCreated);
@@ -208,10 +213,8 @@ void Runtime::release_ready(const std::vector<TaskId>& ready) {
     task.ready_time = now();
     scheduler_->task_ready(task);
   }
-  if (!ready.empty()) {
-    scheduler_->ready_batch_done();
-    executor_->work_available();
-  }
+  scheduler_->ready_batch_done();
+  executor_->work_available();
 }
 
 void Runtime::port_complete(TaskId id, WorkerId worker, Time start,
@@ -250,13 +253,16 @@ void Runtime::port_failed(TaskId id, WorkerId worker, Time /*start*/,
   // (through its busy estimates) that the failed worker lost time.
   task.state = TaskState::kReady;
   task.ready_time = finish;
+  scheduler_->ready_batch_begin();
   scheduler_->task_ready(task);
   scheduler_->ready_batch_done();
   executor_->work_available();
 }
 
 void Runtime::task_assigned(TaskId task, WorkerId worker) {
-  executor_->task_assigned(task, worker);
+  // Hand the executor a stable task reference (deque storage): the thread
+  // backend keeps it in its prefetch-intent buffer past this call.
+  executor_->task_queued(graph_.task(task), worker);
 }
 
 void Runtime::taskwait() {
@@ -325,9 +331,7 @@ ProfileLoadResult Runtime::profile_load_result() const {
   return profile_load_;
 }
 
-const TransferStats& Runtime::transfer_stats() const {
-  return directory_.stats();
-}
+TransferStats Runtime::transfer_stats() const { return directory_.stats(); }
 
 const std::vector<TransferRecord>* Runtime::transfer_records() const {
   const auto* sim = dynamic_cast<const SimExecutor*>(executor_.get());

@@ -20,10 +20,13 @@
 // annotated recursive lock of class kLockRankRuntime (mutex_). Scheduler
 // *decision* state therefore needs no locking of its own, as stated in the
 // Scheduler contract; the dequeue fast path is the exception and carries
-// its own locks (DESIGN.md §9). The graph, directory, analyzer and
-// registry aggregates are runtime-lock serialized through the REQUIRES
-// annotations on the ExecutorPort accessors; the scalar result fields are
-// GUARDED_BY(mutex_) directly.
+// its own locks (DESIGN.md §9). The graph, analyzer and registry
+// aggregates are runtime-lock serialized through the REQUIRES annotations
+// on the ExecutorPort accessors; the scalar result fields are
+// GUARDED_BY(mutex_) directly. The directory is the deliberate exception:
+// it synchronizes itself (sharded data/data.shard classes), so lookups,
+// transfer_cost pricing, and prefetch acquires run WITHOUT the runtime
+// lock — its accessors carry no runtime capability.
 #pragma once
 
 #include <memory>
@@ -92,7 +95,7 @@ class Runtime final : public SchedulerContext, public ExecutorPort {
   /// the sim backend, wall seconds otherwise).
   Time elapsed() const;
 
-  const TransferStats& transfer_stats() const;
+  TransferStats transfer_stats() const;
 
   /// Per-hop transfer timeline for the overlap analyzer (sim backend
   /// only; nullptr under the thread backend, whose copies are virtual).
@@ -128,9 +131,9 @@ class Runtime final : public SchedulerContext, public ExecutorPort {
   // --- ExecutorPort -------------------------------------------------------
   Scheduler& port_scheduler() override { return *scheduler_; }
   TaskGraph& port_graph() override VERSA_REQUIRES(mutex_) { return graph_; }
-  DataDirectory& port_directory() override VERSA_REQUIRES(mutex_) {
-    return directory_;
-  }
+  /// No runtime capability required: the directory is internally
+  /// synchronized (see the class comment and ExecutorPort).
+  DataDirectory& port_directory() override { return directory_; }
   const VersionRegistry& port_registry() override { return registry_; }
   const Machine& port_machine() override { return machine_; }
   void port_complete(TaskId task, WorkerId worker, Time start,

@@ -11,19 +11,31 @@ void AffinityScheduler::task_ready(Task& task) {
   const std::vector<WorkerId> candidates = compatible_workers(main);
   VERSA_CHECK_MSG(!candidates.empty(), "no compatible worker for task");
 
+  // The candidate scan reads directory residency, which worker-thread
+  // prefetch acquires can move mid-scan (the directory is off the runtime
+  // lock). Re-validate against mutation_epoch() with one bounded retry so
+  // the committed placement priced a residency state that actually
+  // existed during the scan; under the sim backend the epoch never moves
+  // here, so the loop runs once and the figures stay deterministic.
   WorkerId best = kInvalidWorker;
-  std::uint64_t best_missing = 0;
-  std::size_t best_queue = 0;
-  for (WorkerId w : candidates) {
-    const SpaceId space = ctx_->machine().worker(w).space;
-    const std::uint64_t missing = ctx_->directory().bytes_missing(task.accesses, space);
-    const std::size_t queue = queue_length(w);
-    if (best == kInvalidWorker || missing < best_missing ||
-        (missing == best_missing && queue < best_queue)) {
-      best = w;
-      best_missing = missing;
-      best_queue = queue;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const std::uint64_t epoch_before = ctx_->directory().mutation_epoch();
+    best = kInvalidWorker;
+    std::uint64_t best_missing = 0;
+    std::size_t best_queue = 0;
+    for (WorkerId w : candidates) {
+      const SpaceId space = ctx_->machine().worker(w).space;
+      const std::uint64_t missing =
+          ctx_->directory().bytes_missing(task.accesses, space);
+      const std::size_t queue = queue_length(w);
+      if (best == kInvalidWorker || missing < best_missing ||
+          (missing == best_missing && queue < best_queue)) {
+        best = w;
+        best_missing = missing;
+        best_queue = queue;
+      }
     }
+    if (ctx_->directory().mutation_epoch() == epoch_before) break;
   }
   PushInfo info;
   info.candidates = static_cast<std::uint32_t>(candidates.size());

@@ -17,6 +17,15 @@
 // arrival order with the same priority walk as push(), so a drained shard
 // is indistinguishable from one built by direct pushes.
 //
+// PR 5 batches the producer side per ready batch: between begin_batch()
+// and end_batch(), buffer_push() parks entries in producer-private
+// per-worker runs (no lock at all — the batch window is runtime-lock
+// serialized by contract) and end_batch() appends each non-empty run to
+// its shard's submission buffer with ONE submit-mutex acquisition. A
+// ready batch of N tasks on one worker costs one mutex round trip
+// instead of N. Each shard carries an atomic `staged` count so length()
+// keeps advertising the parked work to victim selection.
+//
 // A QueueEntry carries everything pop/steal/tracing need about the task
 // (id, type, chosen version, priority, frozen estimate, price group),
 // deliberately duplicated out of the TaskGraph: the graph is
@@ -69,7 +78,29 @@ class WorkerQueues {
   /// shard's submit mutex (kLockRankSubmit) — never the queue mutex — so
   /// producers do not contend with the owner's pop fast path. The entry
   /// becomes poppable/stealable after the next drain of this shard.
+  /// Inside a batch window (begin_batch/end_batch) the entry is instead
+  /// parked lock-free in the producer-private run for `worker` and
+  /// published by end_batch().
   void buffer_push(WorkerId worker, const QueueEntry& entry);
+
+  /// Open a staging window: subsequent buffer_push calls accumulate in
+  /// per-worker runs. The window — begin, the pushes, end — must be
+  /// serialized by the caller (the runtime lock brackets it via
+  /// ready_batch_begin/done); pop/steal/drain/length stay concurrent.
+  void begin_batch();
+
+  /// Close the window: append each non-empty run to its shard's
+  /// submission buffer under one submit-mutex acquisition, bumping
+  /// batch_appends() once per run. Entries become poppable after the
+  /// next drain, exactly as with unbatched buffer_push. No-op when no
+  /// window is open (drivers may call ready_batch_done without begin).
+  void end_batch();
+
+  /// Non-empty per-shard runs end_batch() has appended (observability:
+  /// batches < tasks placed proves per-task round trips coalesced).
+  std::uint64_t batch_appends() const {
+    return batch_appends_.load(std::memory_order_relaxed);
+  }
 
   /// Publish `worker`'s buffered entries into its shard, inserting each in
   /// arrival order with the same priority walk as push(). Cheap no-op
@@ -99,8 +130,12 @@ class WorkerQueues {
   std::size_t buffered_length(WorkerId worker) const;
 
   /// Snapshot of the task ids queued on `worker`, head first, shard
-  /// entries before still-buffered ones (busy-time rescan cross-checks
-  /// and tests — buffered entries are already charged in the account).
+  /// entries before still-buffered ones, then any batch-staged run (busy-
+  /// time rescan cross-checks and tests — buffered and staged entries are
+  /// already charged in the account). The staged run is read without a
+  /// lock, so calling this mid-window is only valid from the thread that
+  /// owns the window (the runtime-lock holder) — which is where the
+  /// rescan runs.
   std::vector<TaskId> snapshot(WorkerId worker) const;
 
   std::size_t worker_count() const { return shards_.size(); }
@@ -120,6 +155,11 @@ class WorkerQueues {
     std::deque<QueueEntry> buffer VERSA_GUARDED_BY(submit_mutex);
     /// Mirrors buffer.size(); drain()'s empty early-out reads it lock-free.
     std::atomic<std::size_t> buffered{0};
+    /// Entries parked in the producer-private staging run for this shard
+    /// (batch window only). Counted by length() so victim selection keeps
+    /// seeing the work; briefly double-counted with `buffered` while
+    /// end_batch publishes (length() is a racy snapshot by contract).
+    std::atomic<std::size_t> staged{0};
   };
 
   /// Priority-insertion walk shared by push() and drain().
@@ -128,6 +168,14 @@ class WorkerQueues {
 
   /// unique_ptr because a Shard (mutexes + atomics) is immovable.
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Batch window state. Deliberately NOT lock-guarded: the window is
+  /// serialized by the caller's runtime lock (see begin_batch), and no
+  /// concurrent path reads the runs — only the atomic Shard::staged
+  /// counts escape the window. Runs keep their capacity across batches.
+  bool batching_ = false;
+  std::vector<std::vector<QueueEntry>> staged_;
+  std::atomic<std::uint64_t> batch_appends_{0};
 };
 
 }  // namespace versa::core

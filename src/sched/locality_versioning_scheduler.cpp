@@ -7,15 +7,11 @@ LocalityVersioningScheduler::LocalityVersioningScheduler(ProfileConfig config)
 
 Duration LocalityVersioningScheduler::placement_penalty(
     const Task& task, WorkerId worker) const {
-  const SpaceId space = ctx_->machine().worker(worker).space;
-  const std::uint64_t missing =
-      ctx_->directory().bytes_missing(task.accesses, space);
-  if (missing == 0) return 0.0;
-  // Estimate with the host->space link when it exists (the dominant path);
-  // same-space placements already returned zero above.
-  const LinkDesc* link = ctx_->machine().interconnect().find(kHostSpace, space);
-  if (link == nullptr) return 0.0;
-  return link->latency + static_cast<double>(missing) / link->bandwidth;
+  // One consistent directory read: transfer_cost prices the missing bytes
+  // over the host->space link inside a single epoch-validated snapshot,
+  // byte-identical to the historical bytes_missing + link arithmetic.
+  return ctx_->directory().transfer_cost(
+      task.accesses, ctx_->machine().worker(worker).space);
 }
 
 }  // namespace versa

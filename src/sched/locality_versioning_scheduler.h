@@ -20,6 +20,10 @@ class LocalityVersioningScheduler final : public VersioningScheduler {
 
  protected:
   Duration placement_penalty(const Task& task, WorkerId worker) const override;
+
+  /// The penalty prices directory residency, so the earliest-executor walk
+  /// re-validates against DataDirectory::mutation_epoch().
+  bool placement_penalty_uses_directory() const override { return true; }
 };
 
 }  // namespace versa

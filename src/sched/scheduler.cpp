@@ -75,6 +75,10 @@ std::uint64_t QueueScheduler::reprice_flushes() const {
   return reprice_flushes_;
 }
 
+std::uint64_t QueueScheduler::buffer_push_batches() const {
+  return queues_.batch_appends();
+}
+
 std::uint64_t QueueScheduler::price_group(const Task& task) const {
   return task.data_set_size;
 }
@@ -152,14 +156,24 @@ TaskId QueueScheduler::try_pop_queued(WorkerId worker) {
   return kInvalidTask;
 }
 
+void QueueScheduler::ready_batch_begin() {
+  // Open the staging window: buffer_push calls until ready_batch_done
+  // accumulate in producer-private runs instead of taking the submit
+  // mutex per task. Runtime-lock serialized (the batch brackets come
+  // from release_ready / port_failed).
+  queues_.begin_batch();
+}
+
 void QueueScheduler::ready_batch_done() {
   // Round boundary: apply the re-prices this round's completions
-  // coalesced, then publish buffered placements into the shards. The
-  // account lock (20) is released before drain_all takes submit (16).
+  // coalesced, publish the staged runs (one submit-mutex acquisition per
+  // non-empty worker run), then drain the buffers into the shards. The
+  // account lock (20) is released before the queues take submit (16).
   {
     versa::LockGuard lock(account_mutex_);
     flush_deferred_reprices();
   }
+  queues_.end_batch();
   queues_.drain_all();
 }
 

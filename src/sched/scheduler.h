@@ -68,6 +68,12 @@ class Scheduler {
 
   virtual void task_ready(Task& task) = 0;
 
+  /// Called once before each wave of task_ready calls (one submission, or
+  /// the successors released by one completion). Queue-backed policies
+  /// open a staging window here so the whole batch is appended to each
+  /// shard's submission buffer in one mutex round trip (ready_batch_done).
+  virtual void ready_batch_begin() {}
+
   /// Called once after each wave of task_ready calls (one submission, or
   /// the successors released by one completion). Batch-mapping policies
   /// (sufferage) decide here; per-task policies ignore it.
@@ -144,11 +150,19 @@ struct PushInfo {
 /// the live profile mean. A burst of completions therefore issues at most
 /// one LoadAccount::reprice per distinct key per round, and neither
 /// submission nor completion serializes shard work on the runtime lock.
+///
+/// PR 5 batches the buffer appends themselves: ready_batch_begin opens a
+/// WorkerQueues staging window, placements accumulate in producer-private
+/// per-worker runs, and ready_batch_done publishes each non-empty run
+/// with ONE submit-mutex acquisition — one round trip per worker per
+/// ready batch instead of one per task (buffer_push_batches() counts the
+/// appended runs).
 class QueueScheduler : public Scheduler {
  public:
   void attach(SchedulerContext& ctx) override;
   TaskId pop_task(WorkerId worker) override;
   TaskId try_pop_queued(WorkerId worker) override;
+  void ready_batch_begin() override;
   void ready_batch_done() override;
   bool has_pending() const override;
 
@@ -158,6 +172,13 @@ class QueueScheduler : public Scheduler {
   /// always; strictly smaller when a completion burst coalesced.
   std::uint64_t reprice_requests() const;
   std::uint64_t reprice_flushes() const;
+
+  /// Batched-submission observability (tests, trace_report): how many
+  /// per-shard runs end_batch appended. Each non-empty run is one submit
+  /// mutex acquisition, however many tasks the batch placed on that
+  /// worker — so batches > 0 with batches < tasks placed proves the
+  /// per-task round trips were coalesced.
+  std::uint64_t buffer_push_batches() const;
 
   /// Queue length of a worker (tie-breaking and tests). Lock-free read of
   /// the shard's atomic length mirror.

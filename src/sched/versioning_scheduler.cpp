@@ -186,15 +186,32 @@ void VersioningScheduler::assign_earliest_executor(Task& task) {
   Duration best_penalty = 0.0;
   std::uint32_t candidates = 0;
 
-  // Placement penalties are computed before the account critical section:
-  // the locality subclass reads the data directory (lock class data, rank
-  // 13), which must not be acquired under the account lock (rank 20).
-  // Pure queries under the runtime lock, so the values are exactly what
-  // an in-walk call would have returned.
+  // Directory-reading penalties race with prefetch acquires on worker
+  // threads (the directory synchronizes itself, off the runtime lock):
+  // residency can move between pricing a candidate and committing the
+  // placement. Sample mutation_epoch() around the evaluation and re-price
+  // once if it moved — the placement is then either consistent with a
+  // directory state that existed during the walk, or (second attempt) a
+  // best-effort estimate, which is all a heuristic penalty ever was.
+  // Under the sim backend the epoch cannot move mid-walk (single
+  // threaded), so the loop runs exactly once and stays deterministic.
+  const bool epoch_sensitive = placement_penalty_uses_directory();
   const std::size_t worker_count = ctx_->machine().worker_count();
   std::vector<Duration> penalties(worker_count, 0.0);
-  for (WorkerId w = 0; w < worker_count; ++w) {
-    penalties[w] = placement_penalty(task, w);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const std::uint64_t epoch_before =
+        epoch_sensitive ? ctx_->directory().mutation_epoch() : 0;
+    // Placement penalties are computed before the account critical
+    // section: the locality subclass reads the data directory (lock class
+    // data/data.shard, ranks 13/14), which must not be acquired under the
+    // account lock (rank 20).
+    for (WorkerId w = 0; w < worker_count; ++w) {
+      penalties[w] = placement_penalty(task, w);
+    }
+    if (!epoch_sensitive ||
+        ctx_->directory().mutation_epoch() == epoch_before) {
+      break;
+    }
   }
 
   {

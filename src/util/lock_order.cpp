@@ -10,10 +10,12 @@ namespace versa::lock_order {
 
 const LockClass kLockRankRuntime = {"runtime", 10, /*reentrant=*/true};
 const LockClass kLockRankData = {"data", 13};
+const LockClass kLockRankDataShard = {"data.shard", 14};
 const LockClass kLockRankSubmit = {"sched.submit", 16};
 const LockClass kLockRankAccount = {"sched.account", 20};
 const LockClass kLockRankQueue = {"sched.queue", 30};
 const LockClass kLockRankTrace = {"trace", 40};
+const LockClass kLockRankExecPrefetch = {"exec.prefetch", 44};
 const LockClass kLockRankExecWake = {"exec.wake", 50};
 
 namespace {

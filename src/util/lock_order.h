@@ -34,13 +34,15 @@ struct LockClass {
 // --- the repo's lock hierarchy, outermost (lowest rank) first ----------
 // See DESIGN.md §9 for what each class guards. Keep ranks spaced so a new
 // class can slot in between without renumbering.
-extern const LockClass kLockRankRuntime;   ///< rank 10: Runtime::mutex_
-extern const LockClass kLockRankData;      ///< rank 13: DataDirectory/TransferEngine state
-extern const LockClass kLockRankSubmit;    ///< rank 16: per-worker submission buffers
-extern const LockClass kLockRankAccount;   ///< rank 20: QueueScheduler account/index
-extern const LockClass kLockRankQueue;     ///< rank 30: per-worker queue shards
-extern const LockClass kLockRankTrace;     ///< rank 40: DecisionTrace ring
-extern const LockClass kLockRankExecWake;  ///< rank 50: ThreadExecutor wake epoch
+extern const LockClass kLockRankRuntime;      ///< rank 10: Runtime::mutex_
+extern const LockClass kLockRankData;         ///< rank 13: DataDirectory writer / TransferEngine state
+extern const LockClass kLockRankDataShard;    ///< rank 14: DataDirectory region shards
+extern const LockClass kLockRankSubmit;       ///< rank 16: per-worker submission buffers
+extern const LockClass kLockRankAccount;      ///< rank 20: QueueScheduler account/index
+extern const LockClass kLockRankQueue;        ///< rank 30: per-worker queue shards
+extern const LockClass kLockRankTrace;        ///< rank 40: DecisionTrace ring
+extern const LockClass kLockRankExecPrefetch; ///< rank 44: ThreadExecutor prefetch intents
+extern const LockClass kLockRankExecWake;     ///< rank 50: ThreadExecutor wake epoch
 
 /// Record an acquisition of `cls` by the calling thread, reporting a
 /// violation first if it inverts the documented order. Called by the

@@ -10,8 +10,11 @@
 //   I6  after flush_all, no region is dirty and host copies are valid.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "common/random.h"
 #include "data/directory.h"
@@ -162,6 +165,104 @@ TEST_P(DirectoryPropertyTest, RandomOpsMatchOracleAndKeepInvariants) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DirectoryPropertyTest,
                          ::testing::Values(101u, 202u, 303u, 404u, 505u,
                                            606u));
+
+// Linearization property over randomized interleavings: a writer thread
+// replays a random plan of paired acquires while reader threads sample
+// pair aggregates. Every read must correspond to the directory state
+// after some *prefix* of the plan — and because both pair members are
+// acquired together, every prefix state prices the pair as 0 or its full
+// size. Observing half the pair means a read linearized inside an
+// acquire, which the epoch protocol forbids. The final state must equal
+// the serial oracle replay of the full plan, pinning down that the
+// concurrent run linearized to the plan order itself.
+class DirectoryLinearizationTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DirectoryLinearizationTest, ReadsLinearizeAgainstPairedAcquires) {
+  Machine::Builder builder;
+  const SpaceId g0 = builder.add_space("g0", 0);
+  const SpaceId g1 = builder.add_space("g1", 0);
+  const DeviceId d0 = builder.add_device(DeviceKind::kCuda, g0, "a", 1);
+  const DeviceId d1 = builder.add_device(DeviceKind::kCuda, g1, "b", 1);
+  builder.add_worker(d0);
+  builder.add_worker(d1);
+  builder.add_bidi_link(kHostSpace, g0, 1e9, 0.0);
+  builder.add_bidi_link(kHostSpace, g1, 1e9, 0.0);
+  builder.add_bidi_link(g0, g1, 1e9, 0.0);
+  const Machine machine = builder.build();
+
+  DataDirectory directory(machine);
+  DirectoryOracle oracle(machine.space_count());
+  const std::uint64_t kBytesA = 128;
+  const std::uint64_t kBytesB = 256;
+  const std::uint64_t kPair = kBytesA + kBytesB;
+  const RegionId a = directory.register_region("a", kBytesA);
+  const RegionId b = directory.register_region("b", kBytesB);
+  oracle.add_region(a, kBytesA);
+  oracle.add_region(b, kBytesB);
+
+  // Precompute the plan so the serial oracle replay is exact.
+  struct Step {
+    SpaceId space;
+    AccessMode mode;
+  };
+  Rng rng(GetParam());
+  std::vector<Step> plan;
+  for (int i = 0; i < 500; ++i) {
+    plan.push_back(Step{
+        static_cast<SpaceId>(rng.next_below(machine.space_count())),
+        rng.next_below(3) == 0 ? AccessMode::kIn : AccessMode::kInOut});
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<long> torn{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      Rng reader_rng(GetParam() ^ (0xabcu + static_cast<std::uint64_t>(r)));
+      while (!stop.load(std::memory_order_acquire)) {
+        const AccessList probe = {Access::in(a), Access::in(b)};
+        const SpaceId s = static_cast<SpaceId>(
+            reader_rng.next_below(machine.space_count()));
+        const std::uint64_t valid = directory.bytes_valid(probe, s);
+        if (valid != 0 && valid != kPair) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+        const std::uint64_t missing = directory.bytes_missing(probe, s);
+        if (missing != 0 && missing != kPair) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  for (const Step& step : plan) {
+    const AccessList accesses = {Access{a, step.mode, 0, 0},
+                                 Access{b, step.mode, 0, 0}};
+    TransferList ops;
+    directory.acquire(accesses, step.space, ops);
+    oracle.acquire(accesses, step.space);
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) {
+    t.join();
+  }
+
+  EXPECT_EQ(torn.load(), 0);
+  // Terminal state equals the serial replay: the concurrent history
+  // linearized to the plan order.
+  for (SpaceId s = 0; s < machine.space_count(); ++s) {
+    EXPECT_EQ(directory.is_valid_in(a, s), oracle.state(a).valid.count(s) != 0)
+        << "space " << s;
+    EXPECT_EQ(directory.is_valid_in(b, s), oracle.state(b).valid.count(s) != 0)
+        << "space " << s;
+  }
+  EXPECT_EQ(directory.dirty_space(a), oracle.state(a).dirty);
+  EXPECT_EQ(directory.dirty_space(b), oracle.state(b).dirty);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DirectoryLinearizationTest,
+                         ::testing::Values(11u, 22u, 33u));
 
 }  // namespace
 }  // namespace versa

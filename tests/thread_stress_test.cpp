@@ -15,6 +15,7 @@
 #include "machine/presets.h"
 #include "runtime/runtime.h"
 #include "sched/scheduler.h"
+#include "util/lock_order.h"
 
 namespace versa {
 namespace {
@@ -191,6 +192,121 @@ TEST(ThreadStress, FifoFallbackPathStaysCorrect) {
   // fifo pops under the runtime lock through the base try_pop_queued
   // fallback: the split must leave the slow path just as correct.
   run_stress("fifo", 2, 30, /*independent_tasks=*/true);
+}
+
+std::atomic<int> g_lock_order_violations{0};
+
+void count_violation(const char* /*report*/) {
+  g_lock_order_violations.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Prefetch storm on a heterogeneous node: SMP + GPU workers, so queued
+/// tasks trigger the executor's prefetch-intent path and the directory
+/// stages real cross-space transfers off the runtime lock, concurrently
+/// with the executing workers' own acquires (the Task::acquired_space
+/// CAS arbitration). Run with the lock-order checker enforced: any
+/// acquisition inverting the documented ranks fails the test, TSan or no
+/// TSan.
+void run_prefetch_storm(const std::string& scheduler) {
+  const bool was_enforced = lock_order::enforced();
+  lock_order::ViolationHandler previous =
+      lock_order::set_violation_handler(count_violation);
+  g_lock_order_violations.store(0, std::memory_order_relaxed);
+  lock_order::set_enforced(true);
+  {
+    const Machine machine = make_minotauro_node(2, 2);
+    RuntimeConfig config;
+    config.backend = Backend::kThreads;
+    config.scheduler = scheduler;
+    Runtime rt(machine, config);
+
+    std::atomic<long> executed{0};
+    const TaskTypeId type = rt.declare_task("prefetch_storm");
+    // SMP version first = main version, so the baseline policies (which
+    // ignore `implements`) stay runnable; the versioning family also
+    // samples the CUDA version, spreading the storm across both memory
+    // spaces and keeping the prefetch drain staging device copies.
+    rt.add_version(type, DeviceKind::kSmp, "smp", [&](TaskContext&) {
+      executed.fetch_add(1, std::memory_order_relaxed);
+    });
+    rt.add_version(type, DeviceKind::kCuda, "cuda", [&](TaskContext&) {
+      executed.fetch_add(1, std::memory_order_relaxed);
+    });
+
+    constexpr int kProducers = 3;
+    constexpr int kPerProducer = 40;
+    constexpr int kRegionsPerProducer = 4;
+    std::vector<RegionId> regions;
+    for (int p = 0; p < kProducers; ++p) {
+      for (int r = 0; r < kRegionsPerProducer; ++r) {
+        regions.push_back(rt.register_data(
+            "s" + std::to_string(p) + "_" + std::to_string(r), 4096));
+      }
+    }
+
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          // Rotate over the producer's regions: short dependence chains,
+          // so readiness trickles and the prefetch buffer drains while
+          // later placements are still being recorded.
+          const std::size_t base =
+              static_cast<std::size_t>(p) * kRegionsPerProducer;
+          const RegionId rw = regions[base + static_cast<std::size_t>(
+                                                 i % kRegionsPerProducer)];
+          const RegionId ro = regions[base + static_cast<std::size_t>(
+                                                 (i + 1) % kRegionsPerProducer)];
+          rt.submit(type, {Access::inout(rw), Access::in(ro)}, "", i % 3);
+        }
+      });
+    }
+    for (auto& t : producers) {
+      t.join();
+    }
+    rt.taskwait();
+
+    const long expected = static_cast<long>(kProducers) * kPerProducer;
+    EXPECT_EQ(executed.load(), expected);
+    EXPECT_EQ(rt.run_stats().total_tasks(),
+              static_cast<std::uint64_t>(expected));
+    EXPECT_FALSE(rt.scheduler().has_pending());
+
+    // Idle settle: queues drained, every charge released, and (taskwait
+    // semantics) nothing dirty off-host once the flush accounting landed.
+    const WorkerId workers = static_cast<WorkerId>(machine.worker_count());
+    for (WorkerId w = 0; w < workers; ++w) {
+      EXPECT_DOUBLE_EQ(rt.scheduler().estimated_busy(w), 0.0)
+          << "worker " << w;
+    }
+    if (auto* qs = dynamic_cast<QueueScheduler*>(&rt.scheduler())) {
+      for (WorkerId w = 0; w < workers; ++w) {
+        EXPECT_EQ(qs->queue_length(w), 0u) << "worker " << w;
+      }
+      // The batched producer side actually batched: every ready wave
+      // published its per-shard runs through end_batch, and coalescing
+      // means strictly fewer submit-mutex round trips than placements.
+      EXPECT_GT(qs->buffer_push_batches(), 0u);
+      EXPECT_LE(qs->buffer_push_batches(),
+                static_cast<std::uint64_t>(expected));
+    }
+    for (const RegionId region : regions) {
+      EXPECT_EQ(rt.data_directory().dirty_space(region), kInvalidSpace);
+    }
+  }
+  EXPECT_EQ(g_lock_order_violations.load(std::memory_order_relaxed), 0)
+      << "lock-order violation under the " << scheduler << " prefetch storm";
+  lock_order::set_violation_handler(previous);
+  lock_order::set_enforced(was_enforced);
+}
+
+TEST(ThreadStress, PrefetchStormAllBusyTrackingPoliciesWithTransfers) {
+  for (const char* policy : {"dep-aware", "affinity", "versioning",
+                             "versioning-locality", "sufferage"}) {
+    SCOPED_TRACE(policy);
+    run_prefetch_storm(policy);
+  }
 }
 
 TEST(ThreadStress, RepeatedRoundsReuseOneRuntime) {

@@ -190,6 +190,132 @@ TEST(WorkerQueues, EntryCarriesThePriceGroup) {
   EXPECT_EQ(popped->group, 42u);
 }
 
+TEST(WorkerQueues, BatchedBufferPushPublishesOnEndBatch) {
+  // PR-5 batching: inside a window, pushes park in producer-private runs
+  // (no submit-mutex traffic), still counted by length(); end_batch
+  // publishes each non-empty run in one append, and the drained shard is
+  // indistinguishable from per-task buffer pushes.
+  WorkerQueues batched;
+  batched.reset(2);
+  WorkerQueues reference;
+  reference.reset(2);
+
+  batched.begin_batch();
+  const std::vector<std::pair<TaskId, int>> sequence = {
+      {1, 0}, {2, 5}, {3, 0}, {4, 2}, {5, 5}};
+  for (const auto& [id, priority] : sequence) {
+    batched.buffer_push(0, entry(id, priority));
+    reference.buffer_push(0, entry(id, priority));
+  }
+  batched.buffer_push(1, entry(9, 1));
+  reference.buffer_push(1, entry(9, 1));
+
+  // Parked, not yet buffered: length advertises the staged work, the
+  // buffers are still empty, and a drain publishes nothing.
+  EXPECT_EQ(batched.length(0), sequence.size());
+  EXPECT_EQ(batched.buffered_length(0), 0u);
+  batched.drain(0);
+  EXPECT_FALSE(batched.pop_front(0).has_value());
+  EXPECT_EQ(batched.batch_appends(), 0u);
+
+  batched.end_batch();
+  // Two non-empty runs (worker 0 and worker 1) = two appends.
+  EXPECT_EQ(batched.batch_appends(), 2u);
+  EXPECT_EQ(batched.buffered_length(0), sequence.size());
+  batched.drain_all();
+  reference.drain_all();
+  EXPECT_EQ(batched.snapshot(0), reference.snapshot(0));
+  EXPECT_EQ(batched.snapshot(1), reference.snapshot(1));
+}
+
+TEST(WorkerQueues, EndBatchWithoutBeginIsANoop) {
+  WorkerQueues queues;
+  queues.reset(1);
+  queues.buffer_push(0, entry(1));  // unbatched path
+  queues.end_batch();               // legacy drivers: done without begin
+  EXPECT_EQ(queues.batch_appends(), 0u);
+  queues.drain(0);
+  const auto popped = queues.pop_front(0);
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(popped->id, 1u);
+}
+
+TEST(WorkerQueues, EmptyBatchAppendsNothing) {
+  WorkerQueues queues;
+  queues.reset(2);
+  queues.begin_batch();
+  queues.end_batch();
+  EXPECT_EQ(queues.batch_appends(), 0u);
+  EXPECT_EQ(queues.length(0), 0u);
+}
+
+TEST(WorkerQueues, SnapshotIncludesStagedRun) {
+  WorkerQueues queues;
+  queues.reset(1);
+  queues.push(0, entry(1));
+  queues.buffer_push(0, entry(2));
+  queues.begin_batch();
+  queues.buffer_push(0, entry(3));
+  // Shard entries, then buffered, then the staged run.
+  const std::vector<TaskId> expected = {1, 2, 3};
+  EXPECT_EQ(queues.snapshot(0), expected);
+  EXPECT_EQ(queues.length(0), 3u);
+  queues.end_batch();
+  queues.drain_all();
+  EXPECT_EQ(queues.snapshot(0), expected);
+}
+
+TEST(WorkerQueues, BatchWindowRacesConsumersSafely) {
+  // The batch window is producer-serialized, but owners/thieves keep
+  // popping, stealing and draining concurrently — end_batch's published
+  // runs must surface exactly once alongside direct pushes (TSan cross-
+  // checks the one-submit-acquisition append against the drain path).
+  constexpr int kBatches = 200;
+  constexpr int kPerBatch = 5;
+  constexpr int kEntries = kBatches * kPerBatch;
+  WorkerQueues queues;
+  queues.reset(1);
+
+  std::vector<std::atomic<int>> seen(kEntries + 1);
+  std::atomic<int> drained{0};
+
+  auto consume = [&](auto take) {
+    while (drained.load(std::memory_order_relaxed) < kEntries) {
+      queues.drain(0);
+      if (const auto e = take()) {
+        seen[e->id].fetch_add(1, std::memory_order_relaxed);
+        drained.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  };
+
+  std::thread producer([&] {
+    for (int b = 0; b < kBatches; ++b) {
+      queues.begin_batch();
+      for (int i = 0; i < kPerBatch; ++i) {
+        const int id = b * kPerBatch + i + 1;
+        queues.buffer_push(0, entry(static_cast<TaskId>(id), i % 3));
+      }
+      queues.end_batch();
+    }
+  });
+  std::thread owner([&] { consume([&] { return queues.pop_front(0); }); });
+  std::thread thief([&] { consume([&] { return queues.steal_back(0); }); });
+
+  producer.join();
+  owner.join();
+  thief.join();
+
+  EXPECT_EQ(drained.load(), kEntries);
+  for (int i = 1; i <= kEntries; ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)].load(), 1) << "entry " << i;
+  }
+  EXPECT_EQ(queues.length(0), 0u);
+  EXPECT_EQ(queues.batch_appends(), static_cast<std::uint64_t>(kBatches));
+}
+
 TEST(WorkerQueues, ConcurrentBufferedProducersDrainExactly) {
   // Several producers buffer into one shard while the owner drains and
   // pops and a thief drains and steals: every entry must surface exactly
