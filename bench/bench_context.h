@@ -1,0 +1,36 @@
+// Shared context reporting for the concurrency micro-benchmarks
+// (bench_thread_scale, bench_data_path, bench_service).
+//
+// These benches measure contention, so their numbers are meaningless on a
+// starved host: a single-core CI runner flat-lines every scaling curve and
+// the JSON output gives no hint why. Every concurrency bench therefore
+// (1) records the detected hardware_concurrency in the benchmark context
+// (it lands in the JSON "context" block next to num_cpus) and (2) prints a
+// loud stderr warning when fewer than four cores are available.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+
+namespace versa::bench {
+
+/// Detected core count (0 when the implementation cannot tell).
+inline unsigned report_hardware_concurrency() {
+  const unsigned cores = std::thread::hardware_concurrency();
+  ::benchmark::AddCustomContext("hardware_concurrency",
+                                std::to_string(cores));
+  if (cores < 4) {
+    std::fprintf(
+        stderr,
+        "\n*** WARNING: only %u hardware thread%s detected ***\n"
+        "*** concurrency benchmarks need >= 4 cores; scaling curves on\n"
+        "*** this host will flat-line and should not be quoted.\n\n",
+        cores, cores == 1 ? "" : "s");
+  }
+  return cores;
+}
+
+}  // namespace versa::bench

@@ -13,6 +13,8 @@
 // epoch re-validation depends on.
 #include <benchmark/benchmark.h>
 
+#include "bench_context.h"
+
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -151,4 +153,11 @@ BENCHMARK(BM_ReadersUnderChurn)->Threads(2)->Threads(4)->Threads(8)
 }  // namespace
 }  // namespace versa
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  versa::bench::report_hardware_concurrency();
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Service-mode throughput: graphs/sec through VersaService as the client
+// count grows.
+//
+// Each benchmark thread is one client with its own tenant: per iteration
+// it submits a small chain graph (the task-bench-style
+// small-graph-at-high-rate shape) and blocks in wait_graph until the graph
+// retires. items_per_second therefore reads as end-to-end graphs/sec
+// including admission, region registration, per-graph completion tracking
+// and retirement — the full service round trip, contended by however many
+// clients the ThreadRange sets. The shared runtime uses the thread backend
+// with one worker per detected core (capped at 4 to keep the fleet stable
+// on big hosts).
+#include <benchmark/benchmark.h>
+
+#include "bench_context.h"
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "machine/presets.h"
+#include "runtime/config.h"
+#include "service/versa_service.h"
+#include "util/lock_order.h"
+
+namespace versa {
+namespace {
+
+constexpr int kMaxClients = 8;
+constexpr std::size_t kTasksPerGraph = 4;
+
+struct Harness {
+  Machine machine;
+  service::VersaService service;
+  service::GraphSpec spec;
+  TaskTypeId type = kInvalidTaskType;
+  std::atomic<std::uint64_t> executed{0};
+
+  Harness()
+      : machine(make_smp_machine(4)), service(machine, [] {
+          service::VersaServiceConfig config;
+          config.runtime.backend = Backend::kThreads;
+          config.runtime.scheduler = "versioning";
+          return config;
+        }()) {
+    type = service.runtime().declare_task("svc_chain");
+    service.runtime().add_version(type, DeviceKind::kSmp, "smp",
+                                  [this](TaskContext&) {
+                                    executed.fetch_add(
+                                        1, std::memory_order_relaxed);
+                                  });
+    // One region, every task inout on it: a pure dependence chain.
+    spec.regions.push_back({"chain", 4096});
+    for (std::size_t i = 0; i < kTasksPerGraph; ++i) {
+      service::TaskSpec task;
+      task.type = type;
+      task.accesses.push_back({0, AccessMode::kInOut});
+      spec.tasks.push_back(std::move(task));
+    }
+  }
+};
+
+void BM_ServiceGraphsPerSecond(benchmark::State& state) {
+  // Function-local static: one shared service across every thread count,
+  // like the other concurrency benches. Tenants for the maximum client
+  // count are registered up front; benchmark thread i submits as tenant
+  // session i.
+  static Harness* harness = new Harness();
+  static std::vector<service::Session>* sessions = [] {
+    auto* s = new std::vector<service::Session>;
+    for (int i = 0; i < kMaxClients; ++i) {
+      service::TenantQuota quota;
+      quota.weight = 1;
+      s->push_back(harness->service.open_session(
+          "client" + std::to_string(i), quota));
+    }
+    return s;
+  }();
+  service::Session& session = (*sessions)[state.thread_index()];
+  for (auto _ : state) {
+    const service::SubmitResult result = session.submit(harness->spec);
+    if (result.admitted()) {
+      session.wait(result.graph);
+    } else {
+      state.SkipWithError(("rejected: " + result.rejected.detail).c_str());
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServiceGraphsPerSecond)
+    ->ThreadRange(1, kMaxClients)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace versa
+
+int main(int argc, char** argv) {
+  // Measure the service, not the debug checker (parity with the other
+  // concurrency benches; the stress test runs with the checker on).
+  versa::lock_order::set_enforced(false);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  versa::bench::report_hardware_concurrency();
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -41,6 +41,7 @@
 #include <mutex>
 #include <vector>
 
+#include "bench_context.h"
 #include "sched/core/worker_queues.h"
 #include "util/lock_order.h"
 
@@ -216,6 +217,7 @@ int main(int argc, char** argv) {
   versa::lock_order::set_enforced(false);
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  versa::bench::report_hardware_concurrency();
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
   return 0;

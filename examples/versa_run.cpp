@@ -61,8 +61,10 @@ void print_usage() {
   std::printf(
       "usage: versa_run [flags]\n"
       "  --app <matmul|cholesky|pbpi>   workload (default matmul)\n"
-      "  --scheduler <name>             fifo | dep-aware | affinity |\n"
-      "                                 versioning | versioning-locality\n"
+      "  --scheduler <name>             scheduling policy (see\n"
+      "                                 --list-policies)\n"
+      "  --list-policies                print the valid policy names and\n"
+      "                                 exit\n"
       "  --variant <hyb|gpu|smp>        application version set\n"
       "  --smp <n> --gpus <n>           MinoTauro-node resources\n"
       "  --machine-file <path>          load machine description instead\n"
@@ -101,6 +103,11 @@ bool parse_args(int argc, char** argv, Options& options) {
     const char* value = nullptr;
     if (flag == "--help" || flag == "-h") {
       print_usage();
+      std::exit(0);
+    } else if (flag == "--list-policies") {
+      for (const std::string& name : scheduler_factory_names()) {
+        std::printf("%s\n", name.c_str());
+      }
       std::exit(0);
     } else if (flag == "--calibrate") {
       const HostCalibration calibration = calibrate_host();
@@ -208,8 +215,13 @@ int main(int argc, char** argv) {
   config.profile.drift.enabled = options.drift;
   config.sched_trace = !options.sched_trace_path.empty();
   if (make_scheduler(options.scheduler) == nullptr) {
-    std::fprintf(stderr, "unknown scheduler '%s'\n",
-                 options.scheduler.c_str());
+    std::string valid;
+    for (const std::string& name : scheduler_factory_names()) {
+      if (!valid.empty()) valid += ", ";
+      valid += name;
+    }
+    std::fprintf(stderr, "unknown scheduler '%s' — valid policies: %s\n",
+                 options.scheduler.c_str(), valid.c_str());
     return 2;
   }
 

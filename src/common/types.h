@@ -27,12 +27,26 @@ using DeviceId = std::uint32_t;
 using SpaceId = std::uint32_t;
 using RegionId = std::uint64_t;
 
+/// Service mode (DESIGN.md §10): one runtime serves many independent task
+/// graphs, each owned by a tenant. Graph 0 / tenant 0 are the implicit
+/// defaults used by every single-graph program, so code that never opens a
+/// second graph behaves exactly as before.
+using GraphId = std::uint32_t;
+using TenantId = std::uint32_t;
+
 constexpr TaskId kInvalidTask = std::numeric_limits<TaskId>::max();
 constexpr VersionId kInvalidVersion = std::numeric_limits<VersionId>::max();
 constexpr TaskTypeId kInvalidTaskType = std::numeric_limits<TaskTypeId>::max();
 constexpr WorkerId kInvalidWorker = std::numeric_limits<WorkerId>::max();
 constexpr DeviceId kInvalidDevice = std::numeric_limits<DeviceId>::max();
 constexpr SpaceId kInvalidSpace = std::numeric_limits<SpaceId>::max();
+constexpr GraphId kInvalidGraph = std::numeric_limits<GraphId>::max();
+constexpr TenantId kInvalidTenant = std::numeric_limits<TenantId>::max();
+
+/// The implicit graph root / tenant every task belongs to unless a service
+/// session says otherwise.
+constexpr GraphId kDefaultGraph = 0;
+constexpr TenantId kDefaultTenant = 0;
 
 /// Memory space 0 is always the host (SMP main memory), as in Nanos++.
 constexpr SpaceId kHostSpace = 0;

@@ -139,12 +139,21 @@ void SimExecutor::pump() {
 
 void SimExecutor::run_until_done(TaskId awaited) {
   TaskGraph& graph = port_->port_graph();
-  auto done = [&] {
+  run_until([&] {
     if (awaited != kInvalidTask) {
       return graph.task(awaited).state == TaskState::kFinished;
     }
     return graph.all_finished();
-  };
+  });
+}
+
+void SimExecutor::run_until_graph_done(GraphId awaited) {
+  TaskGraph& graph = port_->port_graph();
+  run_until([&] { return graph.graph_finished(awaited); });
+}
+
+template <typename DonePredicate>
+void SimExecutor::run_until(DonePredicate done) {
   pump();
   while (!done()) {
     if (queue_.step()) {
@@ -168,6 +177,11 @@ void SimExecutor::wait_all() {
 void SimExecutor::wait_task(TaskId task) {
   versa::RecursiveLockGuard lock(port_->port_mutex());
   run_until_done(task);
+}
+
+void SimExecutor::wait_graph(GraphId graph) {
+  versa::RecursiveLockGuard lock(port_->port_mutex());
+  run_until_graph_done(graph);
 }
 
 void SimExecutor::wait_children(TaskId parent) {

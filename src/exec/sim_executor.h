@@ -55,6 +55,7 @@ class SimExecutor final : public Executor {
   void work_available() override;
   void wait_all() override;
   void wait_task(TaskId task) override;
+  void wait_graph(GraphId graph) override;
   TaskId current_task() const override { return current_task_; }
   void wait_children(TaskId parent) override;
   Time now() const override;
@@ -94,6 +95,12 @@ class SimExecutor final : public Executor {
       VERSA_REQUIRES(port_->port_mutex());
   void run_until_done(TaskId task_or_invalid)
       VERSA_REQUIRES(port_->port_mutex());
+  void run_until_graph_done(GraphId graph)
+      VERSA_REQUIRES(port_->port_mutex());
+  /// Drive the event loop until `done()` holds (shared body of the
+  /// run_until_* entry points).
+  template <typename DonePredicate>
+  void run_until(DonePredicate done) VERSA_REQUIRES(port_->port_mutex());
 };
 
 }  // namespace versa

@@ -256,6 +256,19 @@ void ThreadExecutor::wait_task(TaskId task) {
   }
 }
 
+void ThreadExecutor::wait_graph(GraphId graph) {
+  // Same wake-epoch protocol as wait_all, settling on one graph root; many
+  // client threads can block here concurrently, each on its own graph.
+  for (;;) {
+    const std::uint64_t seen = wake_snapshot();
+    {
+      versa::RecursiveLockGuard lock(port_->port_mutex());
+      if (port_->port_graph().graph_finished(graph)) return;
+    }
+    wait_wake(seen);
+  }
+}
+
 Time ThreadExecutor::flush(const TransferList&) {
   // Host storage is authoritative in this backend; flushes are pure
   // accounting (already recorded by the directory).

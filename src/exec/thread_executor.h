@@ -54,6 +54,7 @@ class ThreadExecutor final : public Executor {
   void work_available() override;
   void wait_all() override;
   void wait_task(TaskId task) override;
+  void wait_graph(GraphId graph) override;
   TaskId current_task() const override;
   void wait_children(TaskId parent) override;
   Time now() const override;

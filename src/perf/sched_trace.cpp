@@ -12,7 +12,7 @@ std::string sched_trace_table(const core::DecisionTrace& trace,
                               const VersionRegistry& registry,
                               const Machine& machine, std::size_t max_rows) {
   TablePrinter table({"time", "event", "task", "type/version", "worker",
-                      "busy", "estimate", "penalty", "cands"});
+                      "busy", "estimate", "penalty", "cands", "tenant"});
   std::vector<core::TraceEvent> events = trace.events();
   std::size_t start = 0;
   if (max_rows != 0 && events.size() > max_rows) {
@@ -32,7 +32,7 @@ std::string sched_trace_table(const core::DecisionTrace& trace,
                                               : std::string("-"),
                    format_duration(e.busy_term), format_duration(e.mean_term),
                    format_duration(e.penalty_term),
-                   std::to_string(e.candidates)});
+                   std::to_string(e.candidates), std::to_string(e.tenant)});
   }
   std::string out = table.to_string();
   out += "events: " + std::to_string(trace.total()) + " recorded, " +
@@ -91,7 +91,9 @@ bool write_sched_trace(const std::string& path,
 
 std::string sched_trace_csv(const core::DecisionTrace& trace,
                             const std::string& policy) {
-  std::string out = "# versa-sched-trace v1\n";
+  // v2 appends the tenant column (service mode). versa_trace_report still
+  // accepts v1 files without it.
+  std::string out = "# versa-sched-trace v2\n";
   out += "# policy=" + policy + "\n";
   char buffer[288];
   std::snprintf(buffer, sizeof(buffer),
@@ -101,13 +103,13 @@ std::string sched_trace_csv(const core::DecisionTrace& trace,
                 trace.capacity());
   out += buffer;
   out += "time,kind,task,type,version,worker,busy,estimate,penalty,"
-         "candidates\n";
+         "candidates,tenant\n";
   for (const core::TraceEvent& e : trace.events()) {
     std::snprintf(buffer, sizeof(buffer),
-                  "%.9e,%s,%llu,%u,%u,%u,%.9e,%.9e,%.9e,%u\n", e.time,
+                  "%.9e,%s,%llu,%u,%u,%u,%.9e,%.9e,%.9e,%u,%u\n", e.time,
                   to_string(e.kind), static_cast<unsigned long long>(e.task),
                   e.type, e.version, e.worker, e.busy_term, e.mean_term,
-                  e.penalty_term, e.candidates);
+                  e.penalty_term, e.candidates, e.tenant);
     out += buffer;
   }
   return out;

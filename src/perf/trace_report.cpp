@@ -104,8 +104,10 @@ bool parse_sched_trace_csv(std::istream& in, SchedTraceDump& dump,
       continue;
     }
     const std::vector<std::string> fields = split_fields(line);
-    if (fields.size() != 10) {
-      error = "line " + std::to_string(line_number) + ": expected 10 fields, got " +
+    // 10 fields = v1 (no tenant column), 11 = v2 (tenant appended).
+    if (fields.size() != 10 && fields.size() != 11) {
+      error = "line " + std::to_string(line_number) +
+              ": expected 10 or 11 fields, got " +
               std::to_string(fields.size());
       return false;
     }
@@ -115,6 +117,7 @@ bool parse_sched_trace_csv(std::istream& in, SchedTraceDump& dump,
     std::uint64_t version = 0;
     std::uint64_t worker = 0;
     std::uint64_t candidates = 0;
+    std::uint64_t tenant = kDefaultTenant;
     if (!parse_double(fields[0], event.time) ||
         !parse_kind(fields[1], event.kind) || !parse_u64(fields[2], task) ||
         !parse_u64(fields[3], type) || !parse_u64(fields[4], version) ||
@@ -122,15 +125,18 @@ bool parse_sched_trace_csv(std::istream& in, SchedTraceDump& dump,
         !parse_double(fields[6], event.busy_term) ||
         !parse_double(fields[7], event.mean_term) ||
         !parse_double(fields[8], event.penalty_term) ||
-        !parse_u64(fields[9], candidates)) {
+        !parse_u64(fields[9], candidates) ||
+        (fields.size() == 11 && !parse_u64(fields[10], tenant))) {
       error = "line " + std::to_string(line_number) + ": malformed field";
       return false;
     }
+    if (fields.size() == 11) dump.has_tenant_column = true;
     event.task = task;
     event.type = static_cast<TaskTypeId>(type);
     event.version = static_cast<VersionId>(version);
     event.worker = static_cast<WorkerId>(worker);
     event.candidates = static_cast<std::uint32_t>(candidates);
+    event.tenant = static_cast<TenantId>(tenant);
     dump.events.push_back(event);
   }
   if (!saw_header) {
@@ -145,28 +151,48 @@ TraceReport analyze_sched_trace(const SchedTraceDump& dump) {
   std::set<std::pair<TaskTypeId, VersionId>> placed;
   std::set<std::pair<TaskTypeId, VersionId>> sampled;
   for (const core::TraceEvent& e : dump.events) {
+    TraceReport::TenantBreakdown& tenant = report.per_tenant[e.tenant];
     switch (e.kind) {
       case core::TraceEventKind::kPlacement:
         ++report.placements;
         placed.insert({e.type, e.version});
         ++report.per_worker[e.worker].first;
+        ++tenant.placements;
         break;
       case core::TraceEventKind::kLearningPlacement:
         ++report.learning_placements;
         placed.insert({e.type, e.version});
         sampled.insert({e.type, e.version});
         ++report.per_worker[e.worker].first;
+        ++tenant.placements;
         break;
       case core::TraceEventKind::kSteal:
         ++report.steals;
         ++report.per_worker[e.worker].second;
+        ++tenant.steals;
         break;
       case core::TraceEventKind::kFailure:
         ++report.failures;
+        ++tenant.failures;
         break;
       case core::TraceEventKind::kComplete:
         ++report.completions;
+        ++tenant.completions;
         break;
+    }
+  }
+  // Per-tenant churn and completion throughput over the retained window.
+  const double span = dump.events.empty()
+                          ? 0.0
+                          : dump.events.back().time - dump.events.front().time;
+  for (auto& [id, tenant] : report.per_tenant) {
+    (void)id;
+    if (tenant.placements > 0) {
+      tenant.steal_churn = static_cast<double>(tenant.steals) /
+                           static_cast<double>(tenant.placements);
+    }
+    if (span > 0.0) {
+      tenant.throughput = static_cast<double>(tenant.completions) / span;
     }
   }
   const std::uint64_t total_placements =
@@ -221,6 +247,31 @@ std::string render_trace_report(const SchedTraceDump& dump,
     for (const auto& [worker, counts] : report.per_worker) {
       table.add_row({std::to_string(worker), std::to_string(counts.first),
                      std::to_string(counts.second)});
+    }
+    out += table.to_string();
+  }
+  // Per-tenant breakdown: shown when the dump carried the tenant column or
+  // any event is attributed beyond the default tenant (old v1 CSVs with
+  // only tenant 0 render exactly as before).
+  const bool multi_tenant =
+      dump.has_tenant_column ||
+      report.per_tenant.size() > 1 ||
+      (report.per_tenant.size() == 1 &&
+       report.per_tenant.begin()->first != kDefaultTenant);
+  if (multi_tenant && !report.per_tenant.empty()) {
+    out += "per-tenant breakdown (completion throughput over the retained "
+           "window):\n";
+    TablePrinter table({"tenant", "placements", "steals", "completions",
+                        "churn", "tasks/s"});
+    for (const auto& [tenant, counts] : report.per_tenant) {
+      std::snprintf(buffer, sizeof(buffer), "%.1f%%",
+                    counts.steal_churn * 100.0);
+      std::string churn = buffer;
+      std::snprintf(buffer, sizeof(buffer), "%.3g", counts.throughput);
+      table.add_row({std::to_string(tenant),
+                     std::to_string(counts.placements),
+                     std::to_string(counts.steals),
+                     std::to_string(counts.completions), churn, buffer});
     }
     out += table.to_string();
   }

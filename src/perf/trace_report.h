@@ -27,6 +27,9 @@ struct SchedTraceDump {
   std::uint64_t recorded = 0;    ///< events recorded (incl. overwritten)
   std::uint64_t dropped = 0;     ///< events overwritten by the ring
   std::size_t capacity = 0;      ///< ring capacity during the run
+  /// True when the file carried the v2 per-tenant column; v1 files parse
+  /// with every event attributed to kDefaultTenant.
+  bool has_tenant_column = false;
   std::vector<core::TraceEvent> events;  ///< retained rows, oldest first
 };
 
@@ -56,6 +59,20 @@ struct TraceReport {
 
   /// Per-worker (placements incl. learning, steals *by* that worker).
   std::map<WorkerId, std::pair<std::uint64_t, std::uint64_t>> per_worker;
+
+  /// Per-tenant breakdown (service mode). Populated for every tenant that
+  /// appears in the dump; rendered only when a non-default tenant shows up
+  /// or the dump carried the tenant column.
+  struct TenantBreakdown {
+    std::uint64_t placements = 0;  ///< reliable + learning
+    std::uint64_t steals = 0;      ///< this tenant's tasks re-homed
+    std::uint64_t completions = 0;
+    std::uint64_t failures = 0;
+    double steal_churn = 0.0;      ///< steals / placements
+    /// completions / retained-window span (0 when the span is zero).
+    double throughput = 0.0;
+  };
+  std::map<TenantId, TenantBreakdown> per_tenant;
 };
 
 TraceReport analyze_sched_trace(const SchedTraceDump& dump);

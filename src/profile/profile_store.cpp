@@ -237,10 +237,23 @@ bool ProfileStore::save(const std::string& path, const ProfileTable& table,
     case Format::kTextHints:
       return save_hints(path, registry_, table);
     default: {
-      std::ofstream out(path);
-      if (!out) return false;
-      out << serialize(table);
-      return static_cast<bool>(out);
+      // Atomic replace (temp + rename): a concurrent load() of the same
+      // path — the service-mode shared warm-start cache — sees either the
+      // old or the new store, never a torn half-write. The checksum would
+      // downgrade a torn read to a cold start anyway; the rename avoids
+      // even that.
+      const std::string tmp = path + ".tmp";
+      {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) return false;
+        out << serialize(table);
+        if (!out) return false;
+      }
+      if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+      }
+      return true;
     }
   }
 }

@@ -8,6 +8,7 @@
 #include "exec/sim_executor.h"
 #include "exec/thread_executor.h"
 #include "profile/machine_signature.h"
+#include "sched/core/fair_share.h"
 #include "sched/scheduler_factory.h"
 #include "sched/versioning_scheduler.h"
 
@@ -158,6 +159,14 @@ void Runtime::maybe_save_profile() {
 
 TaskId Runtime::submit(TaskTypeId type, AccessList accesses, std::string label,
                        int priority) {
+  SubmitOptions options;
+  options.priority = priority;
+  options.label = std::move(label);
+  return submit(type, std::move(accesses), std::move(options));
+}
+
+TaskId Runtime::submit(TaskTypeId type, AccessList accesses,
+                       SubmitOptions options) {
   versa::RecursiveLockGuard lock(mutex_);
   maybe_load_profile();
 
@@ -179,8 +188,8 @@ TaskId Runtime::submit(TaskTypeId type, AccessList accesses, std::string label,
   }
 
   Task& task = graph_.create_task(type, std::move(accesses), data_set_size,
-                                  std::move(label));
-  task.priority = priority;
+                                  std::move(options.label), options.graph);
+  task.priority = options.priority;
   task.submit_time = now();
 
   // Nested submission: attribute the child to the submitting task so a
@@ -202,11 +211,29 @@ TaskId Runtime::submit(TaskTypeId type, AccessList accesses, std::string label,
 
 void Runtime::release_ready(const std::vector<TaskId>& ready) {
   if (ready.empty()) return;
+  if (fair_share_ == nullptr) {
+    dispatch_batch(ready);
+    return;
+  }
+  // Service mode: each ready task must clear the fair-share gate first.
+  // Parked tasks stay kCreated and are handed back by on_complete() when
+  // the weighted round-robin reaches their tenant.
+  std::vector<TaskId> dispatch;
+  dispatch.reserve(ready.size());
+  for (TaskId id : ready) {
+    Task& task = graph_.task(id);
+    if (fair_share_->offer(task.tenant, id)) dispatch.push_back(id);
+  }
+  dispatch_batch(dispatch);
+}
+
+void Runtime::dispatch_batch(const std::vector<TaskId>& batch) {
+  if (batch.empty()) return;
   // Bracket the batch: schedulers that buffer submissions stage the whole
   // batch and publish per-shard runs in ready_batch_done (one submit-mutex
   // round trip per worker instead of one per task).
   scheduler_->ready_batch_begin();
-  for (TaskId id : ready) {
+  for (TaskId id : batch) {
     Task& task = graph_.task(id);
     VERSA_CHECK(task.state == TaskState::kCreated);
     task.state = TaskState::kReady;
@@ -239,7 +266,22 @@ void Runtime::port_complete(TaskId id, WorkerId worker, Time start,
   scheduler_->task_completed(task, worker, task.measured_duration);
   run_stats_.on_complete(task.type, task.chosen_version,
                          task.measured_duration);
-  release_ready(newly_ready);
+  if (fair_share_ == nullptr) {
+    release_ready(newly_ready);
+    return;
+  }
+  // Service mode: the completion frees one window slot — refill it from
+  // parked queues (weighted round-robin across tenants) *before* offering
+  // this task's successors, so a backlogged tenant's parked work competes
+  // fairly with the completing tenant's dependence chain. Both sets go to
+  // the scheduler as one batch.
+  std::vector<TaskId> dispatch;
+  fair_share_->on_complete(task.tenant, dispatch);
+  for (TaskId succ : newly_ready) {
+    Task& s = graph_.task(succ);
+    if (fair_share_->offer(s.tenant, succ)) dispatch.push_back(succ);
+  }
+  dispatch_batch(dispatch);
 }
 
 void Runtime::port_failed(TaskId id, WorkerId worker, Time /*start*/,
@@ -257,6 +299,40 @@ void Runtime::port_failed(TaskId id, WorkerId worker, Time /*start*/,
   scheduler_->task_ready(task);
   scheduler_->ready_batch_done();
   executor_->work_available();
+}
+
+GraphId Runtime::open_graph(TenantId tenant) {
+  versa::RecursiveLockGuard lock(mutex_);
+  return graph_.open_graph(tenant);
+}
+
+void Runtime::wait_graph(GraphId graph) {
+  executor_->wait_graph(graph);
+}
+
+void Runtime::set_fair_share(core::FairShareInterleaver* gate) {
+  versa::RecursiveLockGuard lock(mutex_);
+  fair_share_ = gate;
+}
+
+ProfileLoadResult Runtime::import_profile_text(const std::string& text) {
+  versa::RecursiveLockGuard lock(mutex_);
+  ProfileLoadResult result;
+  if (text.empty()) return result;
+  auto* versioning = dynamic_cast<VersioningScheduler*>(scheduler_.get());
+  if (versioning == nullptr) {
+    result.message = "scheduler has no profile table";
+    return result;
+  }
+  return make_profile_store().import_text(text, versioning->mutable_profile());
+}
+
+std::string Runtime::export_profile_text() const {
+  versa::RecursiveLockGuard lock(mutex_);
+  const auto* versioning =
+      dynamic_cast<const VersioningScheduler*>(scheduler_.get());
+  if (versioning == nullptr) return {};
+  return make_profile_store().serialize(versioning->profile());
 }
 
 void Runtime::task_assigned(TaskId task, WorkerId worker) {

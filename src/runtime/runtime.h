@@ -46,6 +46,10 @@
 
 namespace versa {
 
+namespace core {
+class FairShareInterleaver;
+}
+
 class Runtime final : public SchedulerContext, public ExecutorPort {
  public:
   /// The machine is borrowed and must outlive the runtime.
@@ -79,6 +83,42 @@ class Runtime final : public SchedulerContext, public ExecutorPort {
   /// overtake lower-priority ones inside worker queues.
   TaskId submit(TaskTypeId type, AccessList accesses, std::string label = {},
                 int priority = 0);
+
+  /// Service-mode submission options (DESIGN.md §10). `graph` must come
+  /// from open_graph() (or stay kDefaultGraph).
+  struct SubmitOptions {
+    GraphId graph = kDefaultGraph;
+    int priority = 0;
+    std::string label;
+  };
+  TaskId submit(TaskTypeId type, AccessList accesses, SubmitOptions options);
+
+  // --- service mode (multi-graph roots) -----------------------------------
+  /// Open an independent graph root owned by `tenant`. Tasks submitted
+  /// with SubmitOptions{graph} are tracked per graph: wait_graph(graph)
+  /// returns when exactly that graph's tasks have finished, regardless of
+  /// other tenants' in-flight work.
+  GraphId open_graph(TenantId tenant = kDefaultTenant);
+
+  /// Block until every task of `graph` finished. No flush: service-mode
+  /// graphs operate on virtual regions (the master-level taskwait()
+  /// remains the flushing barrier for single-graph programs).
+  void wait_graph(GraphId graph);
+
+  /// Install (or clear, with nullptr) the weighted fair-share dispatch
+  /// gate. The gate is borrowed and must outlive every graph submitted
+  /// while it is installed; install before submitting service graphs.
+  /// Assumes non-nested graphs — see fair_share.h.
+  void set_fair_share(core::FairShareInterleaver* gate);
+
+  /// Seed the scheduler's profile table from serialized native-store text
+  /// (the service warm-start cache path). kMissing when the scheduler has
+  /// no profile table or `text` is empty.
+  ProfileLoadResult import_profile_text(const std::string& text);
+
+  /// Serialized native-store text of the learned profile (empty when the
+  /// scheduler has no profile table). Call quiescent (e.g. after waits).
+  std::string export_profile_text() const;
 
   /// Barrier: wait for every task, then flush dirty device data to host.
   void taskwait();
@@ -170,10 +210,16 @@ class Runtime final : public SchedulerContext, public ExecutorPort {
   bool profile_loaded_ VERSA_GUARDED_BY(mutex_) = false;
   ProfileLoadResult profile_load_ VERSA_GUARDED_BY(mutex_);
 
+  /// Service-mode dispatch gate (borrowed; nullptr outside service mode).
+  core::FairShareInterleaver* fair_share_ VERSA_GUARDED_BY(mutex_) = nullptr;
+
   ProfileStore make_profile_store() const;
   void maybe_load_profile() VERSA_REQUIRES(mutex_);
   void maybe_save_profile();
   void release_ready(const std::vector<TaskId>& ready) VERSA_REQUIRES(mutex_);
+  /// Hand `batch` (already gate-approved when a gate is installed) to the
+  /// scheduler as one ready batch and poke the executor.
+  void dispatch_batch(const std::vector<TaskId>& batch) VERSA_REQUIRES(mutex_);
 };
 
 }  // namespace versa

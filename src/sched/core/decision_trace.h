@@ -51,6 +51,9 @@ struct TraceEvent {
   /// (version, worker) pairs evaluated before choosing.
   std::uint32_t candidates = 0;
   TraceEventKind kind = TraceEventKind::kPlacement;
+  /// Owning tenant (service mode; kDefaultTenant outside it). Appended
+  /// last so existing aggregate initializers keep their field order.
+  TenantId tenant = kDefaultTenant;
 };
 
 class DecisionTrace {

@@ -63,6 +63,9 @@ struct QueueEntry {
   /// Price group of the task (third PriceKey component) so the pop/steal
   /// paths can flush a deferred re-price of exactly this key.
   std::uint64_t group = 0;
+  /// Owning tenant (service mode) — carried so steal/complete trace events
+  /// can attribute the task without touching the runtime-locked graph.
+  TenantId tenant = kDefaultTenant;
 };
 
 class WorkerQueues {

@@ -36,7 +36,8 @@ TaskId FifoScheduler::pop_task(WorkerId worker) {
     if (trace_.enabled()) {
       trace_.record(core::TraceEvent{ctx_->now(), id, task.type, main.id,
                                      worker, 0.0, 0.0, 0.0, scanned,
-                                     core::TraceEventKind::kPlacement});
+                                     core::TraceEventKind::kPlacement,
+                                     task.tenant});
     }
     return id;
   }

@@ -116,16 +116,17 @@ void QueueScheduler::push_to_worker(Task& task, VersionId version,
   // owner/thief in try_pop_queued; every task field above is written
   // before this point, and the submit mutex pairs the writes with the
   // draining thread's reads.
-  queues_.buffer_push(worker, core::QueueEntry{task.id, task.type, version,
-                                               task.priority,
-                                               task.scheduler_estimate, group});
+  queues_.buffer_push(
+      worker, core::QueueEntry{task.id, task.type, version, task.priority,
+                               task.scheduler_estimate, group, task.tenant});
   pending_.fetch_add(1, std::memory_order_relaxed);
   if (trace_.enabled()) {
     trace_.record(core::TraceEvent{
         ctx_->now(), task.id, task.type, version, worker, busy_before,
         task.scheduler_estimate, info.penalty, info.candidates,
         info.learning ? core::TraceEventKind::kLearningPlacement
-                      : core::TraceEventKind::kPlacement});
+                      : core::TraceEventKind::kPlacement,
+        task.tenant});
   }
   ctx_->task_assigned(task.id, worker);
 }
@@ -214,7 +215,8 @@ TaskId QueueScheduler::steal_for(WorkerId thief) {
   if (trace_.enabled()) {
     trace_.record(core::TraceEvent{
         ctx_->now(), entry->id, entry->type, entry->version, thief,
-        victim_busy, entry->estimate, 0.0, 0, core::TraceEventKind::kSteal});
+        victim_busy, entry->estimate, 0.0, 0, core::TraceEventKind::kSteal,
+        entry->tenant});
   }
   return entry->id;
 }
@@ -230,7 +232,8 @@ void QueueScheduler::task_completed(Task& task, WorkerId worker,
   if (trace_.enabled()) {
     trace_.record(core::TraceEvent{
         ctx_->now(), task.id, task.type, task.chosen_version, worker,
-        busy_after, measured, 0.0, 0, core::TraceEventKind::kComplete});
+        busy_after, measured, 0.0, 0, core::TraceEventKind::kComplete,
+        task.tenant});
   }
 }
 
@@ -244,7 +247,7 @@ void QueueScheduler::task_failed(Task& task, WorkerId worker) {
   if (trace_.enabled()) {
     trace_.record(core::TraceEvent{
         ctx_->now(), task.id, task.type, task.chosen_version, worker,
-        busy_after, 0.0, 0.0, 0, core::TraceEventKind::kFailure});
+        busy_after, 0.0, 0.0, 0, core::TraceEventKind::kFailure, task.tenant});
   }
 }
 

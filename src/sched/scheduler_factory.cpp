@@ -36,4 +36,10 @@ std::vector<std::string> scheduler_names() {
           "versioning-locality", "sufferage"};
 }
 
+std::vector<std::string> scheduler_factory_names() {
+  return {"fifo",        "dep-aware",           "affinity",
+          "versioning",  "versioning-locality", "versioning-fastest",
+          "sufferage"};
+}
+
 }  // namespace versa

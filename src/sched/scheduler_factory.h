@@ -19,7 +19,13 @@ namespace versa {
 std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
                                           const ProfileConfig& profile_config = {});
 
-/// Names accepted by make_scheduler.
+/// Canonical policy names — one per distinct Scheduler::name(). Iterated
+/// by the benches/examples that sweep "every policy".
 std::vector<std::string> scheduler_names();
+
+/// Every name make_scheduler accepts, including configuration variants
+/// that report another policy's name() ("versioning-fastest"). This is
+/// the list a CLI should print for an unknown --sched value.
+std::vector<std::string> scheduler_factory_names();
 
 }  // namespace versa

@@ -1,0 +1,51 @@
+#include "service/profile_cache.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace versa::service {
+
+SharedProfileCache::SharedProfileCache(std::string path)
+    : path_(std::move(path)) {}
+
+std::string SharedProfileCache::snapshot() const {
+  versa::LockGuard lock(mutex_);
+  if (!loaded_) {
+    loaded_ = true;
+    if (!path_.empty()) {
+      std::ifstream in(path_);
+      if (in) {
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        text_ = buffer.str();
+      }
+    }
+  }
+  return text_;
+}
+
+bool SharedProfileCache::publish(const std::string& text) {
+  if (text.empty()) return true;
+  versa::LockGuard lock(mutex_);
+  loaded_ = true;
+  text_ = text;
+  if (path_.empty()) return true;
+  // Atomic replace: a concurrent snapshot() of another service instance
+  // reading the same path sees either the old or the new file, never a
+  // torn mix.
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << text;
+    if (!out) return false;
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace versa::service

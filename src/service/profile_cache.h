@@ -1,0 +1,52 @@
+// Shared cross-tenant warm-start cache.
+//
+// Every tenant of one service benefits from the same learned profile: the
+// machine signature keys the ProfileStore text, so a profile published by
+// any runtime on this machine warm-starts the next service instance for
+// all tenants at once. The cache holds the serialized native-store text in
+// memory behind a mutex of class kLockRankProfileCache (rank 8, below the
+// runtime lock) and mirrors it to an optional file path.
+//
+// Lock discipline: snapshot()/publish() take only the cache mutex and are
+// never called with the runtime lock held — VersaService snapshots first,
+// then imports under the runtime lock (rank 8 fully released before rank
+// 10 is taken), and exports under the runtime lock before publishing. The
+// file write is atomic (temp + rename) so a concurrent reader of the same
+// path never observes a torn file — ProfileStore's checksum turns any
+// remaining race into a clean cold start, never a crash.
+#pragma once
+
+#include <string>
+
+#include "util/annotated_sync.h"
+
+namespace versa::service {
+
+class SharedProfileCache {
+ public:
+  /// `path` may be empty for a memory-only cache.
+  explicit SharedProfileCache(std::string path = {});
+
+  SharedProfileCache(const SharedProfileCache&) = delete;
+  SharedProfileCache& operator=(const SharedProfileCache&) = delete;
+
+  /// The current cached serialized-profile text (empty when cold). Reads
+  /// the backing file on first call when a path is configured.
+  std::string snapshot() const;
+
+  /// Publish newer serialized text: replaces the in-memory cache and, when
+  /// a path is configured, atomically rewrites the file. Empty text is
+  /// ignored (a scheduler without a profile table has nothing to share).
+  /// Returns false when the file write failed (memory cache still updated).
+  bool publish(const std::string& text);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  const std::string path_;
+  mutable versa::Mutex mutex_{lock_order::kLockRankProfileCache};
+  mutable std::string text_ VERSA_GUARDED_BY(mutex_);
+  mutable bool loaded_ VERSA_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace versa::service

@@ -1,0 +1,73 @@
+// Tenant registration and quota admission control.
+//
+// The registry owns the tenant table and the check-and-charge admission
+// step: admit() atomically (under the registry mutex) verifies both quotas
+// against a graph's task count and byte footprint, then charges them.
+// credit() / on_graph_complete() return the charge when the graph retires.
+//
+// The mutex belongs to lock class kLockRankTenant (rank 4) — *below* the
+// runtime lock (rank 10). Every registry call happens on a client thread
+// outside the runtime lock (admission before submit takes rank 10, retire
+// accounting after wait_graph returns), so rank 4 is always acquired with
+// no higher rank held and the checker stays quiet. Nothing inside the
+// runtime's completion path touches the registry; per-task fair-share
+// accounting lives in FairShareInterleaver's atomics instead.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "service/tenant.h"
+#include "util/annotated_sync.h"
+
+namespace versa::service {
+
+class TenantRegistry {
+ public:
+  TenantRegistry() = default;
+  TenantRegistry(const TenantRegistry&) = delete;
+  TenantRegistry& operator=(const TenantRegistry&) = delete;
+
+  /// Register a tenant and return its id (dense, starting at 1 — tenant 0
+  /// is the implicit default owner of non-service graphs and is never
+  /// handed out here).
+  TenantId register_tenant(std::string name, TenantQuota quota);
+
+  std::size_t tenant_count() const;
+  bool known(TenantId tenant) const;
+  std::string tenant_name(TenantId tenant) const;
+  TenantQuota quota(TenantId tenant) const;
+
+  /// Check-and-charge: admit a graph of `tasks` tasks and `bytes` region
+  /// bytes for `tenant`. On success the quotas are charged and the
+  /// returned Rejected converts to false; on failure nothing is charged
+  /// and the reason/detail describe the violated quota.
+  Rejected admit(TenantId tenant, std::uint64_t tasks, std::uint64_t bytes);
+
+  /// Return a graph's admission charge without completing it (submission
+  /// aborted after admission).
+  void credit(TenantId tenant, std::uint64_t tasks, std::uint64_t bytes);
+
+  /// A graph retired cleanly: return its charge and count its tasks.
+  void on_graph_complete(TenantId tenant, std::uint64_t tasks,
+                         std::uint64_t bytes);
+
+  TenantStats stats(TenantId tenant) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    TenantQuota quota;
+    TenantStats stats;
+  };
+
+  /// nullptr for unknown ids (including tenant 0).
+  Entry* find(TenantId tenant) VERSA_REQUIRES(mutex_);
+  const Entry* find(TenantId tenant) const VERSA_REQUIRES(mutex_);
+
+  mutable versa::Mutex mutex_{lock_order::kLockRankTenant};
+  std::deque<Entry> entries_ VERSA_GUARDED_BY(mutex_);
+};
+
+}  // namespace versa::service

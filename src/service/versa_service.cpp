@@ -1,0 +1,146 @@
+#include "service/versa_service.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace versa::service {
+
+SubmitResult Session::submit(const GraphSpec& spec) {
+  return service_->submit_graph(tenant_, spec);
+}
+
+void Session::wait(GraphId graph) { service_->wait_graph(graph); }
+
+TenantStats Session::stats() const { return service_->stats(tenant_); }
+
+VersaService::VersaService(const Machine& machine, VersaServiceConfig config)
+    : runtime_(machine, std::move(config.runtime)),
+      cache_(std::move(config.profile_cache_path)) {
+  gate_.set_window(config.fair_share_window != 0
+                       ? config.fair_share_window
+                       : 4 * machine.worker_count());
+  runtime_.set_fair_share(&gate_);
+}
+
+VersaService::~VersaService() {
+  shutdown();
+#ifndef NDEBUG
+  versa::LockGuard lock(graphs_mutex_);
+  for (const auto& [id, record] : graphs_) {
+    VERSA_CHECK_MSG(record.retired,
+                    "service destroyed with an un-waited graph");
+  }
+#endif
+}
+
+Session VersaService::open_session(std::string name, TenantQuota quota) {
+  const TenantId tenant = registry_.register_tenant(std::move(name), quota);
+  // The gate's lanes are runtime-lock serialized (fair_share.h), so the
+  // weight write takes the runtime lock like every other gate mutation.
+  versa::RecursiveLockGuard lock(runtime_.port_mutex());
+  gate_.set_weight(tenant, quota.weight);
+  return Session(this, tenant);
+}
+
+SubmitResult VersaService::submit_graph(TenantId tenant,
+                                        const GraphSpec& spec) {
+  SubmitResult result;
+  if (shutdown_.load(std::memory_order_acquire)) {
+    result.rejected.reason = RejectReason::kShutdown;
+    result.rejected.detail = "service is shutting down";
+    return result;
+  }
+  for (const TaskSpec& task : spec.tasks) {
+    for (const AccessSpec& access : task.accesses) {
+      VERSA_CHECK_MSG(access.region < spec.regions.size(),
+                      "graph spec access names an out-of-range region");
+    }
+  }
+  const std::uint64_t task_count = spec.tasks.size();
+  const std::uint64_t byte_count = spec.total_bytes();
+
+  // 1. Admission: check-and-charge both quotas (service.tenant lock only).
+  result.rejected = registry_.admit(tenant, task_count, byte_count);
+  if (result.rejected) return result;
+
+  // 2. Open the graph root and register its private, namespaced regions
+  // (each Runtime call takes and releases the runtime lock).
+  const GraphId graph = runtime_.open_graph(tenant);
+  GraphRecord record;
+  record.tenant = tenant;
+  record.tasks = task_count;
+  record.bytes = byte_count;
+  record.regions.reserve(spec.regions.size());
+  const std::string prefix =
+      "t" + std::to_string(tenant) + "/g" + std::to_string(graph) + "/";
+  for (const RegionSpec& region : spec.regions) {
+    record.regions.push_back(
+        runtime_.register_data(prefix + region.name, region.bytes));
+  }
+
+  // 3. Submit the tasks, tagged with the graph (and through it the
+  // tenant). Dependences derive from the access clauses as usual.
+  for (const TaskSpec& task : spec.tasks) {
+    AccessList accesses;
+    accesses.reserve(task.accesses.size());
+    for (const AccessSpec& access : task.accesses) {
+      accesses.push_back(
+          Access{record.regions[access.region], access.mode, 0, 0});
+    }
+    Runtime::SubmitOptions options;
+    options.graph = graph;
+    options.priority = task.priority;
+    options.label = task.label;
+    runtime_.submit(task.type, std::move(accesses), std::move(options));
+  }
+
+  // 4. Record the graph for retirement (service.graph lock, nothing else
+  // held).
+  {
+    versa::LockGuard lock(graphs_mutex_);
+    graphs_.emplace(graph, std::move(record));
+  }
+  result.graph = graph;
+  return result;
+}
+
+void VersaService::wait_graph(GraphId graph) {
+  runtime_.wait_graph(graph);
+  // Retire exactly once: claim the record under the graph-table lock,
+  // then unregister/credit with nothing held (each step takes its own
+  // higher- or lower-ranked lock in a fresh acquisition).
+  GraphRecord record;
+  {
+    versa::LockGuard lock(graphs_mutex_);
+    auto it = graphs_.find(graph);
+    VERSA_CHECK_MSG(it != graphs_.end(), "waiting on an unknown graph");
+    if (it->second.retired) return;
+    record = std::move(it->second);
+    it->second.retired = true;
+    it->second.regions.clear();
+  }
+  for (RegionId region : record.regions) {
+    runtime_.unregister_data(region);
+  }
+  registry_.on_graph_complete(record.tenant, record.tasks, record.bytes);
+}
+
+void VersaService::shutdown() {
+  if (shutdown_.exchange(true, std::memory_order_acq_rel)) return;
+  publish_profile();
+}
+
+ProfileLoadResult VersaService::warm_start() {
+  // Cache lock (rank 8) is taken and released inside snapshot(); the
+  // import then takes the runtime lock (rank 10) with nothing held.
+  return runtime_.import_profile_text(cache_.snapshot());
+}
+
+bool VersaService::publish_profile() {
+  const std::string text = runtime_.export_profile_text();
+  return cache_.publish(text);
+}
+
+}  // namespace versa::service

@@ -114,6 +114,12 @@ struct Task {
   /// parallelism to exploit").
   int priority = 0;
 
+  /// Graph root this task belongs to and the tenant that owns that graph
+  /// (service mode, DESIGN.md §10). Single-graph programs leave both at the
+  /// defaults and see no behaviour change.
+  GraphId graph = kDefaultGraph;
+  TenantId tenant = kDefaultTenant;
+
   TaskState state = TaskState::kCreated;
   VersionId chosen_version = kInvalidVersion;
   WorkerId assigned_worker = kInvalidWorker;

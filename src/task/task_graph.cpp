@@ -4,17 +4,51 @@
 
 namespace versa {
 
+TaskGraph::TaskGraph() {
+  // Graph 0 is the always-present default root (tenant 0).
+  graphs_.push_back(GraphInfo{});
+}
+
 Task& TaskGraph::create_task(TaskTypeId type, AccessList accesses,
-                             std::uint64_t data_set_size, std::string label) {
+                             std::uint64_t data_set_size, std::string label,
+                             GraphId graph) {
+  VERSA_CHECK(graph < graphs_.size());
   Task task;
   task.id = static_cast<TaskId>(tasks_.size());
   task.type = type;
   task.accesses = std::move(accesses);
   task.data_set_size = data_set_size;
   task.label = std::move(label);
+  task.graph = graph;
+  task.tenant = graphs_[graph].tenant;
   tasks_.push_back(std::move(task));
   ++unfinished_;
+  ++graphs_[graph].unfinished;
+  ++graphs_[graph].total;
   return tasks_.back();
+}
+
+GraphId TaskGraph::open_graph(TenantId tenant) {
+  GraphId id = static_cast<GraphId>(graphs_.size());
+  GraphInfo info;
+  info.tenant = tenant;
+  graphs_.push_back(info);
+  return id;
+}
+
+bool TaskGraph::graph_finished(GraphId graph) const {
+  VERSA_CHECK(graph < graphs_.size());
+  return graphs_[graph].unfinished == 0;
+}
+
+TenantId TaskGraph::graph_tenant(GraphId graph) const {
+  VERSA_CHECK(graph < graphs_.size());
+  return graphs_[graph].tenant;
+}
+
+std::size_t TaskGraph::graph_size(GraphId graph) const {
+  VERSA_CHECK(graph < graphs_.size());
+  return graphs_[graph].total;
 }
 
 std::uint32_t TaskGraph::add_dependencies(Task& task,
@@ -43,6 +77,8 @@ void TaskGraph::mark_finished(TaskId id, Time now,
   task.finish_time = now;
   VERSA_CHECK(unfinished_ > 0);
   --unfinished_;
+  VERSA_CHECK(graphs_[task.graph].unfinished > 0);
+  --graphs_[task.graph].unfinished;
   for (TaskId succ_id : task.successors) {
     Task& succ = tasks_[succ_id];
     VERSA_CHECK(succ.remaining_deps > 0);
@@ -64,6 +100,8 @@ const Task& TaskGraph::task(TaskId id) const {
 
 void TaskGraph::reset() {
   tasks_.clear();
+  graphs_.clear();
+  graphs_.push_back(GraphInfo{});
   unfinished_ = 0;
   edges_ = 0;
 }

@@ -17,9 +17,24 @@ namespace versa {
 
 class TaskGraph {
  public:
+  TaskGraph();
+
   /// Create a task in kCreated state. Accesses must have resolved lengths.
+  /// The task joins `graph` (an id from open_graph(), or kDefaultGraph).
   Task& create_task(TaskTypeId type, AccessList accesses,
-                    std::uint64_t data_set_size, std::string label);
+                    std::uint64_t data_set_size, std::string label,
+                    GraphId graph = kDefaultGraph);
+
+  /// Open an independent graph root owned by `tenant`. Graph 0 (the
+  /// implicit default every single-graph program uses) always exists.
+  GraphId open_graph(TenantId tenant);
+
+  /// Per-graph completion: true when every task of `graph` has finished.
+  bool graph_finished(GraphId graph) const;
+
+  TenantId graph_tenant(GraphId graph) const;
+  std::size_t graph_size(GraphId graph) const;
+  std::size_t graph_count() const { return graphs_.size(); }
 
   /// Add dependence edges from each predecessor to `task`. Predecessors
   /// already finished contribute no edge. Returns the number of live edges
@@ -46,7 +61,15 @@ class TaskGraph {
   std::uint64_t edge_count() const { return edges_; }
 
  private:
+  /// One graph root's bookkeeping; index in graphs_ is the GraphId.
+  struct GraphInfo {
+    TenantId tenant = kDefaultTenant;
+    std::size_t unfinished = 0;
+    std::size_t total = 0;
+  };
+
   std::deque<Task> tasks_;
+  std::vector<GraphInfo> graphs_;
   std::size_t unfinished_ = 0;
   std::uint64_t edges_ = 0;
 };

@@ -34,6 +34,9 @@ struct LockClass {
 // --- the repo's lock hierarchy, outermost (lowest rank) first ----------
 // See DESIGN.md §9 for what each class guards. Keep ranks spaced so a new
 // class can slot in between without renumbering.
+extern const LockClass kLockRankTenant;       ///< rank 4: service TenantRegistry
+extern const LockClass kLockRankServiceGraph; ///< rank 6: VersaService graph table
+extern const LockClass kLockRankProfileCache; ///< rank 8: SharedProfileCache
 extern const LockClass kLockRankRuntime;      ///< rank 10: Runtime::mutex_
 extern const LockClass kLockRankData;         ///< rank 13: DataDirectory writer / TransferEngine state
 extern const LockClass kLockRankDataShard;    ///< rank 14: DataDirectory region shards

@@ -6,8 +6,11 @@
 // trigger after a 2x cost shift).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
+#include <thread>
 
 #include "common/random.h"
 #include "machine/presets.h"
@@ -287,6 +290,102 @@ TEST(ProfileStore, SaveFormatFollowsExtension) {
         << name;
     EXPECT_NEAR(*loaded.mean(fx.matmul, fx.mm_gpu, 4096), 5e-3, 1e-12);
   }
+}
+
+// --- concurrent store access (service mode shares one cache file) --------
+
+TEST(ProfileStoreConcurrency, SaveAndLoadSamePathNeverTearOrMismatch) {
+  // Service mode has many runtimes sharing one warm-start file: one
+  // writer republishing while readers load. save() writes temp + rename,
+  // so every load must observe a complete file — either kOk with the
+  // signature validated, or kMissing before the very first publish.
+  // kCorrupt or kSignatureMismatch would mean a torn read.
+  Fixture fx;
+  const std::string path =
+      testing::TempDir() + "/concurrent_store.profile";
+  std::remove(path.c_str());
+  const ProfileStore store(fx.registry, test_signature());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::thread writer([&] {
+    ProfileTable table(fx.registry, {});
+    for (int i = 0; i < 200 && !stop.load(); ++i) {
+      table.record(fx.matmul, fx.mm_gpu, 4096, 1e-3 * (1 + i % 7));
+      if (!store.save(path, table)) failures.fetch_add(1);
+    }
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    while (!stop.load()) {
+      ProfileTable target(fx.registry, {});
+      const ProfileLoadResult result = store.load(path, target);
+      if (result.status != ProfileLoadStatus::kOk &&
+          result.status != ProfileLoadStatus::kMissing) {
+        failures.fetch_add(1);
+        ADD_FAILURE() << "torn read: " << result.message;
+        stop.store(true);
+      }
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Final state is a complete, loadable profile.
+  ProfileTable final_table(fx.registry, {});
+  EXPECT_EQ(store.load(path, final_table).status, ProfileLoadStatus::kOk);
+  std::remove(path.c_str());
+}
+
+TEST(ProfileStoreConcurrency, CorruptedFileUnderConcurrentReadColdStarts) {
+  // A non-atomic writer (external tool, crashed publisher) scribbling
+  // garbage over the cache file must degrade readers to a clean cold
+  // start — kCorrupt (or kOk for an intact snapshot, kMissing around the
+  // truncation), never a crash, never a partially-applied table.
+  Fixture fx;
+  const std::string path = testing::TempDir() + "/corrupt_store.profile";
+  const ProfileStore store(fx.registry, test_signature());
+  ProfileTable source(fx.registry, {});
+  source.record(fx.matmul, fx.mm_gpu, 4096, 5e-3);
+  const std::string good = store.serialize(source);
+
+  std::atomic<bool> stop{false};
+  std::thread corruptor([&] {
+    for (int i = 0; i < 200 && !stop.load(); ++i) {
+      std::ofstream out(path,
+                        std::ios::trunc | std::ios::binary);  // not atomic
+      if (i % 2 == 0) {
+        out << good.substr(0, good.size() / 2) << "garbage\xff\x01";
+      } else {
+        out << good;
+      }
+    }
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    while (!stop.load()) {
+      ProfileTable target(fx.registry, {});
+      const ProfileLoadResult result = store.load(path, target);
+      switch (result.status) {
+        case ProfileLoadStatus::kOk:
+          EXPECT_EQ(target.count(fx.matmul, fx.mm_gpu, 4096), 1u);
+          break;
+        case ProfileLoadStatus::kCorrupt:
+          // Cold start: nothing partially applied.
+          EXPECT_EQ(target.group_count(), 0u);
+          break;
+        case ProfileLoadStatus::kMissing:
+          break;  // raced the truncating open
+        default:
+          ADD_FAILURE() << "unexpected status: " << result.message;
+          stop.store(true);
+      }
+    }
+  });
+  corruptor.join();
+  reader.join();
+  std::remove(path.c_str());
 }
 
 // --- drift detector -----------------------------------------------------

@@ -1,0 +1,353 @@
+// Unit tests for the service-mode subsystem (src/service/, DESIGN.md §10):
+// tenant registration and check-and-charge admission, typed rejection
+// reasons, the weighted fair-share interleaver's window/park/refill
+// mechanics, the shared warm-start profile cache, and end-to-end
+// VersaService graph lifecycle on the sim backend (two tenants, quota
+// rejection and recovery, shutdown, accounting reconciliation).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "machine/presets.h"
+#include "runtime/config.h"
+#include "sched/core/fair_share.h"
+#include "service/profile_cache.h"
+#include "service/tenant_registry.h"
+#include "service/versa_service.h"
+
+namespace versa {
+namespace {
+
+using namespace versa::service;
+
+// --- tenant registry ------------------------------------------------------
+
+TEST(TenantRegistry, AssignsDenseIdsFromOne) {
+  TenantRegistry registry;
+  EXPECT_EQ(registry.register_tenant("a", {}), 1u);
+  EXPECT_EQ(registry.register_tenant("b", {}), 2u);
+  EXPECT_EQ(registry.tenant_count(), 2u);
+  EXPECT_TRUE(registry.known(1));
+  EXPECT_TRUE(registry.known(2));
+  // Tenant 0 is the implicit single-program default, never a registered
+  // service tenant.
+  EXPECT_FALSE(registry.known(kDefaultTenant));
+  EXPECT_FALSE(registry.known(3));
+  EXPECT_EQ(registry.tenant_name(2), "b");
+}
+
+TEST(TenantRegistry, UnknownTenantIsRejectedNotCharged) {
+  TenantRegistry registry;
+  const Rejected r = registry.admit(7, 10, 1024);
+  ASSERT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.reason, RejectReason::kUnknownTenant);
+  EXPECT_STREQ(to_string(r.reason), "unknown-tenant");
+}
+
+TEST(TenantRegistry, TaskQuotaCheckAndCharge) {
+  TenantRegistry registry;
+  TenantQuota quota;
+  quota.max_in_flight_tasks = 10;
+  const TenantId t = registry.register_tenant("bounded", quota);
+
+  EXPECT_FALSE(static_cast<bool>(registry.admit(t, 6, 0)));
+  // 6 in flight + 5 > 10: rejected, and the failed admission charges
+  // nothing.
+  const Rejected r = registry.admit(t, 5, 0);
+  ASSERT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.reason, RejectReason::kTaskQuota);
+  EXPECT_NE(r.detail.find("10"), std::string::npos) << r.detail;
+  EXPECT_EQ(registry.stats(t).in_flight_tasks, 6u);
+  EXPECT_EQ(registry.stats(t).rejected_graphs, 1u);
+
+  // Exactly filling the quota is admitted; retiring restores headroom.
+  EXPECT_FALSE(static_cast<bool>(registry.admit(t, 4, 0)));
+  registry.on_graph_complete(t, 6, 0);
+  EXPECT_FALSE(static_cast<bool>(registry.admit(t, 6, 0)));
+
+  const TenantStats stats = registry.stats(t);
+  EXPECT_EQ(stats.admitted_graphs, 3u);
+  EXPECT_EQ(stats.completed_graphs, 1u);
+  EXPECT_EQ(stats.completed_tasks, 6u);
+  EXPECT_EQ(stats.in_flight_tasks, 10u);
+}
+
+TEST(TenantRegistry, ByteQuotaAndCredit) {
+  TenantRegistry registry;
+  TenantQuota quota;
+  quota.max_bytes = 1 << 20;
+  const TenantId t = registry.register_tenant("small", quota);
+
+  EXPECT_FALSE(static_cast<bool>(registry.admit(t, 1, 1 << 19)));
+  const Rejected r = registry.admit(t, 1, (1 << 19) + 1);
+  ASSERT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.reason, RejectReason::kByteQuota);
+
+  // credit() is the submission-aborted path: charge returned, no
+  // completion counted.
+  registry.credit(t, 1, 1 << 19);
+  EXPECT_EQ(registry.stats(t).in_flight_bytes, 0u);
+  EXPECT_EQ(registry.stats(t).completed_graphs, 0u);
+  EXPECT_FALSE(static_cast<bool>(registry.admit(t, 1, 1 << 20)));
+}
+
+// --- fair-share interleaver ----------------------------------------------
+
+TEST(FairShare, WindowBoundsDispatchAndParksOverflow) {
+  core::FairShareInterleaver gate;
+  gate.set_window(2);
+  EXPECT_TRUE(gate.offer(1, 101));
+  EXPECT_TRUE(gate.offer(1, 102));
+  EXPECT_FALSE(gate.offer(1, 103));  // window full: parked
+  EXPECT_EQ(gate.in_flight(), 2u);
+  EXPECT_EQ(gate.parked(), 1u);
+
+  std::vector<TaskId> release;
+  gate.on_complete(1, release);
+  ASSERT_EQ(release.size(), 1u);
+  EXPECT_EQ(release[0], 103u);  // FIFO within the tenant
+  EXPECT_EQ(gate.in_flight(), 2u);
+  EXPECT_EQ(gate.parked(), 0u);
+  EXPECT_EQ(gate.offered(1), 3u);
+  EXPECT_EQ(gate.completed(1), 1u);
+}
+
+TEST(FairShare, WeightedRoundRobinSharesRefills) {
+  core::FairShareInterleaver gate;
+  gate.set_window(1);
+  gate.set_weight(1, 1);
+  gate.set_weight(2, 2);
+  gate.set_weight(3, 3);
+
+  // One dispatched task holds the single window slot; everything else
+  // parks: 12 tasks per tenant, FIFO ids t*100 + i.
+  ASSERT_TRUE(gate.offer(1, 99));
+  for (TenantId t = 1; t <= 3; ++t) {
+    for (TaskId i = 0; i < 12; ++i) {
+      EXPECT_FALSE(gate.offer(t, t * 100 + i));
+    }
+  }
+
+  // Drain 24 slots: each completion frees the slot and the WRR refill
+  // hands it to the next backlogged tenant. Over any span where every
+  // tenant stays backlogged, the released counts must match the 1:2:3
+  // weights exactly (full rounds release 1+2+3).
+  TenantId holder = 1;  // tenant of the task occupying the slot
+  std::vector<TaskId> order;
+  for (int i = 0; i < 24; ++i) {
+    std::vector<TaskId> release;
+    gate.on_complete(holder, release);
+    ASSERT_EQ(release.size(), 1u) << "work-conserving refill " << i;
+    order.push_back(release[0]);
+    holder = static_cast<TenantId>(release[0] / 100);
+  }
+  int per_tenant[4] = {0, 0, 0, 0};
+  TaskId last_id[4] = {0, 0, 0, 0};
+  for (const TaskId id : order) {
+    const TenantId t = static_cast<TenantId>(id / 100);
+    ++per_tenant[t];
+    // FIFO inside each tenant's lane.
+    if (last_id[t] != 0) {
+      EXPECT_LT(last_id[t], id);
+    }
+    last_id[t] = id;
+  }
+  EXPECT_EQ(per_tenant[1], 4);   // 24 releases = 4 full rounds of 1:2:3
+  EXPECT_EQ(per_tenant[2], 8);
+  EXPECT_EQ(per_tenant[3], 12);
+}
+
+TEST(FairShare, WorkConservingForLoneBackloggedTenant) {
+  core::FairShareInterleaver gate;
+  gate.set_window(2);
+  gate.set_weight(1, 1);
+  gate.set_weight(2, 100);
+  ASSERT_TRUE(gate.offer(1, 11));
+  ASSERT_TRUE(gate.offer(1, 12));
+  for (TaskId i = 0; i < 4; ++i) EXPECT_FALSE(gate.offer(1, 20 + i));
+
+  // Tenant 2 has weight 100 but no parked work: tenant 1 keeps the whole
+  // window.
+  std::vector<TaskId> release;
+  gate.on_complete(1, release);
+  ASSERT_EQ(release.size(), 1u);
+  EXPECT_EQ(release[0], 20u);
+}
+
+// --- shared profile cache -------------------------------------------------
+
+TEST(SharedProfileCache, MemoryRoundTripIgnoresEmptyPublish) {
+  SharedProfileCache cache;
+  EXPECT_EQ(cache.snapshot(), "");
+  EXPECT_TRUE(cache.publish("profile-text"));
+  EXPECT_EQ(cache.snapshot(), "profile-text");
+  EXPECT_TRUE(cache.publish(""));  // no-op, not an error
+  EXPECT_EQ(cache.snapshot(), "profile-text");
+}
+
+TEST(SharedProfileCache, FilePublishVisibleToFreshInstance) {
+  const std::string path = testing::TempDir() + "/service_cache.profile";
+  std::remove(path.c_str());
+  {
+    SharedProfileCache writer(path);
+    EXPECT_EQ(writer.snapshot(), "");  // missing file = cold
+    EXPECT_TRUE(writer.publish("cached-profile"));
+  }
+  SharedProfileCache reader(path);
+  EXPECT_EQ(reader.snapshot(), "cached-profile");
+  std::remove(path.c_str());
+}
+
+// --- end-to-end service on the sim backend --------------------------------
+
+GraphSpec chain_spec(TaskTypeId type, std::size_t tasks,
+                     std::uint64_t bytes = 4096) {
+  GraphSpec spec;
+  spec.regions.push_back({"chain", bytes});
+  for (std::size_t i = 0; i < tasks; ++i) {
+    TaskSpec task;
+    task.type = type;
+    task.accesses.push_back({0, AccessMode::kInOut});
+    spec.tasks.push_back(task);
+  }
+  return spec;
+}
+
+struct ServiceFixture {
+  Machine machine = make_smp_machine(2);
+  VersaService svc;
+  TaskTypeId work;
+
+  explicit ServiceFixture(VersaServiceConfig config = {})
+      : svc(machine, std::move(config)) {
+    work = svc.runtime().declare_task("svc_work");
+    svc.runtime().add_version(work, DeviceKind::kSmp, "smp");
+  }
+};
+
+TEST(VersaService, TwoTenantsSubmitWaitAndReconcile) {
+  ServiceFixture fx;
+  Session a = fx.svc.open_session("alpha", {});
+  Session b = fx.svc.open_session("beta", {});
+
+  std::vector<GraphId> a_graphs, b_graphs;
+  for (int i = 0; i < 3; ++i) {
+    const SubmitResult ra = a.submit(chain_spec(fx.work, 4));
+    const SubmitResult rb = b.submit(chain_spec(fx.work, 2));
+    ASSERT_TRUE(ra.admitted()) << ra.rejected.detail;
+    ASSERT_TRUE(rb.admitted()) << rb.rejected.detail;
+    EXPECT_NE(ra.graph, rb.graph);
+    a_graphs.push_back(ra.graph);
+    b_graphs.push_back(rb.graph);
+  }
+  for (const GraphId g : a_graphs) a.wait(g);
+  for (const GraphId g : b_graphs) b.wait(g);
+
+  const TenantStats sa = a.stats();
+  EXPECT_EQ(sa.admitted_graphs, 3u);
+  EXPECT_EQ(sa.completed_graphs, 3u);
+  EXPECT_EQ(sa.completed_tasks, 12u);
+  EXPECT_EQ(sa.in_flight_tasks, 0u);
+  EXPECT_EQ(sa.in_flight_bytes, 0u);
+  const TenantStats sb = b.stats();
+  EXPECT_EQ(sb.completed_graphs, 3u);
+  EXPECT_EQ(sb.completed_tasks, 6u);
+  EXPECT_EQ(sb.rejected_graphs, 0u);
+}
+
+TEST(VersaService, WaitIsIdempotentPerGraph) {
+  ServiceFixture fx;
+  Session s = fx.svc.open_session("solo", {});
+  const SubmitResult r = s.submit(chain_spec(fx.work, 3));
+  ASSERT_TRUE(r.admitted());
+  s.wait(r.graph);
+  s.wait(r.graph);  // second retire must be a no-op
+  const TenantStats stats = s.stats();
+  EXPECT_EQ(stats.completed_graphs, 1u);
+  EXPECT_EQ(stats.completed_tasks, 3u);
+  EXPECT_EQ(stats.in_flight_tasks, 0u);
+}
+
+TEST(VersaService, QuotaRejectionIsTypedAndRecoverable) {
+  ServiceFixture fx;
+  TenantQuota quota;
+  quota.max_in_flight_tasks = 5;
+  Session s = fx.svc.open_session("tight", quota);
+
+  const SubmitResult first = s.submit(chain_spec(fx.work, 4));
+  ASSERT_TRUE(first.admitted());
+  const SubmitResult second = s.submit(chain_spec(fx.work, 4));
+  ASSERT_FALSE(second.admitted());
+  EXPECT_EQ(second.rejected.reason, RejectReason::kTaskQuota);
+  EXPECT_EQ(second.graph, kInvalidGraph);
+
+  // Retiring the first graph frees its quota charge; the same spec is now
+  // admitted.
+  s.wait(first.graph);
+  const SubmitResult third = s.submit(chain_spec(fx.work, 4));
+  ASSERT_TRUE(third.admitted()) << third.rejected.detail;
+  s.wait(third.graph);
+  EXPECT_EQ(s.stats().rejected_graphs, 1u);
+}
+
+TEST(VersaService, ByteQuotaCountsSpecRegions) {
+  ServiceFixture fx;
+  TenantQuota quota;
+  quota.max_bytes = 8192;
+  Session s = fx.svc.open_session("lowmem", quota);
+  const SubmitResult r = s.submit(chain_spec(fx.work, 1, 8193));
+  ASSERT_FALSE(r.admitted());
+  EXPECT_EQ(r.rejected.reason, RejectReason::kByteQuota);
+  const SubmitResult ok = s.submit(chain_spec(fx.work, 1, 8192));
+  ASSERT_TRUE(ok.admitted());
+  s.wait(ok.graph);
+}
+
+TEST(VersaService, UnknownTenantAndShutdownRejections) {
+  ServiceFixture fx;
+  Session s = fx.svc.open_session("only", {});
+
+  const SubmitResult ghost = fx.svc.submit_graph(42, chain_spec(fx.work, 1));
+  ASSERT_FALSE(ghost.admitted());
+  EXPECT_EQ(ghost.rejected.reason, RejectReason::kUnknownTenant);
+
+  const SubmitResult live = s.submit(chain_spec(fx.work, 2));
+  ASSERT_TRUE(live.admitted());
+  fx.svc.shutdown();
+  const SubmitResult after = s.submit(chain_spec(fx.work, 2));
+  ASSERT_FALSE(after.admitted());
+  EXPECT_EQ(after.rejected.reason, RejectReason::kShutdown);
+  // In-flight graphs keep running across shutdown.
+  s.wait(live.graph);
+  EXPECT_EQ(s.stats().completed_graphs, 1u);
+}
+
+TEST(VersaService, ProfilePublishAndWarmStartAcrossInstances) {
+  const std::string path = testing::TempDir() + "/service_warm.profile";
+  std::remove(path.c_str());
+  VersaServiceConfig config;
+  config.profile_cache_path = path;
+  {
+    ServiceFixture fx(config);
+    Session s = fx.svc.open_session("learner", {});
+    for (int i = 0; i < 4; ++i) {
+      const SubmitResult r = s.submit(chain_spec(fx.work, 8));
+      ASSERT_TRUE(r.admitted());
+      s.wait(r.graph);
+    }
+    EXPECT_TRUE(fx.svc.publish_profile());
+    EXPECT_NE(fx.svc.profile_cache().snapshot(), "");
+  }
+  // A fresh service on the same machine warm-starts from the shared cache
+  // once its task types are declared.
+  ServiceFixture fresh(config);
+  const ProfileLoadResult warm = fresh.svc.warm_start();
+  EXPECT_EQ(warm.status, ProfileLoadStatus::kOk) << warm.message;
+  EXPECT_GT(warm.applied, 0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace versa
