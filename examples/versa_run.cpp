@@ -55,6 +55,7 @@ struct Options {
   std::string profile_load;
   std::string profile_save;
   bool drift = false;
+  std::string granularity;  // empty = leave config default (off / env)
 };
 
 void print_usage() {
@@ -71,6 +72,12 @@ void print_usage() {
       "  --n <elems> --block <elems>    problem/tile size override\n"
       "  --generations <n>              PBPI generations\n"
       "  --lambda <n>                   learning threshold\n"
+      "  --granularity <off|auto|N>     adaptive task granularity\n"
+      "                                 (DESIGN.md s11): auto enables the\n"
+      "                                 profile-guided split/fuse\n"
+      "                                 controller, an integer N > 1 always\n"
+      "                                 splits recipe-covered tasks N ways;\n"
+      "                                 default off (env VERSA_GRANULARITY)\n"
       "  --seed <n>                     simulation seed\n"
       "  --no-prefetch                  disable transfer overlap\n"
       "  --utilization                  print per-worker utilization\n"
@@ -145,6 +152,8 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.block = std::strtoull(value, nullptr, 10);
     } else if (flag == "--generations") {
       options.generations = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--granularity") {
+      options.granularity = value;
     } else if (flag == "--lambda") {
       options.lambda = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
     } else if (flag == "--seed") {
@@ -214,6 +223,14 @@ int main(int argc, char** argv) {
   config.profile_save_path = options.profile_save;
   config.profile.drift.enabled = options.drift;
   config.sched_trace = !options.sched_trace_path.empty();
+  if (!options.granularity.empty() &&
+      !core::parse_granularity(options.granularity, config.granularity)) {
+    std::fprintf(stderr,
+                 "invalid --granularity '%s' (expected off, auto or an "
+                 "integer)\n",
+                 options.granularity.c_str());
+    return 2;
+  }
   if (make_scheduler(options.scheduler) == nullptr) {
     std::string valid;
     for (const std::string& name : scheduler_factory_names()) {
@@ -278,6 +295,17 @@ int main(int argc, char** argv) {
     std::printf("  %s versions:\n",
                 rt.version_registry().task_name(type).c_str());
     print_version_split(rt, type);
+  }
+  if (const auto* granularity = rt.granularity()) {
+    const auto& stats = granularity->stats();
+    std::printf("granularity [%s]: %llu splits (%llu children), %llu fuses "
+                "(%llu absorbed), %llu reversals\n",
+                core::to_string(granularity->config().mode),
+                static_cast<unsigned long long>(stats.splits),
+                static_cast<unsigned long long>(stats.children_created),
+                static_cast<unsigned long long>(stats.fuses),
+                static_cast<unsigned long long>(stats.tasks_fused),
+                static_cast<unsigned long long>(stats.reversals));
   }
   if (!options.profile_load.empty() || !options.hints_load.empty()) {
     std::printf("%s\n", profile_load_summary(rt.profile_load_result()).c_str());

@@ -51,6 +51,9 @@ class CholeskyApp {
   TaskTypeId trsm_type() const { return t_trsm_; }
   TaskTypeId syrk_type() const { return t_syrk_; }
   TaskTypeId gemm_type() const { return t_gemm_; }
+  /// Adaptive-granularity sub-kernel type (DESIGN.md §11): a row band of
+  /// one gemm update. kInvalidTaskType when the controller is off.
+  TaskTypeId gemm_band_type() const { return t_gemm_band_; }
   VersionId potrf_gpu_version() const { return v_potrf_gpu_; }
   VersionId potrf_smp_version() const { return v_potrf_smp_; }
 
@@ -65,6 +68,7 @@ class CholeskyApp {
   TaskTypeId t_trsm_ = kInvalidTaskType;
   TaskTypeId t_syrk_ = kInvalidTaskType;
   TaskTypeId t_gemm_ = kInvalidTaskType;
+  TaskTypeId t_gemm_band_ = kInvalidTaskType;
   VersionId v_potrf_gpu_ = kInvalidVersion;
   VersionId v_potrf_smp_ = kInvalidVersion;
 
@@ -75,6 +79,7 @@ class CholeskyApp {
 
   std::size_t block_index(std::size_t i, std::size_t j) const;
   void register_versions();
+  void register_granularity();
   void register_blocks();
 };
 

@@ -14,6 +14,11 @@ void dgemm_naive(const double* a, const double* b, double* c, std::size_t n);
 /// Cache-blocked variant (the "optimized library" stand-in).
 void dgemm_blocked(const double* a, const double* b, double* c,
                    std::size_t n);
+/// Row-band sub-kernel (adaptive granularity splits): `a` and `c` point at
+/// a band of `rows` consecutive rows of the tile, `b` is the full n x n
+/// operand. C_band += A_band * B.
+void dgemm_band(const double* a, const double* b, double* c, std::size_t n,
+                std::size_t rows);
 
 // --- single-precision tiled Cholesky block kernels (row-major, lower) ---
 /// In-place Cholesky of a diagonal block: A = L * L^T, L kept in the lower
@@ -31,6 +36,9 @@ void ssyrk_block(const float* a, float* c, std::size_t n);
 
 /// General update: C <- C - A * B^T.
 void sgemm_nt_block(const float* a, const float* b, float* c, std::size_t n);
+/// Row-band variant: `a`/`c` cover `rows` consecutive rows, `b` is full.
+void sgemm_nt_band(const float* a, const float* b, float* c, std::size_t n,
+                   std::size_t rows);
 
 // --- single-precision blocked sparse LU kernels (row-major) --------------
 /// In-place LU of a diagonal block without pivoting (caller guarantees
@@ -47,6 +55,9 @@ void bdiv_block(const float* diag, float* b, std::size_t n);
 
 /// Trailing update: C <- C - A * B.
 void bmod_block(const float* a, const float* b, float* c, std::size_t n);
+/// Row-band variant: `a`/`c` cover `rows` consecutive rows, `b` is full.
+void bmod_band(const float* a, const float* b, float* c, std::size_t n,
+               std::size_t rows);
 
 // --- PBPI-style likelihood arithmetic ------------------------------------
 /// Per-site partial likelihood update over a slice: a smooth, strictly

@@ -24,6 +24,39 @@ TaskFn make_gemm_body(std::size_t tile, bool blocked) {
   };
 }
 
+// Row-band sub-kernel body (split children): arg 0/2 point at a band of
+// consecutive rows of the A/C tiles, arg 1 is the full B tile. The band
+// row count is recovered from the resolved access size.
+TaskFn make_band_body(std::size_t tile) {
+  return [tile](TaskContext& ctx) {
+    auto* a = static_cast<const double*>(ctx.arg(0));
+    auto* b = static_cast<const double*>(ctx.arg(1));
+    auto* c = static_cast<double*>(ctx.arg(2));
+    if (a == nullptr) return;
+    const std::size_t rows = ctx.arg_size(0) / (tile * sizeof(double));
+    kernels::dgemm_band(a, b, c, tile, rows);
+  };
+}
+
+// Fused body (coalesced siblings sharing one C tile): arguments are
+// [A_1, B_1, ..., A_p, B_p, C]; each pair contributes one tile product.
+TaskFn make_fused_body(std::size_t tile, bool blocked) {
+  return [tile, blocked](TaskContext& ctx) {
+    auto* c = static_cast<double*>(ctx.arg(ctx.arg_count() - 1));
+    if (ctx.arg(0) == nullptr) return;
+    const std::size_t pairs = (ctx.arg_count() - 1) / 2;
+    for (std::size_t p = 0; p < pairs; ++p) {
+      auto* a = static_cast<const double*>(ctx.arg(2 * p));
+      auto* b = static_cast<const double*>(ctx.arg(2 * p + 1));
+      if (blocked) {
+        kernels::dgemm_blocked(a, b, c, tile);
+      } else {
+        kernels::dgemm_naive(a, b, c, tile);
+      }
+    }
+  };
+}
+
 }  // namespace
 
 MatmulApp::MatmulApp(Runtime& rt, MatmulParams params)
@@ -32,24 +65,101 @@ MatmulApp::MatmulApp(Runtime& rt, MatmulParams params)
                   "matrix edge must be a multiple of the tile edge");
   tiles_ = params_.n / params_.tile;
   register_versions();
+  register_granularity();
   register_tiles();
 }
 
 void MatmulApp::register_versions() {
   const std::size_t tile = params_.tile;
+  const Duration oh = params_.launch_overhead;
   task_type_ = rt_.declare_task("matmul_tile");
   // Main implementation: CUBLAS DGEMM (the mm-gpu task of §V-B1).
-  v_cublas_ = rt_.add_version(task_type_, DeviceKind::kCuda, "cublas",
-                              make_gemm_body(tile, true),
-                              kernels::cublas_dgemm_tile(tile));
+  v_cublas_ = rt_.add_version(
+      task_type_, DeviceKind::kCuda, "cublas", make_gemm_body(tile, true),
+      kernels::add_launch_overhead(kernels::cublas_dgemm_tile(tile), oh));
   if (params_.hybrid) {
-    v_cuda_ = rt_.add_version(task_type_, DeviceKind::kCuda, "cuda",
-                              make_gemm_body(tile, false),
-                              kernels::hand_cuda_dgemm_tile(tile));
-    v_cblas_ = rt_.add_version(task_type_, DeviceKind::kSmp, "cblas",
-                               make_gemm_body(tile, true),
-                               kernels::cblas_dgemm_tile(tile));
+    v_cuda_ = rt_.add_version(
+        task_type_, DeviceKind::kCuda, "cuda", make_gemm_body(tile, false),
+        kernels::add_launch_overhead(kernels::hand_cuda_dgemm_tile(tile), oh));
+    v_cblas_ = rt_.add_version(
+        task_type_, DeviceKind::kSmp, "cblas", make_gemm_body(tile, true),
+        kernels::add_launch_overhead(kernels::cblas_dgemm_tile(tile), oh));
   }
+}
+
+void MatmulApp::register_granularity() {
+  if (rt_.granularity() == nullptr) return;
+  const std::size_t tile = params_.tile;
+  const Duration oh = params_.launch_overhead;
+  const std::uint64_t row_bytes = tile * sizeof(double);
+
+  // Child type: a row band of one tile product, same version set as the
+  // parent so the versioning scheduler keeps its device choice per band.
+  band_type_ = rt_.declare_task("matmul_band");
+  rt_.add_version(
+      band_type_, DeviceKind::kCuda, "cublas", make_band_body(tile),
+      kernels::gemm_band_cost(tile, sizeof(double),
+                              kernels::Throughput::kCublasDgemm, oh));
+  if (params_.hybrid) {
+    rt_.add_version(
+        band_type_, DeviceKind::kCuda, "cuda", make_band_body(tile),
+        kernels::gemm_band_cost(tile, sizeof(double),
+                                kernels::Throughput::kHandCudaDgemm, oh));
+    rt_.add_version(
+        band_type_, DeviceKind::kSmp, "cblas", make_band_body(tile),
+        kernels::gemm_band_cost(tile, sizeof(double),
+                                kernels::Throughput::kCblasDgemmCore, oh));
+  }
+
+  core::SplitRecipe split;
+  split.child_type = band_type_;
+  split.max_factor = 8;
+  // Row bands: C row i = f(A row i, full B), so splitting accesses 0 (A)
+  // and 2 (C) into `factor` row bands while keeping B whole is exact.
+  split.partition = core::row_band_partition(row_bytes);
+  rt_.set_split_recipe(task_type_, std::move(split));
+
+  // Fused type: several tile products accumulated into one shared C tile
+  // in a single launch — arguments [A_1, B_1, ..., A_p, B_p, C].
+  fused_type_ = rt_.declare_task("matmul_tile_x2");
+  rt_.add_version(
+      fused_type_, DeviceKind::kCuda, "cublas", make_fused_body(tile, true),
+      kernels::gemm_fused_cost(tile, sizeof(double),
+                               kernels::Throughput::kCublasDgemm, oh));
+  if (params_.hybrid) {
+    rt_.add_version(
+        fused_type_, DeviceKind::kCuda, "cuda", make_fused_body(tile, false),
+        kernels::gemm_fused_cost(tile, sizeof(double),
+                                 kernels::Throughput::kHandCudaDgemm, oh));
+    rt_.add_version(
+        fused_type_, DeviceKind::kSmp, "cblas", make_fused_body(tile, true),
+        kernels::gemm_fused_cost(tile, sizeof(double),
+                                 kernels::Throughput::kCblasDgemmCore, oh));
+  }
+
+  core::FuseRecipe fuse;
+  fuse.fused_type = fused_type_;
+  fuse.window = 2;
+  // Siblings are fusable when they accumulate into the same C range —
+  // the k-loop of one (i, j) tile — so fusion only serializes products
+  // that were already ordered by their inout dependence on C.
+  fuse.can_fuse = [](const AccessList& last, const AccessList& next) {
+    return last.size() == 3 && next.size() == 3 &&
+           last[2].region == next[2].region &&
+           last[2].offset == next[2].offset &&
+           last[2].length == next[2].length;
+  };
+  fuse.fuse = [](const std::vector<AccessList>& lists) {
+    AccessList fused;
+    fused.reserve(2 * lists.size() + 1);
+    for (const AccessList& list : lists) {
+      fused.push_back(list[0]);
+      fused.push_back(list[1]);
+    }
+    fused.push_back(lists.front()[2]);
+    return fused;
+  };
+  rt_.set_fuse_recipe(task_type_, std::move(fuse));
 }
 
 void MatmulApp::register_tiles() {

@@ -25,6 +25,12 @@ struct MatmulParams {
   bool hybrid = true;       ///< mm-hyb when true, mm-gpu otherwise
   bool real_compute = false;
   std::uint64_t data_seed = 7;  ///< real-compute initialization
+
+  /// Per-launch overhead added to every cost model (seconds). Zero (the
+  /// default) leaves the original models untouched so figure runs stay
+  /// byte-identical; bench_granularity sets it so over-decomposition has
+  /// a real price in simulation.
+  double launch_overhead = 0.0;
 };
 
 class MatmulApp {
@@ -48,6 +54,12 @@ class MatmulApp {
   VersionId cuda_version() const { return v_cuda_; }
   VersionId cblas_version() const { return v_cblas_; }  ///< kInvalidVersion for mm-gpu
 
+  /// Adaptive-granularity sub-kernel types (DESIGN.md §11); only declared
+  /// when the runtime's granularity controller is on, kInvalidTaskType
+  /// otherwise.
+  TaskTypeId band_type() const { return band_type_; }
+  TaskTypeId fused_type() const { return fused_type_; }
+
   /// Real-compute mode: max |C - C_ref| over a deterministic sample of
   /// tiles. Requires run() to have completed.
   double max_error() const;
@@ -57,6 +69,8 @@ class MatmulApp {
   MatmulParams params_;
   std::size_t tiles_;
   TaskTypeId task_type_ = kInvalidTaskType;
+  TaskTypeId band_type_ = kInvalidTaskType;
+  TaskTypeId fused_type_ = kInvalidTaskType;
   VersionId v_cublas_ = kInvalidVersion;
   VersionId v_cuda_ = kInvalidVersion;
   VersionId v_cblas_ = kInvalidVersion;
@@ -66,6 +80,7 @@ class MatmulApp {
   std::vector<std::vector<double>> a_data_, b_data_, c_data_;
 
   void register_versions();
+  void register_granularity();
   void register_tiles();
 };
 

@@ -51,6 +51,9 @@ class SparseLuApp {
   TaskTypeId fwd_type() const { return t_fwd_; }
   TaskTypeId bdiv_type() const { return t_bdiv_; }
   TaskTypeId bmod_type() const { return t_bmod_; }
+  /// Adaptive-granularity sub-kernel type (DESIGN.md §11): a row band of
+  /// one bmod update. kInvalidTaskType when the controller is off.
+  TaskTypeId bmod_band_type() const { return t_bmod_band_; }
 
   /// Real-compute mode: max |block - reference| over all live blocks,
   /// where the reference is a sequential replay of the same algorithm.
@@ -67,6 +70,7 @@ class SparseLuApp {
   TaskTypeId t_fwd_ = kInvalidTaskType;
   TaskTypeId t_bdiv_ = kInvalidTaskType;
   TaskTypeId t_bmod_ = kInvalidTaskType;
+  TaskTypeId t_bmod_band_ = kInvalidTaskType;
 
   /// kInvalidRegion-like sentinel: 0 is a valid region id, so presence is
   /// tracked separately.
@@ -82,6 +86,7 @@ class SparseLuApp {
   void materialize(std::size_t i, std::size_t j, bool randomize);
 
   void register_versions();
+  void register_granularity();
   void build_pattern();
 };
 

@@ -29,6 +29,53 @@ CostModelPtr cblas_dgemm_tile(std::uint64_t n) {
   return rate_model(gemm_flops(n), Throughput::kCblasDgemmCore);
 }
 
+CostModelPtr gemm_band_cost(std::uint64_t n, std::uint64_t elem_size,
+                            double flops_per_second,
+                            Duration launch_overhead) {
+  return make_callable_cost([n, elem_size, flops_per_second,
+                             launch_overhead](std::uint64_t bytes) -> Duration {
+    // bytes = elem_size * n * (2*rows + n): a band touches rows*n of A,
+    // the full n*n of B and rows*n of C.
+    const std::uint64_t per_row = n * elem_size;
+    std::uint64_t rows = n;  // degenerate sizes fall back to the full tile
+    if (per_row > 0) {
+      const std::uint64_t cols = bytes / per_row;
+      rows = cols > n ? (cols - n) / 2 : 1;
+      if (rows == 0) rows = 1;
+    }
+    const double flops = 2.0 * static_cast<double>(rows) *
+                         static_cast<double>(n) * static_cast<double>(n);
+    return launch_overhead + flops / flops_per_second;
+  });
+}
+
+CostModelPtr gemm_fused_cost(std::uint64_t n, std::uint64_t elem_size,
+                             double flops_per_second,
+                             Duration launch_overhead) {
+  return make_callable_cost([n, elem_size, flops_per_second,
+                             launch_overhead](std::uint64_t bytes) -> Duration {
+    // bytes = elem_size * n^2 * (2*pairs + 1): each fused pair brings its
+    // own A and B tiles; the shared C tile is counted once.
+    const std::uint64_t tile_bytes = n * n * elem_size;
+    std::uint64_t pairs = 1;
+    if (tile_bytes > 0 && bytes > tile_bytes) {
+      pairs = (bytes / tile_bytes - 1) / 2;
+      if (pairs == 0) pairs = 1;
+    }
+    const double flops = static_cast<double>(pairs) *
+                         static_cast<double>(gemm_flops(n));
+    return launch_overhead + flops / flops_per_second;
+  });
+}
+
+CostModelPtr add_launch_overhead(CostModelPtr inner, Duration overhead) {
+  if (overhead <= 0.0) return inner;
+  return make_callable_cost(
+      [inner = std::move(inner), overhead](std::uint64_t bytes) -> Duration {
+        return overhead + inner->mean_duration(bytes);
+      });
+}
+
 CostModelPtr magma_spotrf_block(std::uint64_t n) {
   return rate_model(potrf_flops(n), Throughput::kMagmaSpotrf);
 }

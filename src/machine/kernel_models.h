@@ -51,6 +51,31 @@ CostModelPtr cublas_dgemm_tile(std::uint64_t n);
 CostModelPtr hand_cuda_dgemm_tile(std::uint64_t n);
 CostModelPtr cblas_dgemm_tile(std::uint64_t n);
 
+/// Cost model for a row-band GEMM sub-kernel (adaptive granularity
+/// splits): the band's row count is recovered from the task's data-set
+/// size — a band task accesses rows*n elements of A, the full n*n of B and
+/// rows*n of C, so bytes = elem_size * n * (2*rows + n). The modelled time
+/// is launch_overhead + 2*rows*n^2 / flops_per_second, i.e. the same
+/// effective rate as the full tile plus the per-launch cost that makes
+/// over-decomposition genuinely expensive in simulation.
+CostModelPtr gemm_band_cost(std::uint64_t n, std::uint64_t elem_size,
+                            double flops_per_second,
+                            Duration launch_overhead);
+
+/// Cost model for a fused GEMM task standing for several tile products
+/// into one C tile (adaptive granularity fuses): the pair count is
+/// recovered from the data-set size — bytes = elem_size * n^2 * (2*pairs
+/// + 1) — and the fused task pays the launch overhead once instead of
+/// once per original submission.
+CostModelPtr gemm_fused_cost(std::uint64_t n, std::uint64_t elem_size,
+                             double flops_per_second,
+                             Duration launch_overhead);
+
+/// Wrap `inner` with a constant per-launch overhead. Returns `inner`
+/// unchanged when overhead <= 0 so default-configured apps keep their
+/// original (byte-identical) models.
+CostModelPtr add_launch_overhead(CostModelPtr inner, Duration overhead);
+
 /// Cost models for the Cholesky block kernels (single precision, edge `n`).
 CostModelPtr magma_spotrf_block(std::uint64_t n);
 CostModelPtr cblas_spotrf_block(std::uint64_t n);

@@ -66,6 +66,9 @@ std::string sched_trace_counters_json(const core::DecisionTrace& trace,
         break;
       case core::TraceEventKind::kSteal:
       case core::TraceEventKind::kFailure:
+      case core::TraceEventKind::kSplit:
+      case core::TraceEventKind::kFuse:
+      case core::TraceEventKind::kReversal:
         std::snprintf(buffer, sizeof(buffer),
                       "{\"name\":\"%s\",\"cat\":\"sched\",\"ph\":\"i\","
                       "\"s\":\"t\",\"ts\":%.3f,\"pid\":2,\"tid\":%u,"
@@ -91,11 +94,11 @@ bool write_sched_trace(const std::string& path,
 
 std::string sched_trace_csv(const core::DecisionTrace& trace,
                             const std::string& policy) {
-  // v2 appends the tenant column (service mode). versa_trace_report still
-  // accepts v1 files without it.
-  std::string out = "# versa-sched-trace v2\n";
+  // v3 appends the granularity columns (group key, child count) after the
+  // v2 tenant column. versa_trace_report still accepts v1/v2 files.
+  std::string out = "# versa-sched-trace v3\n";
   out += "# policy=" + policy + "\n";
-  char buffer[288];
+  char buffer[320];
   std::snprintf(buffer, sizeof(buffer),
                 "# recorded=%llu dropped=%llu capacity=%zu\n",
                 static_cast<unsigned long long>(trace.total()),
@@ -103,13 +106,15 @@ std::string sched_trace_csv(const core::DecisionTrace& trace,
                 trace.capacity());
   out += buffer;
   out += "time,kind,task,type,version,worker,busy,estimate,penalty,"
-         "candidates,tenant\n";
+         "candidates,tenant,group,children\n";
   for (const core::TraceEvent& e : trace.events()) {
     std::snprintf(buffer, sizeof(buffer),
-                  "%.9e,%s,%llu,%u,%u,%u,%.9e,%.9e,%.9e,%u,%u\n", e.time,
-                  to_string(e.kind), static_cast<unsigned long long>(e.task),
-                  e.type, e.version, e.worker, e.busy_term, e.mean_term,
-                  e.penalty_term, e.candidates, e.tenant);
+                  "%.9e,%s,%llu,%u,%u,%u,%.9e,%.9e,%.9e,%u,%u,%llu,%u\n",
+                  e.time, to_string(e.kind),
+                  static_cast<unsigned long long>(e.task), e.type, e.version,
+                  e.worker, e.busy_term, e.mean_term, e.penalty_term,
+                  e.candidates, e.tenant,
+                  static_cast<unsigned long long>(e.group), e.children);
     out += buffer;
   }
   return out;

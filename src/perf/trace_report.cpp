@@ -32,7 +32,8 @@ bool parse_kind(const std::string& text, core::TraceEventKind& kind) {
        {core::TraceEventKind::kPlacement,
         core::TraceEventKind::kLearningPlacement,
         core::TraceEventKind::kSteal, core::TraceEventKind::kFailure,
-        core::TraceEventKind::kComplete}) {
+        core::TraceEventKind::kComplete, core::TraceEventKind::kSplit,
+        core::TraceEventKind::kFuse, core::TraceEventKind::kReversal}) {
     if (text == core::to_string(candidate)) {
       kind = candidate;
       return true;
@@ -104,10 +105,11 @@ bool parse_sched_trace_csv(std::istream& in, SchedTraceDump& dump,
       continue;
     }
     const std::vector<std::string> fields = split_fields(line);
-    // 10 fields = v1 (no tenant column), 11 = v2 (tenant appended).
-    if (fields.size() != 10 && fields.size() != 11) {
+    // 10 fields = v1 (no tenant column), 11 = v2 (tenant appended),
+    // 13 = v3 (granularity group + children appended).
+    if (fields.size() != 10 && fields.size() != 11 && fields.size() != 13) {
       error = "line " + std::to_string(line_number) +
-              ": expected 10 or 11 fields, got " +
+              ": expected 10, 11 or 13 fields, got " +
               std::to_string(fields.size());
       return false;
     }
@@ -118,6 +120,8 @@ bool parse_sched_trace_csv(std::istream& in, SchedTraceDump& dump,
     std::uint64_t worker = 0;
     std::uint64_t candidates = 0;
     std::uint64_t tenant = kDefaultTenant;
+    std::uint64_t group = 0;
+    std::uint64_t children = 0;
     if (!parse_double(fields[0], event.time) ||
         !parse_kind(fields[1], event.kind) || !parse_u64(fields[2], task) ||
         !parse_u64(fields[3], type) || !parse_u64(fields[4], version) ||
@@ -126,17 +130,22 @@ bool parse_sched_trace_csv(std::istream& in, SchedTraceDump& dump,
         !parse_double(fields[7], event.mean_term) ||
         !parse_double(fields[8], event.penalty_term) ||
         !parse_u64(fields[9], candidates) ||
-        (fields.size() == 11 && !parse_u64(fields[10], tenant))) {
+        (fields.size() >= 11 && !parse_u64(fields[10], tenant)) ||
+        (fields.size() == 13 && (!parse_u64(fields[11], group) ||
+                                 !parse_u64(fields[12], children)))) {
       error = "line " + std::to_string(line_number) + ": malformed field";
       return false;
     }
-    if (fields.size() == 11) dump.has_tenant_column = true;
+    if (fields.size() >= 11) dump.has_tenant_column = true;
+    if (fields.size() == 13) dump.has_granularity_columns = true;
     event.task = task;
     event.type = static_cast<TaskTypeId>(type);
     event.version = static_cast<VersionId>(version);
     event.worker = static_cast<WorkerId>(worker);
     event.candidates = static_cast<std::uint32_t>(candidates);
     event.tenant = static_cast<TenantId>(tenant);
+    event.group = group;
+    event.children = static_cast<std::uint32_t>(children);
     dump.events.push_back(event);
   }
   if (!saw_header) {
@@ -178,6 +187,20 @@ TraceReport analyze_sched_trace(const SchedTraceDump& dump) {
       case core::TraceEventKind::kComplete:
         ++report.completions;
         ++tenant.completions;
+        break;
+      case core::TraceEventKind::kSplit:
+        ++report.splits;
+        ++report.per_group[{e.type, e.group}].splits;
+        report.per_group[{e.type, e.group}].children_created += e.children;
+        break;
+      case core::TraceEventKind::kFuse:
+        ++report.fuses;
+        ++report.per_group[{e.type, e.group}].fuses;
+        report.per_group[{e.type, e.group}].tasks_fused += e.children;
+        break;
+      case core::TraceEventKind::kReversal:
+        ++report.reversals;
+        ++report.per_group[{e.type, e.group}].reversals;
         break;
     }
   }
@@ -272,6 +295,28 @@ std::string render_trace_report(const SchedTraceDump& dump,
                      std::to_string(counts.placements),
                      std::to_string(counts.steals),
                      std::to_string(counts.completions), churn, buffer});
+    }
+    out += table.to_string();
+  }
+  // Per-group granularity breakdown: rendered only when the controller
+  // actually did something (v1/v2 CSVs and controller-off runs render
+  // exactly as before).
+  if (!report.per_group.empty()) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "granularity: %llu splits, %llu fuses, %llu reversals\n",
+                  static_cast<unsigned long long>(report.splits),
+                  static_cast<unsigned long long>(report.fuses),
+                  static_cast<unsigned long long>(report.reversals));
+    out += buffer;
+    TablePrinter table({"type", "group", "splits", "fuses", "reversals",
+                        "children", "fused"});
+    for (const auto& [key, counts] : report.per_group) {
+      table.add_row({std::to_string(key.first), std::to_string(key.second),
+                     std::to_string(counts.splits),
+                     std::to_string(counts.fuses),
+                     std::to_string(counts.reversals),
+                     std::to_string(counts.children_created),
+                     std::to_string(counts.tasks_fused)});
     }
     out += table.to_string();
   }

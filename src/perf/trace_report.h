@@ -30,6 +30,9 @@ struct SchedTraceDump {
   /// True when the file carried the v2 per-tenant column; v1 files parse
   /// with every event attributed to kDefaultTenant.
   bool has_tenant_column = false;
+  /// True when the file carried the v3 granularity columns (group,
+  /// children); v1/v2 files parse with both fields zero.
+  bool has_granularity_columns = false;
   std::vector<core::TraceEvent> events;  ///< retained rows, oldest first
 };
 
@@ -73,6 +76,26 @@ struct TraceReport {
     double throughput = 0.0;
   };
   std::map<TenantId, TenantBreakdown> per_tenant;
+
+  /// Granularity-controller totals (v3 dumps; all zero before PR 7 CSVs).
+  std::uint64_t splits = 0;
+  std::uint64_t fuses = 0;
+  std::uint64_t reversals = 0;
+
+  /// Per-(type, data-set-size-group) granularity breakdown: how often the
+  /// controller re-tiled or coalesced that group, how many child tasks the
+  /// splits created, how many original submissions the fuses absorbed, and
+  /// whether the CUSUM ever reversed the group's decision. Rendered only
+  /// when any granularity event appears in the dump.
+  struct GranularityBreakdown {
+    std::uint64_t splits = 0;
+    std::uint64_t fuses = 0;
+    std::uint64_t reversals = 0;
+    std::uint64_t children_created = 0;
+    std::uint64_t tasks_fused = 0;
+  };
+  std::map<std::pair<TaskTypeId, std::uint64_t>, GranularityBreakdown>
+      per_group;
 };
 
 TraceReport analyze_sched_trace(const SchedTraceDump& dump);

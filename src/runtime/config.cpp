@@ -45,6 +45,12 @@ RuntimeConfig apply_env_overrides(RuntimeConfig config) {
   if (const char* trace = std::getenv("VERSA_SCHED_TRACE")) {
     config.sched_trace = std::string(trace) != "0";
   }
+  if (const char* granularity = std::getenv("VERSA_GRANULARITY")) {
+    if (!core::parse_granularity(granularity, config.granularity)) {
+      VERSA_LOG(kWarn) << "ignoring invalid VERSA_GRANULARITY="
+                       << granularity;
+    }
+  }
   return config;
 }
 

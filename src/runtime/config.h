@@ -12,11 +12,13 @@
 //   VERSA_DRIFT            — 0/1, drift-adaptive relearning
 //   VERSA_DRIFT_THRESHOLD  — CUSUM alarm threshold (normalized units)
 //   VERSA_SCHED_TRACE      — 0/1, record the scheduler decision trace
+//   VERSA_GRANULARITY      — off | auto | N, adaptive task granularity
 #pragma once
 
 #include <cstdint>
 #include <string>
 
+#include "sched/core/granularity.h"
 #include "sched/profile_table.h"
 #include "sim/noise.h"
 
@@ -78,6 +80,13 @@ struct RuntimeConfig {
   /// when off; versa_run --sched-trace renders it after the run.
   bool sched_trace = false;
   std::size_t sched_trace_capacity = 1 << 16;
+
+  /// Adaptive task granularity (DESIGN.md §11): off (default, the
+  /// controller is not even constructed, keeping fixed-seed figures
+  /// byte-identical), auto (profile-guided split/fuse with CUSUM
+  /// reversal), or a fixed split factor. Parsed from --granularity /
+  /// VERSA_GRANULARITY via core::parse_granularity.
+  core::GranularityConfig granularity;
 };
 
 /// Overlay environment-variable overrides onto `config`.

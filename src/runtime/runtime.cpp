@@ -24,6 +24,17 @@ Runtime::Runtime(const Machine& machine, RuntimeConfig config)
   if (config_.sched_trace) {
     scheduler_->decision_trace().enable(config_.sched_trace_capacity);
   }
+  if (config_.granularity.mode != core::GranularityMode::kOff) {
+    granularity_ =
+        std::make_unique<core::GranularityController>(config_.granularity);
+    // Auto mode reads its group means from the versioning profile; other
+    // schedulers leave the pointer null, which makes auto inert (fixed
+    // split factors still apply).
+    if (auto* versioning =
+            dynamic_cast<VersioningScheduler*>(scheduler_.get())) {
+      granularity_->set_profile(&versioning->profile());
+    }
+  }
 
   switch (config_.backend) {
     case Backend::kSim: {
@@ -78,6 +89,9 @@ RegionId Runtime::register_data(std::string name, std::uint64_t size,
 
 void Runtime::unregister_data(RegionId region) {
   versa::RecursiveLockGuard lock(mutex_);
+  // Close any open fuse window first: its members are unregistered, and
+  // the liveness scan below must see their final (possibly fused) form.
+  flush_fuse_window();
   // Guard against use-after-free at the task level: no live task may still
   // reference the region. (Linear scan: deregistration is a coarse event,
   // typically after a taskwait.)
@@ -187,6 +201,16 @@ TaskId Runtime::submit(TaskTypeId type, AccessList accesses,
     }
   }
 
+  // Adaptive granularity hook: may re-tile the submission into children
+  // or park it in the fuse window. Absent (the default), the path below
+  // is byte-identical to the pre-controller runtime.
+  if (granularity_ != nullptr) {
+    TaskId out = kInvalidTask;
+    if (granular_submit(type, accesses, data_set_size, options, out)) {
+      return out;
+    }
+  }
+
   Task& task = graph_.create_task(type, std::move(accesses), data_set_size,
                                   std::move(options.label), options.graph);
   task.priority = options.priority;
@@ -200,13 +224,232 @@ TaskId Runtime::submit(TaskTypeId type, AccessList accesses,
     ++graph_.task(parent).live_children;
   }
 
+  register_and_release(task);
+  return task.id;
+}
+
+void Runtime::register_and_release(Task& task) {
   std::vector<TaskId> preds;
   analyzer_.add_task(task.id, task.accesses, preds);
   const std::uint32_t live = graph_.add_dependencies(task, preds);
   if (live == 0) {
     release_ready({task.id});
   }
-  return task.id;
+}
+
+Duration Runtime::busy_spread() const {
+  const std::size_t workers = machine_.worker_count();
+  if (workers == 0) return 0.0;
+  Duration lo = scheduler_->estimated_busy(0);
+  Duration hi = lo;
+  for (WorkerId w = 1; w < workers; ++w) {
+    const Duration busy = scheduler_->estimated_busy(w);
+    lo = std::min(lo, busy);
+    hi = std::max(hi, busy);
+  }
+  return hi - lo;
+}
+
+void Runtime::trace_granularity(core::TraceEventKind kind, TaskId task,
+                                TenantId tenant, TaskTypeId type,
+                                std::uint64_t size, Duration spread,
+                                std::uint32_t children) {
+  core::DecisionTrace& trace = scheduler_->decision_trace();
+  if (!trace.enabled()) return;
+  core::TraceEvent event;
+  event.time = now();
+  event.task = task;
+  event.type = type;
+  event.busy_term = spread;
+  event.candidates = children;
+  event.kind = kind;
+  event.tenant = tenant;
+  event.group = granularity_->group_key(size);
+  event.children = children;
+  trace.record(event);
+}
+
+bool Runtime::granular_submit(TaskTypeId type, AccessList& accesses,
+                              std::uint64_t data_set_size,
+                              SubmitOptions& options, TaskId& out) {
+  const TaskId parent = executor_->current_task();
+  std::uint32_t factor = 0;
+  Duration spread = 0.0;
+  core::GranularityDecision decision = core::GranularityDecision::kKeep;
+  if (options.regranulate) {
+    spread = busy_spread();
+    decision = granularity_->decide(type, data_set_size, spread, factor);
+  }
+
+  // Window-ordering rule: a submission either joins the open fuse window
+  // or flushes it before anything registers, so the analyzer sees tasks
+  // in submission order and no dependence can bypass a parked member.
+  const core::FuseRecipe* fuse =
+      decision == core::GranularityDecision::kFuse
+          ? granularity_->fuse_recipe(type)
+          : nullptr;
+  const bool joins =
+      fuse != nullptr && fuse_window_.open && fuse_window_.type == type &&
+      fuse_window_.graph == options.graph && fuse_window_.parent == parent &&
+      fuse_window_.priority == options.priority &&
+      fuse_window_.members.size() < fuse_window_.limit &&
+      fuse->can_fuse(graph_.task(fuse_window_.members.back()).accesses,
+                     accesses);
+  if (!joins) flush_fuse_window();
+
+  switch (decision) {
+    case core::GranularityDecision::kKeep:
+      return false;
+
+    case core::GranularityDecision::kFuse: {
+      // Create the member now — the caller gets a stable TaskId — but
+      // defer analyzer registration to the window flush.
+      Task& task = graph_.create_task(type, std::move(accesses),
+                                      data_set_size, std::move(options.label),
+                                      options.graph);
+      task.priority = options.priority;
+      task.submit_time = now();
+      if (parent != kInvalidTask) {
+        task.parent = parent;
+        ++graph_.task(parent).live_children;
+      }
+      if (!fuse_window_.open) {
+        fuse_window_.open = true;
+        fuse_window_.type = type;
+        fuse_window_.graph = options.graph;
+        fuse_window_.parent = parent;
+        fuse_window_.priority = options.priority;
+        fuse_window_.limit = std::max(
+            2u, std::min(fuse->window, granularity_->config().fuse_window));
+        fuse_window_.members.clear();
+      }
+      fuse_window_.members.push_back(task.id);
+      out = task.id;
+      if (fuse_window_.members.size() >= fuse_window_.limit) {
+        flush_fuse_window();
+      }
+      return true;
+    }
+
+    case core::GranularityDecision::kSplit: {
+      const core::SplitRecipe* recipe = granularity_->split_recipe(type);
+      std::vector<AccessList> parts;
+      if (recipe == nullptr || !recipe->partition(accesses, factor, parts) ||
+          parts.size() < 2) {
+        // The recipe declined this instance (e.g. indivisible tile):
+        // submit untouched.
+        return false;
+      }
+      // Shell: keeps the original identity and dependence clauses but is
+      // never registered with the analyzer nor released — its children
+      // carry the dependences at byte granularity instead.
+      Task& shell = graph_.create_task(type, std::move(accesses),
+                                       data_set_size, std::move(options.label),
+                                       options.graph);
+      shell.priority = options.priority;
+      shell.submit_time = now();
+      if (parent != kInvalidTask) {
+        shell.parent = parent;
+        ++graph_.task(parent).live_children;
+      }
+      const TaskId shell_id = shell.id;
+      shell.split_children = static_cast<std::uint32_t>(parts.size());
+      shell.split_live = shell.split_children;
+
+      std::vector<TaskId> ready;
+      for (AccessList& part : parts) {
+        std::set<RegionId> seen;
+        std::uint64_t child_size = 0;
+        for (const Access& access : part) {
+          const RegionDesc& desc = directory_.region(access.region);
+          VERSA_CHECK_MSG(
+              access.length > 0 && access.offset < desc.size &&
+                  access.offset + access.length <= desc.size,
+              "split recipe produced an out-of-range access");
+          // Child data-set sizes come from the access *lengths* (each
+          // region once), not the full region sizes: different tilings
+          // must land in different profile groups for the controller to
+          // learn from both.
+          if (seen.insert(access.region).second) child_size += access.length;
+        }
+        Task& child = graph_.create_task(recipe->child_type, std::move(part),
+                                         child_size, std::string(),
+                                         options.graph);
+        child.priority = options.priority;
+        child.submit_time = now();
+        child.split_parent = shell_id;
+        std::vector<TaskId> preds;
+        analyzer_.add_task(child.id, child.accesses, preds);
+        if (graph_.add_dependencies(child, preds) == 0) {
+          ready.push_back(child.id);
+        }
+      }
+      trace_granularity(core::TraceEventKind::kSplit, shell_id,
+                        graph_.task(shell_id).tenant, type, data_set_size,
+                        spread, static_cast<std::uint32_t>(parts.size()));
+      release_ready(ready);
+      out = shell_id;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Runtime::flush_fuse_window() {
+  if (!fuse_window_.open) return;
+  fuse_window_.open = false;
+  std::vector<TaskId> members = std::move(fuse_window_.members);
+  fuse_window_.members.clear();
+  if (members.empty()) return;
+  Task& host = graph_.task(members.front());
+  if (members.size() == 1) {
+    // A window of one fuses nothing: the member registers as submitted.
+    register_and_release(host);
+    return;
+  }
+  const core::FuseRecipe* recipe = granularity_->fuse_recipe(host.type);
+  VERSA_CHECK(recipe != nullptr);
+  std::vector<AccessList> lists;
+  lists.reserve(members.size());
+  for (TaskId id : members) lists.push_back(graph_.task(id).accesses);
+  AccessList fused = recipe->fuse(lists);
+  std::set<RegionId> seen;
+  std::uint64_t fused_size = 0;
+  for (Access& access : fused) {
+    const RegionDesc& desc = directory_.region(access.region);
+    if (access.length == 0) {
+      VERSA_CHECK_MSG(access.offset < desc.size,
+                      "fuse recipe produced an out-of-range access");
+      access.length = desc.size - access.offset;
+    }
+    VERSA_CHECK_MSG(access.offset + access.length <= desc.size,
+                    "fuse recipe produced an out-of-range access");
+    if (seen.insert(access.region).second) fused_size += desc.size;
+  }
+
+  const Time stamp = now();
+  for (std::size_t i = 1; i < members.size(); ++i) {
+    Task& member = graph_.task(members[i]);
+    member.fused_into = host.id;
+    graph_.finish_stub(member.id, stamp);
+    if (member.parent != kInvalidTask) {
+      Task& member_parent = graph_.task(member.parent);
+      VERSA_CHECK(member_parent.live_children > 0);
+      --member_parent.live_children;
+    }
+  }
+  // The first member becomes the fused host; it remembers the pre-fusion
+  // identity so completion can feed the controller at the original key.
+  host.origin_type = host.type;
+  host.origin_size = host.data_set_size;
+  host.type = recipe->fused_type;
+  host.accesses = std::move(fused);
+  host.data_set_size = fused_size;
+  host.fused_count = static_cast<std::uint32_t>(members.size() - 1);
+  trace_granularity(core::TraceEventKind::kFuse, host.id, host.tenant,
+                    host.origin_type, host.origin_size, 0.0,
+                    static_cast<std::uint32_t>(members.size()));
+  register_and_release(host);
 }
 
 void Runtime::release_ready(const std::vector<TaskId>& ready) {
@@ -263,6 +506,41 @@ void Runtime::port_complete(TaskId id, WorkerId worker, Time start,
     --parent.live_children;
   }
 
+  // Split lineage: accumulate the child's time on its shell; the last
+  // child retires the shell and feeds the controller's reversal CUSUM at
+  // the original granularity key.
+  if (task.split_parent != kInvalidTask) {
+    Task& shell = graph_.task(task.split_parent);
+    shell.split_accum += task.measured_duration;
+    VERSA_CHECK(shell.split_live > 0);
+    if (--shell.split_live == 0) {
+      graph_.finish_stub(shell.id, finish);
+      if (shell.parent != kInvalidTask) {
+        Task& shell_parent = graph_.task(shell.parent);
+        VERSA_CHECK(shell_parent.live_children > 0);
+        --shell_parent.live_children;
+      }
+      if (granularity_ != nullptr &&
+          granularity_->record_split_outcome(shell.type, shell.data_set_size,
+                                             shell.split_accum,
+                                             shell.split_children)) {
+        trace_granularity(core::TraceEventKind::kReversal, shell.id,
+                          shell.tenant, shell.type, shell.data_set_size, 0.0,
+                          shell.split_children);
+      }
+    }
+  }
+  // Fused host: one completion stands for fused_count + 1 submissions.
+  if (granularity_ != nullptr && task.fused_count > 0) {
+    if (granularity_->record_fuse_outcome(task.origin_type, task.origin_size,
+                                          task.measured_duration,
+                                          task.fused_count + 1)) {
+      trace_granularity(core::TraceEventKind::kReversal, task.id, task.tenant,
+                        task.origin_type, task.origin_size, 0.0,
+                        task.fused_count + 1);
+    }
+  }
+
   scheduler_->task_completed(task, worker, task.measured_duration);
   run_stats_.on_complete(task.type, task.chosen_version,
                          task.measured_duration);
@@ -307,12 +585,32 @@ GraphId Runtime::open_graph(TenantId tenant) {
 }
 
 void Runtime::wait_graph(GraphId graph) {
+  if (granularity_ != nullptr) {
+    // Parked fuse-window members would never run — close the window
+    // before blocking on the graph.
+    versa::RecursiveLockGuard lock(mutex_);
+    flush_fuse_window();
+  }
   executor_->wait_graph(graph);
 }
 
 void Runtime::set_fair_share(core::FairShareInterleaver* gate) {
   versa::RecursiveLockGuard lock(mutex_);
   fair_share_ = gate;
+}
+
+void Runtime::set_split_recipe(TaskTypeId type, core::SplitRecipe recipe) {
+  versa::RecursiveLockGuard lock(mutex_);
+  if (granularity_ != nullptr) {
+    granularity_->set_split_recipe(type, std::move(recipe));
+  }
+}
+
+void Runtime::set_fuse_recipe(TaskTypeId type, core::FuseRecipe recipe) {
+  versa::RecursiveLockGuard lock(mutex_);
+  if (granularity_ != nullptr) {
+    granularity_->set_fuse_recipe(type, std::move(recipe));
+  }
 }
 
 ProfileLoadResult Runtime::import_profile_text(const std::string& text) {
@@ -342,6 +640,10 @@ void Runtime::task_assigned(TaskId task, WorkerId worker) {
 }
 
 void Runtime::taskwait() {
+  if (granularity_ != nullptr) {
+    versa::RecursiveLockGuard lock(mutex_);
+    flush_fuse_window();
+  }
   const TaskId current = executor_->current_task();
   if (current != kInvalidTask) {
     // Inside a task body: children-scoped barrier, no global flush (the
@@ -357,6 +659,10 @@ void Runtime::taskwait() {
 }
 
 void Runtime::taskwait_noflush() {
+  if (granularity_ != nullptr) {
+    versa::RecursiveLockGuard lock(mutex_);
+    flush_fuse_window();
+  }
   const TaskId current = executor_->current_task();
   if (current != kInvalidTask) {
     executor_->wait_children(current);
@@ -369,6 +675,7 @@ void Runtime::taskwait_on(RegionId region) {
   TaskId writer = kInvalidTask;
   {
     versa::RecursiveLockGuard lock(mutex_);
+    if (granularity_ != nullptr) flush_fuse_window();
     // Latest writer = the largest task id among interval writers; the
     // analyzer does not expose it directly, so scan the graph tail. Tasks
     // are few enough (and this call rare enough) for a linear scan.

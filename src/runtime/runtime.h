@@ -85,13 +85,31 @@ class Runtime final : public SchedulerContext, public ExecutorPort {
                 int priority = 0);
 
   /// Service-mode submission options (DESIGN.md §10). `graph` must come
-  /// from open_graph() (or stay kDefaultGraph).
+  /// from open_graph() (or stay kDefaultGraph). `regranulate` lets a
+  /// caller pin one submission to its declared tiling even when the
+  /// granularity controller is active (DESIGN.md §11).
   struct SubmitOptions {
     GraphId graph = kDefaultGraph;
     int priority = 0;
     std::string label;
+    bool regranulate = true;
   };
   TaskId submit(TaskTypeId type, AccessList accesses, SubmitOptions options);
+
+  // --- adaptive granularity (DESIGN.md §11) -------------------------------
+  /// The split/fuse controller, or nullptr when --granularity=off (the
+  /// default). Mutable controller state is runtime-lock serialized; read
+  /// stats()/breakdown() quiescent (after waits).
+  core::GranularityController* granularity() { return granularity_.get(); }
+  const core::GranularityController* granularity() const {
+    return granularity_.get();
+  }
+
+  /// Register how `type` re-tiles / coalesces (see granularity.h). No-ops
+  /// when the controller is off, so apps can register unconditionally
+  /// without perturbing figure runs.
+  void set_split_recipe(TaskTypeId type, core::SplitRecipe recipe);
+  void set_fuse_recipe(TaskTypeId type, core::FuseRecipe recipe);
 
   // --- service mode (multi-graph roots) -----------------------------------
   /// Open an independent graph root owned by `tenant`. Tasks submitted
@@ -213,9 +231,54 @@ class Runtime final : public SchedulerContext, public ExecutorPort {
   /// Service-mode dispatch gate (borrowed; nullptr outside service mode).
   core::FairShareInterleaver* fair_share_ VERSA_GUARDED_BY(mutex_) = nullptr;
 
+  /// Adaptive granularity controller (nullptr when off — the default —
+  /// which keeps every submission byte-identical to the pre-controller
+  /// path). Controller state is mutated only under the runtime lock.
+  std::unique_ptr<core::GranularityController> granularity_;
+
+  /// The open fuse window: sibling submissions the controller decided to
+  /// coalesce, created in the graph but with analyzer registration
+  /// deferred until the window closes. At most one window is open at a
+  /// time, and any submission that cannot join it flushes it first, so
+  /// dependence registration stays in submission order.
+  struct FuseWindow {
+    bool open = false;
+    TaskTypeId type = kInvalidTaskType;
+    GraphId graph = kDefaultGraph;
+    TaskId parent = kInvalidTask;
+    int priority = 0;
+    std::uint32_t limit = 0;
+    std::vector<TaskId> members;
+  };
+  FuseWindow fuse_window_ VERSA_GUARDED_BY(mutex_);
+
   ProfileStore make_profile_store() const;
   void maybe_load_profile() VERSA_REQUIRES(mutex_);
   void maybe_save_profile();
+  /// Register `task` with the analyzer, wire its dependence edges, and
+  /// release it if it is already ready (the tail of every submission
+  /// path: plain, split children, fused hosts).
+  void register_and_release(Task& task) VERSA_REQUIRES(mutex_);
+  /// The granularity hook inside submit(): may split the submission into
+  /// children or park it in the fuse window. Returns true with `out` set
+  /// when it consumed the submission; false lets the plain path proceed.
+  bool granular_submit(TaskTypeId type, AccessList& accesses,
+                       std::uint64_t data_set_size, SubmitOptions& options,
+                       TaskId& out) VERSA_REQUIRES(mutex_);
+  /// Close the open fuse window: one member registers as-is, several fold
+  /// into the first (the host) via the recipe and the rest retire as
+  /// stubs. Called from submissions that cannot join the window and from
+  /// every barrier (taskwait*, wait_graph, unregister_data).
+  void flush_fuse_window() VERSA_REQUIRES(mutex_);
+  /// Max-min gap of the per-worker busy estimates (the split rule's
+  /// imbalance term). Reads the scheduler account (rank 20) from under
+  /// the runtime lock (rank 10), respecting the lock order.
+  Duration busy_spread() const VERSA_REQUIRES(mutex_);
+  /// Record a granularity decision into the shared decision trace.
+  void trace_granularity(core::TraceEventKind kind, TaskId task,
+                         TenantId tenant, TaskTypeId type, std::uint64_t size,
+                         Duration spread, std::uint32_t children)
+      VERSA_REQUIRES(mutex_);
   void release_ready(const std::vector<TaskId>& ready) VERSA_REQUIRES(mutex_);
   /// Hand `batch` (already gate-approved when a gate is installed) to the
   /// scheduler as one ready batch and poke the executor.

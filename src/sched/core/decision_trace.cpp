@@ -16,6 +16,12 @@ const char* to_string(TraceEventKind kind) {
       return "fail";
     case TraceEventKind::kComplete:
       return "done";
+    case TraceEventKind::kSplit:
+      return "split";
+    case TraceEventKind::kFuse:
+      return "fuse";
+    case TraceEventKind::kReversal:
+      return "revert";
   }
   return "?";
 }

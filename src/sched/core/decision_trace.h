@@ -30,6 +30,9 @@ enum class TraceEventKind : std::uint8_t {
   kSteal,              ///< same-kind work steal re-homed a queued task
   kFailure,            ///< transient failure released a running charge
   kComplete,           ///< completion released a running charge
+  kSplit,              ///< granularity controller re-tiled a submission
+  kFuse,               ///< granularity controller coalesced siblings
+  kReversal,           ///< controller CUSUM reversed a split/fuse group
 };
 
 const char* to_string(TraceEventKind kind);
@@ -54,6 +57,12 @@ struct TraceEvent {
   /// Owning tenant (service mode; kDefaultTenant outside it). Appended
   /// last so existing aggregate initializers keep their field order.
   TenantId tenant = kDefaultTenant;
+  /// Granularity events (kSplit/kFuse/kReversal): the data-set-size group
+  /// key the decision was bucketed by, and the child-task count (children
+  /// created by a split; original submissions folded by a fuse). Zero on
+  /// every other kind. Appended after tenant for the same reason.
+  std::uint64_t group = 0;
+  std::uint32_t children = 0;
 };
 
 class DecisionTrace {

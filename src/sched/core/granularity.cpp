@@ -1,0 +1,274 @@
+#include "sched/core/granularity.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace versa::core {
+
+const char* to_string(GranularityMode mode) {
+  switch (mode) {
+    case GranularityMode::kOff:
+      return "off";
+    case GranularityMode::kAuto:
+      return "auto";
+    case GranularityMode::kFixed:
+      return "fixed";
+  }
+  return "?";
+}
+
+bool parse_granularity(const std::string& text, GranularityConfig& config) {
+  if (text == "off") {
+    config.mode = GranularityMode::kOff;
+    return true;
+  }
+  if (text == "auto") {
+    config.mode = GranularityMode::kAuto;
+    return true;
+  }
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || value < 0) return false;
+  if (value <= 1) {
+    config.mode = GranularityMode::kOff;
+  } else {
+    config.mode = GranularityMode::kFixed;
+    config.fixed_factor = static_cast<std::uint32_t>(value);
+  }
+  return true;
+}
+
+std::function<bool(const AccessList&, std::uint32_t, std::vector<AccessList>&)>
+row_band_partition(std::uint64_t row_bytes) {
+  VERSA_CHECK(row_bytes > 0);
+  return [row_bytes](const AccessList& parent, std::uint32_t factor,
+                     std::vector<AccessList>& parts) {
+    if (parent.size() != 3 || factor < 2) return false;
+    if (parent[0].length != parent[2].length) return false;
+    if (parent[0].length % row_bytes != 0) return false;
+    const std::uint64_t rows = parent[0].length / row_bytes;
+    if (rows % factor != 0) return false;
+    const std::uint64_t band_bytes = (rows / factor) * row_bytes;
+    parts.clear();
+    parts.reserve(factor);
+    for (std::uint32_t r = 0; r < factor; ++r) {
+      const std::uint64_t off = static_cast<std::uint64_t>(r) * band_bytes;
+      Access a = parent[0], b = parent[1], c = parent[2];
+      a.offset += off;
+      a.length = band_bytes;
+      c.offset += off;
+      c.length = band_bytes;
+      parts.push_back({a, b, c});
+    }
+    return true;
+  };
+}
+
+GranularityController::GranularityController(GranularityConfig config)
+    : config_(config) {
+  VERSA_CHECK(config_.mode != GranularityMode::kOff);
+  VERSA_CHECK(config_.split_threshold > 0.0);
+  VERSA_CHECK(config_.overhead_estimate > 0.0);
+}
+
+void GranularityController::set_split_recipe(TaskTypeId type,
+                                             SplitRecipe recipe) {
+  VERSA_CHECK(recipe.child_type != kInvalidTaskType);
+  VERSA_CHECK(recipe.partition != nullptr);
+  split_recipes_[type] = std::move(recipe);
+}
+
+void GranularityController::set_fuse_recipe(TaskTypeId type,
+                                            FuseRecipe recipe) {
+  VERSA_CHECK(recipe.fused_type != kInvalidTaskType);
+  VERSA_CHECK(recipe.can_fuse != nullptr && recipe.fuse != nullptr);
+  VERSA_CHECK(recipe.window >= 2);
+  fuse_recipes_[type] = std::move(recipe);
+}
+
+const SplitRecipe* GranularityController::split_recipe(TaskTypeId type) const {
+  auto it = split_recipes_.find(type);
+  return it == split_recipes_.end() ? nullptr : &it->second;
+}
+
+const FuseRecipe* GranularityController::fuse_recipe(TaskTypeId type) const {
+  auto it = fuse_recipes_.find(type);
+  return it == fuse_recipes_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t GranularityController::group_key(
+    std::uint64_t data_set_size) const {
+  return profile_ != nullptr ? profile_->group_key(data_set_size)
+                             : data_set_size;
+}
+
+std::optional<Duration> GranularityController::baseline_mean(
+    TaskTypeId type, std::uint64_t data_set_size) const {
+  if (profile_ == nullptr) return std::nullopt;
+  const std::optional<VersionId> fastest =
+      profile_->fastest_version(type, data_set_size);
+  if (!fastest) return std::nullopt;
+  return profile_->mean(type, *fastest, data_set_size);
+}
+
+GranularityController::GroupState& GranularityController::group_state(
+    TaskTypeId type, std::uint64_t data_set_size) {
+  return groups_[{type, group_key(data_set_size)}];
+}
+
+const GranularityController::GroupState* GranularityController::find_group(
+    TaskTypeId type, std::uint64_t data_set_size) const {
+  auto it = groups_.find({type, group_key(data_set_size)});
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+GranularityDecision GranularityController::decide(TaskTypeId type,
+                                                  std::uint64_t data_set_size,
+                                                  Duration spread,
+                                                  std::uint32_t& factor) const {
+  const SplitRecipe* split = split_recipe(type);
+  const FuseRecipe* fuse = fuse_recipe(type);
+  if (split == nullptr && fuse == nullptr) return GranularityDecision::kKeep;
+  const GroupState* group = find_group(type, data_set_size);
+
+  if (config_.mode == GranularityMode::kFixed) {
+    // Ablation mode: re-tile everything a recipe covers by the fixed
+    // factor, no profile consulted, no fusion, no reversal.
+    if (split == nullptr || config_.fixed_factor < 2) {
+      return GranularityDecision::kKeep;
+    }
+    factor = std::min(config_.fixed_factor, split->max_factor);
+    return factor >= 2 ? GranularityDecision::kSplit
+                       : GranularityDecision::kKeep;
+  }
+
+  // kAuto: no profiled mean for the group yet means we are still in the
+  // learning phase at this granularity — leave the tiling alone so the
+  // profile fills in at the original key first.
+  const std::optional<Duration> mean = baseline_mean(type, data_set_size);
+  if (!mean) return GranularityDecision::kKeep;
+
+  if (fuse != nullptr && (group == nullptr || !group->fuse_reversed) &&
+      *mean < config_.fuse_threshold * config_.overhead_estimate) {
+    return GranularityDecision::kFuse;
+  }
+
+  if (split != nullptr && (group == nullptr || !group->split_reversed)) {
+    // The tile is "too coarse" when its own mean dominates the current
+    // imbalance of the per-worker finish-time estimates: placing it
+    // anywhere moves that worker's finish time far past the others, so
+    // sub-tiles would let the slow devices share the work. The overhead
+    // floor keeps a freshly-idle machine (spread 0) from splitting tasks
+    // already near the overhead scale.
+    const Duration floor =
+        std::max(spread, 32.0 * config_.overhead_estimate);
+    if (*mean > config_.split_threshold * floor) {
+      const std::uint32_t max_factor =
+          std::min(config_.max_factor, split->max_factor);
+      // Smallest power-of-two factor that brings the per-child mean under
+      // the threshold, clamped to the recipe's bound.
+      std::uint32_t chosen = 2;
+      while (chosen < max_factor &&
+             *mean / chosen > config_.split_threshold * floor) {
+        chosen *= 2;
+      }
+      factor = std::min(chosen, max_factor);
+      if (factor >= 2) return GranularityDecision::kSplit;
+    }
+  }
+  return GranularityDecision::kKeep;
+}
+
+bool GranularityController::record_split_outcome(TaskTypeId type,
+                                                 std::uint64_t data_set_size,
+                                                 Duration children_total,
+                                                 std::uint32_t children) {
+  GroupState& group = group_state(type, data_set_size);
+  ++group.splits;
+  group.children_created += children;
+  ++stats_.splits;
+  stats_.children_created += children;
+  if (config_.mode != GranularityMode::kAuto || group.split_reversed) {
+    return false;
+  }
+  const std::optional<Duration> baseline =
+      baseline_mean(type, data_set_size);
+  if (!baseline || *baseline <= 0.0) return false;
+  // CUSUM on the excess of the children's summed time over the profiled
+  // single-task baseline (allowing the margin plus the overhead the extra
+  // tasks genuinely cost). A split that pays off drains the accumulator;
+  // one that keeps losing trips the alarm and is reversed for the group.
+  const double excess =
+      children_total - *baseline * (1.0 + config_.reversal_margin) -
+      static_cast<double>(children) * config_.overhead_estimate;
+  group.split_cusum = std::max(0.0, group.split_cusum + excess);
+  if (group.split_cusum > config_.reversal_threshold * *baseline) {
+    group.split_reversed = true;
+    group.split_cusum = 0.0;
+    ++group.reversals;
+    ++stats_.reversals;
+    return true;
+  }
+  return false;
+}
+
+bool GranularityController::record_fuse_outcome(TaskTypeId type,
+                                                std::uint64_t data_set_size,
+                                                Duration fused_total,
+                                                std::uint32_t fused) {
+  GroupState& group = group_state(type, data_set_size);
+  ++group.fuses;
+  // tasks_fused counts *absorbed* submissions: a fused batch of N stands
+  // for N - 1 tasks that never dispatched.
+  const std::uint32_t absorbed = fused > 0 ? fused - 1 : 0;
+  group.tasks_fused += absorbed;
+  ++stats_.fuses;
+  stats_.tasks_fused += absorbed;
+  if (config_.mode != GranularityMode::kAuto || group.fuse_reversed) {
+    return false;
+  }
+  const std::optional<Duration> baseline =
+      baseline_mean(type, data_set_size);
+  if (!baseline || *baseline <= 0.0) return false;
+  // Fusing pays when one fused execution beats `fused` separate ones
+  // (which each also paid the per-task overhead the fusion saved).
+  const double separate =
+      static_cast<double>(fused) *
+      (*baseline * (1.0 + config_.reversal_margin) + config_.overhead_estimate);
+  const double excess = fused_total - separate;
+  group.fuse_cusum = std::max(0.0, group.fuse_cusum + excess);
+  if (group.fuse_cusum >
+      config_.reversal_threshold * *baseline * static_cast<double>(fused)) {
+    group.fuse_reversed = true;
+    group.fuse_cusum = 0.0;
+    ++group.reversals;
+    ++stats_.reversals;
+    return true;
+  }
+  return false;
+}
+
+std::vector<GranularityController::GroupRow> GranularityController::breakdown()
+    const {
+  std::vector<GroupRow> rows;
+  rows.reserve(groups_.size());
+  for (const auto& [key, state] : groups_) {
+    GroupRow row;
+    row.type = key.first;
+    row.group = key.second;
+    row.splits = state.splits;
+    row.fuses = state.fuses;
+    row.reversals = state.reversals;
+    row.children_created = state.children_created;
+    row.tasks_fused = state.tasks_fused;
+    row.split_reversed = state.split_reversed;
+    row.fuse_reversed = state.fuse_reversed;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace versa::core

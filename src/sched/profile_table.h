@@ -122,7 +122,11 @@ class ProfileTable {
   /// Best estimate for a version whose (type, size) group has no mean yet:
   /// the mean of the nearest size group (by group key) that recorded this
   /// version, if any. Used by the busy-accounting fallback chain so
-  /// unknown-mean tasks do not get charged as free.
+  /// unknown-mean tasks do not get charged as free. Distance is the
+  /// absolute group-key difference; when two groups are exactly
+  /// equidistant (a query at the midpoint), the SMALLER key wins — pinned
+  /// by ProfileTableNearestGroup tests, so persisted-profile consumers can
+  /// rely on it staying deterministic.
   std::optional<Duration> nearest_group_mean(TaskTypeId type, VersionId version,
                                              std::uint64_t group_key) const;
 

@@ -131,6 +131,27 @@ struct Task {
   TaskId parent = kInvalidTask;
   std::uint32_t live_children = 0;
 
+  /// Split lineage (adaptive granularity, DESIGN.md §11). A re-tiled
+  /// submission leaves a *shell* task — the original type and accesses,
+  /// never registered with the analyzer, never released — and the
+  /// controller's children carry split_parent pointing at it. The shell
+  /// retires (TaskGraph::finish_stub) when split_live reaches zero;
+  /// split_accum then holds the children's summed execution time, the
+  /// observation the controller's reversal CUSUM consumes.
+  TaskId split_parent = kInvalidTask;
+  std::uint32_t split_live = 0;       ///< shell: children not yet finished
+  std::uint32_t split_children = 0;   ///< shell: children created
+  Duration split_accum = 0.0;         ///< shell: sum of child durations
+
+  /// Fused-batch identity (adaptive granularity). Absorbed siblings point
+  /// at the surviving host via fused_into; the host counts the absorbed
+  /// siblings in fused_count and remembers the pre-fusion type/size so
+  /// completion can feed the controller at the original granularity key.
+  TaskId fused_into = kInvalidTask;
+  std::uint32_t fused_count = 0;
+  TaskTypeId origin_type = kInvalidTaskType;
+  std::uint64_t origin_size = 0;
+
   /// Dependency bookkeeping (guarded by the runtime lock).
   std::uint32_t remaining_deps = 0;
   std::vector<TaskId> successors;

@@ -88,6 +88,20 @@ void TaskGraph::mark_finished(TaskId id, Time now,
   }
 }
 
+void TaskGraph::finish_stub(TaskId id, Time now) {
+  Task& task = this->task(id);
+  VERSA_CHECK_MSG(task.state == TaskState::kCreated,
+                  "finish_stub on a task the scheduler saw");
+  VERSA_CHECK_MSG(task.successors.empty() && task.remaining_deps == 0,
+                  "finish_stub on a task with dependence edges");
+  task.state = TaskState::kFinished;
+  task.finish_time = now;
+  VERSA_CHECK(unfinished_ > 0);
+  --unfinished_;
+  VERSA_CHECK(graphs_[task.graph].unfinished > 0);
+  --graphs_[task.graph].unfinished;
+}
+
 Task& TaskGraph::task(TaskId id) {
   VERSA_CHECK(id < tasks_.size());
   return tasks_[id];

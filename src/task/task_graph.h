@@ -44,6 +44,13 @@ class TaskGraph {
   /// Mark `task` finished and collect successors that became ready.
   void mark_finished(TaskId id, Time now, std::vector<TaskId>& newly_ready);
 
+  /// Retire a placeholder task that never entered the scheduler: a split
+  /// shell (its children ran instead) or a fused-away sibling (the fused
+  /// host ran instead). The task must still be kCreated, unregistered
+  /// (no dependence edges in either direction) — it goes straight to
+  /// kFinished and the graph counters settle as if it had run.
+  void finish_stub(TaskId id, Time now);
+
   Task& task(TaskId id);
   const Task& task(TaskId id) const;
 

@@ -237,6 +237,116 @@ TEST(TraceReport, CsvRoundTripPreservesEventsAndMetadata) {
   EXPECT_NE(rendered.find("steal churn: 50.0%"), std::string::npos);
 }
 
+TEST(TraceReport, V3GranularityColumnsRoundTripAndAggregate) {
+  // Split/fuse/reversal events carry the group key and child count through
+  // the CSV; the analyzer folds them into the per-group breakdown and the
+  // renderer shows a granularity section.
+  core::DecisionTrace trace;
+  trace.enable(16);
+  core::TraceEvent e;
+  e.time = 1.0;
+  e.task = 1;
+  e.type = 5;
+  e.kind = core::TraceEventKind::kSplit;
+  e.group = 4096;
+  e.children = 4;
+  trace.record(e);
+  e.time = 2.0;
+  e.task = 2;
+  e.kind = core::TraceEventKind::kSplit;
+  e.children = 8;
+  trace.record(e);
+  e.time = 3.0;
+  e.task = 3;
+  e.type = 6;
+  e.kind = core::TraceEventKind::kFuse;
+  e.group = 512;
+  e.children = 3;  // original submissions absorbed
+  trace.record(e);
+  e.time = 4.0;
+  e.task = 4;
+  e.type = 5;
+  e.kind = core::TraceEventKind::kReversal;
+  e.group = 4096;
+  e.children = 0;
+  trace.record(e);
+
+  const std::string csv = sched_trace_csv(trace, "versioning");
+  EXPECT_NE(csv.find("# versa-sched-trace v3"), std::string::npos);
+  std::istringstream in(csv);
+  SchedTraceDump dump;
+  std::string error;
+  ASSERT_TRUE(parse_sched_trace_csv(in, dump, error)) << error;
+  EXPECT_TRUE(dump.has_granularity_columns);
+  ASSERT_EQ(dump.events.size(), 4u);
+  EXPECT_EQ(dump.events[0].kind, core::TraceEventKind::kSplit);
+  EXPECT_EQ(dump.events[0].group, 4096u);
+  EXPECT_EQ(dump.events[0].children, 4u);
+  EXPECT_EQ(dump.events[2].kind, core::TraceEventKind::kFuse);
+  EXPECT_EQ(dump.events[3].kind, core::TraceEventKind::kReversal);
+
+  const TraceReport report = analyze_sched_trace(dump);
+  EXPECT_EQ(report.splits, 2u);
+  EXPECT_EQ(report.fuses, 1u);
+  EXPECT_EQ(report.reversals, 1u);
+  ASSERT_EQ(report.per_group.size(), 2u);
+  const TraceReport::GranularityBreakdown& coarse =
+      report.per_group.at({5, 4096});
+  EXPECT_EQ(coarse.splits, 2u);
+  EXPECT_EQ(coarse.children_created, 12u);
+  EXPECT_EQ(coarse.reversals, 1u);
+  const TraceReport::GranularityBreakdown& fine =
+      report.per_group.at({6, 512});
+  EXPECT_EQ(fine.fuses, 1u);
+  EXPECT_EQ(fine.tasks_fused, 3u);
+
+  const std::string rendered = render_trace_report(dump, report);
+  EXPECT_NE(rendered.find("granularity: 2 splits, 1 fuses, 1 reversals"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("4096"), std::string::npos);
+}
+
+TEST(TraceReport, LegacyV1AndV2FilesStillParse) {
+  // Pre-granularity CSVs: 10 fields (v1) and 11 fields (v2, tenant
+  // appended) must keep parsing, with the granularity fields zeroed and
+  // no granularity section in the rendered report.
+  const std::string v1 =
+      "# versa-sched-trace v1\n"
+      "# policy=versioning\n"
+      "# recorded=1 dropped=0 capacity=8\n"
+      "time,kind,task,type,version,worker,busy,estimate,penalty,candidates\n"
+      "1.0,place,7,2,3,1,0.5,0.25,0.125,6\n";
+  const std::string v2 =
+      "# versa-sched-trace v2\n"
+      "# policy=versioning\n"
+      "# recorded=1 dropped=0 capacity=8\n"
+      "time,kind,task,type,version,worker,busy,estimate,penalty,candidates,"
+      "tenant\n"
+      "1.0,place,7,2,3,1,0.5,0.25,0.125,6,4\n";
+  for (const std::string& text : {v1, v2}) {
+    std::istringstream in(text);
+    SchedTraceDump dump;
+    std::string error;
+    ASSERT_TRUE(parse_sched_trace_csv(in, dump, error)) << error;
+    EXPECT_FALSE(dump.has_granularity_columns);
+    ASSERT_EQ(dump.events.size(), 1u);
+    EXPECT_EQ(dump.events[0].group, 0u);
+    EXPECT_EQ(dump.events[0].children, 0u);
+    const TraceReport report = analyze_sched_trace(dump);
+    EXPECT_EQ(report.splits, 0u);
+    EXPECT_TRUE(report.per_group.empty());
+    const std::string rendered = render_trace_report(dump, report);
+    EXPECT_EQ(rendered.find("granularity:"), std::string::npos);
+  }
+  // The v2 tenant column still round-trips.
+  std::istringstream in(v2);
+  SchedTraceDump dump;
+  std::string error;
+  ASSERT_TRUE(parse_sched_trace_csv(in, dump, error)) << error;
+  EXPECT_TRUE(dump.has_tenant_column);
+  EXPECT_EQ(dump.events[0].tenant, 4u);
+}
+
 TEST(TraceReport, ParserRejectsMalformedInput) {
   SchedTraceDump dump;
   std::string error;
@@ -252,7 +362,7 @@ TEST(TraceReport, ParserRejectsMalformedInput) {
         "time,kind,task,type,version,worker,busy,estimate,penalty,candidates\n"
         "1.0,place,1,2,3\n");
     EXPECT_FALSE(parse_sched_trace_csv(in, dump, error));
-    EXPECT_NE(error.find("10 or 11 fields"), std::string::npos);
+    EXPECT_NE(error.find("10, 11 or 13 fields"), std::string::npos);
   }
   {
     // Unknown event kind.

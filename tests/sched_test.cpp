@@ -92,6 +92,49 @@ TEST(ProfileTable, RangeGroupingJoinsSimilarSizes) {
   EXPECT_EQ(table.count(t, v, 1001), 1u);
 }
 
+// nearest_group_mean is the busy-accounting fallback for unprofiled
+// (type, size) groups; its selection rule is part of the deterministic
+// contract documented in profile_table.h.
+
+TEST(ProfileTableNearestGroup, SingleGroupServesEveryQuery) {
+  VersionRegistry reg;
+  const TaskTypeId t = reg.declare_task("t");
+  const VersionId v = reg.add_version(t, DeviceKind::kSmp, "v", nullptr, nullptr);
+  ProfileTable table(reg, {});
+  table.record(t, v, 1000, 2.5);
+  // Any query key — below, at, far above — falls back to the only group.
+  EXPECT_DOUBLE_EQ(*table.nearest_group_mean(t, v, 1), 2.5);
+  EXPECT_DOUBLE_EQ(*table.nearest_group_mean(t, v, 1000), 2.5);
+  EXPECT_DOUBLE_EQ(*table.nearest_group_mean(t, v, 1'000'000'000), 2.5);
+}
+
+TEST(ProfileTableNearestGroup, ExactMidpointTieBreaksToSmallerKey) {
+  VersionRegistry reg;
+  const TaskTypeId t = reg.declare_task("t");
+  const VersionId v = reg.add_version(t, DeviceKind::kSmp, "v", nullptr, nullptr);
+  ProfileTable table(reg, {});
+  table.record(t, v, 1000, 1.0);
+  table.record(t, v, 3000, 9.0);
+  // 2000 is equidistant from both groups: the smaller key (1000) wins.
+  EXPECT_DOUBLE_EQ(*table.nearest_group_mean(t, v, 2000), 1.0);
+  // Off the midpoint the strictly nearest group wins in either direction.
+  EXPECT_DOUBLE_EQ(*table.nearest_group_mean(t, v, 1999), 1.0);
+  EXPECT_DOUBLE_EQ(*table.nearest_group_mean(t, v, 2001), 9.0);
+}
+
+TEST(ProfileTableNearestGroup, IgnoresGroupsWithoutTheVersion) {
+  VersionRegistry reg;
+  const TaskTypeId t = reg.declare_task("t");
+  const VersionId v1 = reg.add_version(t, DeviceKind::kCuda, "a", nullptr, nullptr);
+  const VersionId v2 = reg.add_version(t, DeviceKind::kSmp, "b", nullptr, nullptr);
+  ProfileTable table(reg, {});
+  table.record(t, v1, 1000, 1.0);  // near, but only for v1
+  table.record(t, v2, 9000, 7.0);
+  EXPECT_DOUBLE_EQ(*table.nearest_group_mean(t, v2, 1100), 7.0);
+  const VersionId v3 = reg.add_version(t, DeviceKind::kSmp, "c", nullptr, nullptr);
+  EXPECT_FALSE(table.nearest_group_mean(t, v3, 1000).has_value());
+}
+
 TEST(ProfileTable, MeanAveragesObservations) {
   VersionRegistry reg;
   const TaskTypeId t = reg.declare_task("t");
