@@ -18,10 +18,19 @@
 namespace versa::bench {
 
 /// Detected core count (0 when the implementation cannot tell).
+///
+/// Always emits the "hardware_concurrency" context field — including the
+/// cores == 0 detection-failure case, so a JSON dump without the field
+/// means the bench never called this, not that detection failed. Safe to
+/// call more than once; the context entry is added exactly once.
 inline unsigned report_hardware_concurrency() {
   const unsigned cores = std::thread::hardware_concurrency();
-  ::benchmark::AddCustomContext("hardware_concurrency",
-                                std::to_string(cores));
+  static const bool emitted = [cores] {
+    ::benchmark::AddCustomContext("hardware_concurrency",
+                                  std::to_string(cores));
+    return true;
+  }();
+  (void)emitted;
   if (cores < 4) {
     std::fprintf(
         stderr,

@@ -1,0 +1,123 @@
+// sanitize_demo — the dependence-spec sanitizer catching a mis-declared
+// task (DESIGN.md §12).
+//
+// Two pipelines over a shared accumulator region:
+//
+//   producer: out(acc)            — writes the whole accumulator
+//   worker:   in(src_i) inout(acc) — folds one source into it
+//
+// The correct program declares every byte it touches, so the analyzer
+// orders all conflicting pairs and the sanitizer stays silent. With
+// --buggy, the worker drops its inout(acc) clause but keeps writing the
+// accumulator: the analyzer no longer serializes the workers, and the
+// sanitizer reports the write both as out-of-spec (undeclared bytes) and
+// as a determinacy race between unordered workers.
+//
+//   sanitize_demo [--buggy] [--backend sim|threads] [--csv <path>]
+//
+// Exit: 0 when the sanitizer found nothing, 3 when it reported errors
+// (the CI fixture asserts --buggy exits non-zero), 2 on usage errors.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "machine/presets.h"
+#include "runtime/runtime.h"
+
+using namespace versa;
+
+int main(int argc, char** argv) {
+  bool buggy = false;
+  Backend backend = Backend::kSim;
+  std::string csv_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--buggy") {
+      buggy = true;
+    } else if (arg == "--backend" && i + 1 < argc) {
+      const std::string value = argv[++i];
+      if (value == "sim") {
+        backend = Backend::kSim;
+      } else if (value == "threads") {
+        backend = Backend::kThreads;
+      } else {
+        std::fprintf(stderr, "unknown backend '%s'\n", value.c_str());
+        return 2;
+      }
+    } else if (arg == "--csv" && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: sanitize_demo [--buggy] [--backend sim|threads]"
+                   " [--csv <path>]\n");
+      return 2;
+    }
+  }
+
+  const Machine machine = make_smp_machine(4);
+  RuntimeConfig config;
+  config.backend = backend;
+  config.scheduler = "fifo";
+  config.sanitize.mode = sanitize::SanitizeMode::kRace;
+  Runtime rt(machine, config);
+
+  constexpr std::size_t kElems = 256;
+  std::vector<float> acc(kElems, 0.0f);
+  std::vector<std::vector<float>> sources(4,
+                                          std::vector<float>(kElems, 1.0f));
+  const RegionId acc_region =
+      rt.register_data("acc", kElems * sizeof(float), acc.data());
+  std::vector<RegionId> src_regions;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    src_regions.push_back(rt.register_data("src" + std::to_string(i),
+                                           kElems * sizeof(float),
+                                           sources[i].data()));
+  }
+
+  const TaskTypeId producer = rt.declare_task("producer");
+  rt.add_version(producer, DeviceKind::kSmp, "smp", [](TaskContext& ctx) {
+    auto* out = static_cast<float*>(ctx.arg(0));
+    AccessWitness(ctx).write(0);
+    for (std::size_t e = 0; e < kElems; ++e) out[e] = 0.0f;
+  });
+
+  // The worker body always touches the accumulator and says so through
+  // its witness — the bug under --buggy is in the *declaration* below,
+  // exactly the class of error the sanitizer exists to catch.
+  const TaskTypeId worker = rt.declare_task("worker");
+  rt.add_version(worker, DeviceKind::kSmp, "smp",
+                 [&acc, acc_region](TaskContext& ctx) {
+                   auto* src = static_cast<const float*>(ctx.arg(0));
+                   AccessWitness witness(ctx);
+                   witness.read(0);
+                   witness.touch_bytes(acc_region, AccessMode::kInOut, 0,
+                                       kElems * sizeof(float));
+                   for (std::size_t e = 0; e < kElems; ++e) {
+                     acc[e] += src[e];
+                   }
+                 });
+
+  rt.submit(producer, {Access::out(acc_region)});
+  for (const RegionId src : src_regions) {
+    AccessList accesses = {Access::in(src)};
+    if (!buggy) accesses.push_back(Access::inout(acc_region));
+    rt.submit(worker, accesses);
+  }
+  rt.taskwait();
+
+  const auto* sanitizer = rt.sanitizer();
+  sanitizer->render(std::cout);
+  if (!csv_path.empty() && !sanitizer->write_csv_report(csv_path)) {
+    std::fprintf(stderr, "could not write %s\n", csv_path.c_str());
+    return 2;
+  }
+  if (sanitizer->error_count() > 0) {
+    std::fprintf(stderr, "sanitizer: %llu error(s) detected\n",
+                 static_cast<unsigned long long>(sanitizer->error_count()));
+    return 3;
+  }
+  std::printf("sanitizer: clean\n");
+  return 0;
+}

@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -205,6 +206,14 @@ int main(int argc, char** argv) {
   if (!ok) {
     std::fprintf(stderr, "FAILED: tenant accounting did not reconcile\n");
     return 1;
+  }
+  if (const auto* sanitizer = svc.runtime().sanitizer()) {
+    sanitizer->render(std::cout);
+    if (sanitizer->error_count() > 0) {
+      std::fprintf(stderr, "FAILED: sanitizer reported %" PRIu64 " error(s)\n",
+                   sanitizer->error_count());
+      return 3;
+    }
   }
   return 0;
 }

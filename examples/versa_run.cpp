@@ -10,6 +10,7 @@
 // Run with --help for the full flag list.
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <map>
 #include <string>
 
@@ -56,6 +57,8 @@ struct Options {
   std::string profile_save;
   bool drift = false;
   std::string granularity;  // empty = leave config default (off / env)
+  std::string sanitize;     // empty = leave config default (off / env)
+  std::string sanitize_csv;
 };
 
 void print_usage() {
@@ -73,6 +76,10 @@ void print_usage() {
       "  --generations <n>              PBPI generations\n"
       "  --lambda <n>                   learning threshold\n"
       "  --granularity <off|auto|N>     adaptive task granularity\n"
+      "  --sanitize <off|spec|race>     dependence-spec sanitizer mode\n"
+      "  --sanitize-csv <path>          write the sanitizer findings as\n"
+      "                                 CSV (versa_trace_report\n"
+      "                                 --sanitize-report replays it)\n"
       "                                 (DESIGN.md s11): auto enables the\n"
       "                                 profile-guided split/fuse\n"
       "                                 controller, an integer N > 1 always\n"
@@ -154,6 +161,10 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.generations = std::strtoull(value, nullptr, 10);
     } else if (flag == "--granularity") {
       options.granularity = value;
+    } else if (flag == "--sanitize") {
+      options.sanitize = value;
+    } else if (flag == "--sanitize-csv") {
+      options.sanitize_csv = value;
     } else if (flag == "--lambda") {
       options.lambda = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
     } else if (flag == "--seed") {
@@ -229,6 +240,12 @@ int main(int argc, char** argv) {
                  "invalid --granularity '%s' (expected off, auto or an "
                  "integer)\n",
                  options.granularity.c_str());
+    return 2;
+  }
+  if (!options.sanitize.empty() &&
+      !sanitize::parse_sanitize_mode(options.sanitize, config.sanitize.mode)) {
+    std::fprintf(stderr, "invalid --sanitize '%s' (expected off, spec or "
+                 "race)\n", options.sanitize.c_str());
     return 2;
   }
   if (make_scheduler(options.scheduler) == nullptr) {
@@ -307,6 +324,18 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.tasks_fused),
                 static_cast<unsigned long long>(stats.reversals));
   }
+  if (const auto* sanitizer = rt.sanitizer()) {
+    sanitizer->render(std::cout);
+    if (!options.sanitize_csv.empty()) {
+      if (sanitizer->write_csv_report(options.sanitize_csv)) {
+        std::printf("sanitize report written to %s\n",
+                    options.sanitize_csv.c_str());
+      } else {
+        std::fprintf(stderr, "could not write sanitize report to %s\n",
+                     options.sanitize_csv.c_str());
+      }
+    }
+  }
   if (!options.profile_load.empty() || !options.hints_load.empty()) {
     std::printf("%s\n", profile_load_summary(rt.profile_load_result()).c_str());
   }
@@ -363,6 +392,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "could not write scheduler trace to %s\n",
                    path.c_str());
     }
+  }
+  if (const auto* sanitizer = rt.sanitizer();
+      sanitizer != nullptr && sanitizer->error_count() > 0) {
+    std::fprintf(stderr, "sanitizer: %llu error(s) detected\n",
+                 static_cast<unsigned long long>(sanitizer->error_count()));
+    return 3;
   }
   return 0;
 }

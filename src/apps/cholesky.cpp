@@ -43,6 +43,7 @@ void CholeskyApp::register_versions() {
   const TaskFn potrf_body = [nb](TaskContext& ctx) {
     auto* a = static_cast<float*>(ctx.arg(0));
     if (a == nullptr) return;
+    AccessWitness(ctx).read_write(0);
     VERSA_CHECK_MSG(kernels::spotrf_block(a, nb),
                     "matrix block is not positive definite");
   };
@@ -62,6 +63,9 @@ void CholeskyApp::register_versions() {
         auto* l = static_cast<const float*>(ctx.arg(0));
         auto* b = static_cast<float*>(ctx.arg(1));
         if (l == nullptr) return;
+        AccessWitness witness(ctx);
+        witness.read(0);
+        witness.read_write(1);
         kernels::strsm_block(l, b, nb);
       },
       kernels::cublas_strsm_block(nb));
@@ -73,6 +77,9 @@ void CholeskyApp::register_versions() {
         auto* a = static_cast<const float*>(ctx.arg(0));
         auto* c = static_cast<float*>(ctx.arg(1));
         if (a == nullptr) return;
+        AccessWitness witness(ctx);
+        witness.read(0);
+        witness.read_write(1);
         kernels::ssyrk_block(a, c, nb);
       },
       kernels::cublas_ssyrk_block(nb));
@@ -85,6 +92,10 @@ void CholeskyApp::register_versions() {
         auto* b = static_cast<const float*>(ctx.arg(1));
         auto* c = static_cast<float*>(ctx.arg(2));
         if (a == nullptr) return;
+        AccessWitness witness(ctx);
+        witness.read(0);
+        witness.read(1);
+        witness.read_write(2);
         kernels::sgemm_nt_block(a, b, c, nb);
       },
       kernels::magma_sgemm_block(nb));
@@ -105,6 +116,10 @@ void CholeskyApp::register_granularity() {
         auto* b = static_cast<const float*>(ctx.arg(1));
         auto* c = static_cast<float*>(ctx.arg(2));
         if (a == nullptr) return;
+        AccessWitness witness(ctx);
+        witness.read(0);
+        witness.read(1);
+        witness.read_write(2);
         const std::size_t rows = ctx.arg_size(0) / (nb * sizeof(float));
         kernels::sgemm_nt_band(a, b, c, nb, rows);
       },

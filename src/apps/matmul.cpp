@@ -16,6 +16,10 @@ TaskFn make_gemm_body(std::size_t tile, bool blocked) {
     auto* b = static_cast<const double*>(ctx.arg(1));
     auto* c = static_cast<double*>(ctx.arg(2));
     if (a == nullptr) return;  // virtual regions: timing-only task
+    AccessWitness witness(ctx);
+    witness.read(0);
+    witness.read(1);
+    witness.read_write(2);
     if (blocked) {
       kernels::dgemm_blocked(a, b, c, tile);
     } else {
@@ -33,6 +37,10 @@ TaskFn make_band_body(std::size_t tile) {
     auto* b = static_cast<const double*>(ctx.arg(1));
     auto* c = static_cast<double*>(ctx.arg(2));
     if (a == nullptr) return;
+    AccessWitness witness(ctx);
+    witness.read(0);
+    witness.read(1);
+    witness.read_write(2);
     const std::size_t rows = ctx.arg_size(0) / (tile * sizeof(double));
     kernels::dgemm_band(a, b, c, tile, rows);
   };
@@ -44,10 +52,14 @@ TaskFn make_fused_body(std::size_t tile, bool blocked) {
   return [tile, blocked](TaskContext& ctx) {
     auto* c = static_cast<double*>(ctx.arg(ctx.arg_count() - 1));
     if (ctx.arg(0) == nullptr) return;
+    AccessWitness witness(ctx);
+    witness.read_write(ctx.arg_count() - 1);
     const std::size_t pairs = (ctx.arg_count() - 1) / 2;
     for (std::size_t p = 0; p < pairs; ++p) {
       auto* a = static_cast<const double*>(ctx.arg(2 * p));
       auto* b = static_cast<const double*>(ctx.arg(2 * p + 1));
+      witness.read(2 * p);
+      witness.read(2 * p + 1);
       if (blocked) {
         kernels::dgemm_blocked(a, b, c, tile);
       } else {

@@ -91,7 +91,9 @@ void SparseLuApp::register_versions() {
   t_lu0_ = rt_.declare_task("lu0");
   const TaskFn lu0_body = [bs](TaskContext& ctx) {
     auto* a = static_cast<float*>(ctx.arg(0));
-    if (a != nullptr) kernels::lu0_block(a, bs);
+    if (a == nullptr) return;
+    AccessWitness(ctx).read_write(0);
+    kernels::lu0_block(a, bs);
   };
   rt_.add_version(t_lu0_, DeviceKind::kCuda, "gpu", lu0_body,
                   gpu_cost(flops_lu0, 40e9));
@@ -104,7 +106,11 @@ void SparseLuApp::register_versions() {
   const TaskFn fwd_body = [bs](TaskContext& ctx) {
     auto* diag = static_cast<const float*>(ctx.arg(0));
     auto* b = static_cast<float*>(ctx.arg(1));
-    if (diag != nullptr) kernels::fwd_block(diag, b, bs);
+    if (diag == nullptr) return;
+    AccessWitness witness(ctx);
+    witness.read(0);
+    witness.read_write(1);
+    kernels::fwd_block(diag, b, bs);
   };
   rt_.add_version(t_fwd_, DeviceKind::kCuda, "gpu", fwd_body,
                   gpu_cost(flops_panel, 300e9));
@@ -117,7 +123,11 @@ void SparseLuApp::register_versions() {
   const TaskFn bdiv_body = [bs](TaskContext& ctx) {
     auto* diag = static_cast<const float*>(ctx.arg(0));
     auto* b = static_cast<float*>(ctx.arg(1));
-    if (diag != nullptr) kernels::bdiv_block(diag, b, bs);
+    if (diag == nullptr) return;
+    AccessWitness witness(ctx);
+    witness.read(0);
+    witness.read_write(1);
+    kernels::bdiv_block(diag, b, bs);
   };
   rt_.add_version(t_bdiv_, DeviceKind::kCuda, "gpu", bdiv_body,
                   gpu_cost(flops_panel, 300e9));
@@ -131,7 +141,12 @@ void SparseLuApp::register_versions() {
     auto* a = static_cast<const float*>(ctx.arg(0));
     auto* b = static_cast<const float*>(ctx.arg(1));
     auto* c = static_cast<float*>(ctx.arg(2));
-    if (a != nullptr) kernels::bmod_block(a, b, c, bs);
+    if (a == nullptr) return;
+    AccessWitness witness(ctx);
+    witness.read(0);
+    witness.read(1);
+    witness.read_write(2);
+    kernels::bmod_block(a, b, c, bs);
   };
   rt_.add_version(t_bmod_, DeviceKind::kCuda, "gpu", bmod_body,
                   gpu_cost(flops_bmod, 500e9));
@@ -154,6 +169,10 @@ void SparseLuApp::register_granularity() {
     auto* b = static_cast<const float*>(ctx.arg(1));
     auto* c = static_cast<float*>(ctx.arg(2));
     if (a == nullptr) return;
+    AccessWitness witness(ctx);
+    witness.read(0);
+    witness.read(1);
+    witness.read_write(2);
     const std::size_t rows = ctx.arg_size(0) / (bs * sizeof(float));
     kernels::bmod_band(a, b, c, bs, rows);
   };

@@ -32,6 +32,10 @@
 
 namespace versa {
 
+namespace sanitize {
+class AccessSanitizer;
+}
+
 class ExecutorPort {
  public:
   virtual ~ExecutorPort() = default;
@@ -55,6 +59,13 @@ class ExecutorPort {
   /// scheduler and makes the task ready again for another attempt.
   virtual void port_failed(TaskId task, WorkerId worker, Time start,
                            Time finish) VERSA_REQUIRES(port_mutex()) = 0;
+
+  /// The dependence-spec sanitizer, or nullptr (the default — sanitizing
+  /// off). Executors that run task bodies attach a WitnessLog to the
+  /// TaskContext iff this is non-null and hand the collected spans to
+  /// AccessSanitizer::record_witness before reporting port_complete. The
+  /// sanitizer synchronizes itself; no runtime capability required.
+  virtual sanitize::AccessSanitizer* port_sanitizer() { return nullptr; }
 
   /// The runtime lock (annotated, rank kLockRankRuntime). Recursive for
   /// one reason only: task bodies run while an executor holds it (sim

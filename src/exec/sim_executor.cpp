@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "sanitizer/sanitizer.h"
 
 namespace versa {
 
@@ -96,7 +97,13 @@ void SimExecutor::start_task(WorkerId worker, TaskId id, bool occupy_worker) {
     current_task_ = id;
     TaskContext ctx(task.accesses, port_->port_directory(), worker,
                     version.device);
+    // Sanitizing: collect the spans the body reports and hand them to the
+    // checker before the completion event can process this task.
+    sanitize::AccessSanitizer* sanitizer = port_->port_sanitizer();
+    WitnessLog witness;
+    if (sanitizer != nullptr) ctx.set_witness_log(&witness);
     version.fn(ctx);
+    if (sanitizer != nullptr) sanitizer->record_witness(id, std::move(witness));
     current_task_ = previous;
   }
 

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "sanitizer/sanitizer.h"
 
 namespace versa {
 
@@ -163,6 +164,11 @@ bool ThreadExecutor::run_one(WorkerId worker) {
   // touching shared runtime structures.
   TaskContext ctx(task->accesses, port_->port_directory(), worker,
                   version->device);
+  // Sanitizing: the witness log collects off-lock alongside the body; the
+  // spans reach the checker before the locked completion report below.
+  sanitize::AccessSanitizer* sanitizer = port_->port_sanitizer();
+  WitnessLog witness;
+  if (sanitizer != nullptr) ctx.set_witness_log(&witness);
   const Time start = now();
 
   const TaskId previous = tls_current_task;
@@ -171,6 +177,7 @@ bool ThreadExecutor::run_one(WorkerId worker) {
     version->fn(ctx);
   }
   tls_current_task = previous;
+  if (sanitizer != nullptr) sanitizer->record_witness(id, std::move(witness));
   if (config_.emulate_costs && version->cost != nullptr) {
     // Device-speed emulation: pad the attempt out to the modelled
     // duration so wall-clock measurements carry the modelled ratios.

@@ -7,14 +7,18 @@
 // coverage; with several dumps a final comparison table lines the
 // policies up side by side.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include <iostream>
+
 #include "perf/report.h"
 #include "perf/trace_report.h"
+#include "sanitizer/sanitize_report.h"
 
 namespace {
 
@@ -22,11 +26,41 @@ void print_usage() {
   std::fprintf(
       stderr,
       "usage: versa_trace_report <trace.csv> [more.csv ...]\n"
+      "       versa_trace_report --sanitize-report <sanitize.csv> [...]\n"
       "\n"
       "Analyzes decision-trace CSV dumps written by versa_run\n"
       "--sched-trace <path>.csv (a .json suffix selects the Chrome-trace\n"
       "export instead, which this tool does not read). Reports steal churn\n"
-      "and learning-phase coverage per policy.\n");
+      "and learning-phase coverage per policy.\n"
+      "\n"
+      "--sanitize-report replays dependence-spec sanitizer findings\n"
+      "written by versa_run --sanitize-csv <path>; exits non-zero when\n"
+      "the replayed report contains race or out-of-spec records.\n");
+}
+
+// Replays one or more sanitizer CSV dumps; returns the process exit code
+// (non-zero iff any dump holds error-class findings or fails to parse).
+int sanitize_report_main(int argc, char** argv) {
+  if (argc < 1) {
+    print_usage();
+    return 1;
+  }
+  std::uint64_t errors = 0;
+  for (int i = 0; i < argc; ++i) {
+    const std::string path = argv[i];
+    std::vector<versa::sanitize::Violation> records;
+    versa::sanitize::SanitizeStats stats;
+    std::string error;
+    if (!versa::sanitize::read_csv(path, records, stats, error)) {
+      std::fprintf(stderr, "versa_trace_report: %s: %s\n", path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    std::printf("== %s ==\n", path.c_str());
+    versa::sanitize::render_report(std::cout, records, stats);
+    errors += stats.races + stats.out_of_spec;
+  }
+  return errors > 0 ? 3 : 0;
 }
 
 }  // namespace
@@ -36,6 +70,10 @@ int main(int argc, char** argv) {
       std::strcmp(argv[1], "-h") == 0) {
     print_usage();
     return argc < 2 ? 1 : 0;
+  }
+
+  if (std::strcmp(argv[1], "--sanitize-report") == 0) {
+    return sanitize_report_main(argc - 2, argv + 2);
   }
 
   struct Analyzed {

@@ -51,6 +51,11 @@ RuntimeConfig apply_env_overrides(RuntimeConfig config) {
                        << granularity;
     }
   }
+  if (const char* mode = std::getenv("VERSA_SANITIZE")) {
+    if (!sanitize::parse_sanitize_mode(mode, config.sanitize.mode)) {
+      VERSA_LOG(kWarn) << "ignoring invalid VERSA_SANITIZE=" << mode;
+    }
+  }
   return config;
 }
 

@@ -13,11 +13,13 @@
 //   VERSA_DRIFT_THRESHOLD  — CUSUM alarm threshold (normalized units)
 //   VERSA_SCHED_TRACE      — 0/1, record the scheduler decision trace
 //   VERSA_GRANULARITY      — off | auto | N, adaptive task granularity
+//   VERSA_SANITIZE         — off | spec | race, dependence-spec sanitizer
 #pragma once
 
 #include <cstdint>
 #include <string>
 
+#include "sanitizer/sanitizer.h"
 #include "sched/core/granularity.h"
 #include "sched/profile_table.h"
 #include "sim/noise.h"
@@ -87,6 +89,14 @@ struct RuntimeConfig {
   /// reversal), or a fixed split factor. Parsed from --granularity /
   /// VERSA_GRANULARITY via core::parse_granularity.
   core::GranularityConfig granularity;
+
+  /// Dependence-spec sanitizer (DESIGN.md §12): off (default — the checker
+  /// is not constructed, no shadow state exists and figure runs stay
+  /// byte-identical), spec (per-task witness-vs-declaration conformance),
+  /// or race (spec + vector-clock determinacy-race detection over a
+  /// sharded shadow-byte map). Parsed from --sanitize / VERSA_SANITIZE via
+  /// sanitize::parse_sanitize_mode.
+  sanitize::SanitizeConfig sanitize;
 };
 
 /// Overlay environment-variable overrides onto `config`.

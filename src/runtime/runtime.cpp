@@ -35,6 +35,9 @@ Runtime::Runtime(const Machine& machine, RuntimeConfig config)
       granularity_->set_profile(&versioning->profile());
     }
   }
+  if (config_.sanitize.mode != sanitize::SanitizeMode::kOff) {
+    sanitizer_ = std::make_unique<sanitize::AccessSanitizer>(config_.sanitize);
+  }
 
   switch (config_.backend) {
     case Backend::kSim: {
@@ -103,6 +106,7 @@ void Runtime::unregister_data(RegionId region) {
     }
   }
   analyzer_.clear_region(region);
+  if (sanitizer_ != nullptr) sanitizer_->on_region_unregistered(region);
   directory_.unregister_region(region);
 }
 
@@ -231,6 +235,9 @@ TaskId Runtime::submit(TaskTypeId type, AccessList accesses,
 void Runtime::register_and_release(Task& task) {
   std::vector<TaskId> preds;
   analyzer_.add_task(task.id, task.accesses, preds);
+  if (sanitizer_ != nullptr) {
+    sanitizer_->on_task_registered(task, preds, task.parent);
+  }
   const std::uint32_t live = graph_.add_dependencies(task, preds);
   if (live == 0) {
     release_ready({task.id});
@@ -380,6 +387,12 @@ bool Runtime::granular_submit(TaskTypeId type, AccessList& accesses,
         child.split_parent = shell_id;
         std::vector<TaskId> preds;
         analyzer_.add_task(child.id, child.accesses, preds);
+        if (sanitizer_ != nullptr) {
+          // The shell never registers; its children inherit the lineage
+          // edge from the task whose body submitted the shell.
+          sanitizer_->on_task_registered(child, preds,
+                                         graph_.task(shell_id).parent);
+        }
         if (graph_.add_dependencies(child, preds) == 0) {
           ready.push_back(child.id);
         }
@@ -431,6 +444,9 @@ void Runtime::flush_fuse_window() {
   for (std::size_t i = 1; i < members.size(); ++i) {
     Task& member = graph_.task(members[i]);
     member.fused_into = host.id;
+    if (sanitizer_ != nullptr) {
+      sanitizer_->on_task_absorbed(member.id, host.id);
+    }
     graph_.finish_stub(member.id, stamp);
     if (member.parent != kInvalidTask) {
       Task& member_parent = graph_.task(member.parent);
@@ -500,6 +516,11 @@ void Runtime::port_complete(TaskId id, WorkerId worker, Time start,
   std::vector<TaskId> newly_ready;
   graph_.mark_finished(id, finish, newly_ready);
   makespan_ = std::max(makespan_, finish);
+  if (sanitizer_ != nullptr) {
+    // Witnesses (if any) were recorded by the executor before this report;
+    // the checker runs conformance and shadows the touched bytes now.
+    sanitizer_->on_task_complete(task);
+  }
   if (task.parent != kInvalidTask) {
     Task& parent = graph_.task(task.parent);
     VERSA_CHECK(parent.live_children > 0);

@@ -111,6 +111,15 @@ class Runtime final : public SchedulerContext, public ExecutorPort {
   void set_split_recipe(TaskTypeId type, core::SplitRecipe recipe);
   void set_fuse_recipe(TaskTypeId type, core::FuseRecipe recipe);
 
+  // --- dependence-spec sanitizer (DESIGN.md §12) --------------------------
+  /// The access sanitizer, or nullptr when --sanitize=off (the default:
+  /// nothing is constructed, no shadow state exists). Read its report
+  /// quiescent (after waits).
+  sanitize::AccessSanitizer* sanitizer() { return sanitizer_.get(); }
+  const sanitize::AccessSanitizer* sanitizer() const {
+    return sanitizer_.get();
+  }
+
   // --- service mode (multi-graph roots) -----------------------------------
   /// Open an independent graph root owned by `tenant`. Tasks submitted
   /// with SubmitOptions{graph} are tracked per graph: wait_graph(graph)
@@ -202,6 +211,9 @@ class Runtime final : public SchedulerContext, public ExecutorPort {
       VERSA_RETURN_CAPABILITY(mutex_) {
     return mutex_;
   }
+  sanitize::AccessSanitizer* port_sanitizer() override {
+    return sanitizer_.get();
+  }
 
   /// Transient attempt failures observed so far (failure injection).
   std::uint64_t failed_attempts() const;
@@ -235,6 +247,11 @@ class Runtime final : public SchedulerContext, public ExecutorPort {
   /// which keeps every submission byte-identical to the pre-controller
   /// path). Controller state is mutated only under the runtime lock.
   std::unique_ptr<core::GranularityController> granularity_;
+
+  /// Dependence-spec sanitizer (nullptr when off — the default). The
+  /// runtime-side hooks run under the runtime lock; the sanitizer's own
+  /// mutexes (ranks 11/12/15) cover the executor-side witness path.
+  std::unique_ptr<sanitize::AccessSanitizer> sanitizer_;
 
   /// The open fuse window: sibling submissions the controller decided to
   /// coalesce, created in the graph but with analyzer registration

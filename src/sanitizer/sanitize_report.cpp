@@ -1,0 +1,203 @@
+#include "sanitizer/sanitize_report.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace versa::sanitize {
+
+namespace {
+
+constexpr char kHeader[] =
+    "kind,task_a,type_a,task_b,type_b,region,begin,end,mode_a,mode_b,bytes";
+
+const char* id_or_dash(std::uint64_t id, std::uint64_t invalid, char* buf,
+                       std::size_t n) {
+  if (id == invalid) return "-";
+  std::snprintf(buf, n, "%" PRIu64, id);
+  return buf;
+}
+
+bool parse_mode(const std::string& text, AccessMode& mode) {
+  if (text == "in") {
+    mode = AccessMode::kIn;
+  } else if (text == "out") {
+    mode = AccessMode::kOut;
+  } else if (text == "inout") {
+    mode = AccessMode::kInOut;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_kind(const std::string& text, ViolationKind& kind) {
+  if (text == "race") {
+    kind = ViolationKind::kRace;
+  } else if (text == "out-of-spec") {
+    kind = ViolationKind::kOutOfSpec;
+  } else if (text == "over-declaration") {
+    kind = ViolationKind::kOverDeclaration;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_id(const std::string& text, std::uint64_t& value) {
+  if (text == "-") {
+    value = kInvalidTask;
+    return true;
+  }
+  char* tail = nullptr;
+  value = std::strtoull(text.c_str(), &tail, 10);
+  return tail != nullptr && *tail == '\0' && !text.empty();
+}
+
+}  // namespace
+
+const char* to_string(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kRace:
+      return "race";
+    case ViolationKind::kOutOfSpec:
+      return "out-of-spec";
+    case ViolationKind::kOverDeclaration:
+      return "over-declaration";
+  }
+  return "?";
+}
+
+bool write_csv(const std::string& path, const std::vector<Violation>& records,
+               const SanitizeStats& stats) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << kHeader << '\n';
+  char a[32];
+  char b[32];
+  char ta[32];
+  char tb[32];
+  for (const Violation& v : records) {
+    out << to_string(v.kind) << ','
+        << id_or_dash(v.task_a, kInvalidTask, a, sizeof(a)) << ','
+        << id_or_dash(v.type_a, kInvalidTaskType, ta, sizeof(ta)) << ','
+        << id_or_dash(v.task_b, kInvalidTask, b, sizeof(b)) << ','
+        << id_or_dash(v.type_b, kInvalidTaskType, tb, sizeof(tb)) << ','
+        << v.region << ','
+        << v.begin << ',' << v.end << ',' << to_string(v.mode_a) << ','
+        << to_string(v.mode_b) << ',' << v.bytes << '\n';
+  }
+  out << "#stat,tasks_checked," << stats.tasks_checked << '\n';
+  out << "#stat,tasks_witnessed," << stats.tasks_witnessed << '\n';
+  out << "#stat,races," << stats.races << '\n';
+  out << "#stat,out_of_spec," << stats.out_of_spec << '\n';
+  out << "#stat,over_declaration," << stats.over_declaration << '\n';
+  out << "#stat,wasted_transfer_bytes," << stats.wasted_transfer_bytes << '\n';
+  out << "#stat,dropped," << stats.dropped << '\n';
+  return static_cast<bool>(out);
+}
+
+bool read_csv(const std::string& path, std::vector<Violation>& records,
+              SanitizeStats& stats, std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line.rfind("#stat,", 0) == 0) {
+      std::stringstream ss(line.substr(6));
+      std::string name;
+      std::string value;
+      if (!std::getline(ss, name, ',') || !std::getline(ss, value)) continue;
+      const std::uint64_t n = std::strtoull(value.c_str(), nullptr, 10);
+      if (name == "tasks_checked") stats.tasks_checked = n;
+      if (name == "tasks_witnessed") stats.tasks_witnessed = n;
+      if (name == "races") stats.races = n;
+      if (name == "out_of_spec") stats.out_of_spec = n;
+      if (name == "over_declaration") stats.over_declaration = n;
+      if (name == "wasted_transfer_bytes") stats.wasted_transfer_bytes = n;
+      if (name == "dropped") stats.dropped = n;
+      continue;
+    }
+    if (!saw_header) {
+      if (line != kHeader) {
+        error = path + ": not a sanitize CSV (unexpected header)";
+        return false;
+      }
+      saw_header = true;
+      continue;
+    }
+    std::stringstream ss(line);
+    std::string field;
+    std::vector<std::string> fields;
+    while (std::getline(ss, field, ',')) fields.push_back(field);
+    Violation v;
+    std::uint64_t type_a = 0;
+    std::uint64_t type_b = 0;
+    if (fields.size() != 11 || !parse_kind(fields[0], v.kind) ||
+        !parse_id(fields[1], v.task_a) || !parse_id(fields[2], type_a) ||
+        !parse_id(fields[3], v.task_b) || !parse_id(fields[4], type_b) ||
+        !parse_id(fields[5], v.region) || !parse_id(fields[6], v.begin) ||
+        !parse_id(fields[7], v.end) || !parse_mode(fields[8], v.mode_a) ||
+        !parse_mode(fields[9], v.mode_b) || !parse_id(fields[10], v.bytes)) {
+      error = path + ": malformed record at line " + std::to_string(line_no);
+      return false;
+    }
+    v.type_a = type_a == kInvalidTask ? kInvalidTaskType
+                                      : static_cast<TaskTypeId>(type_a);
+    v.type_b = type_b == kInvalidTask ? kInvalidTaskType
+                                      : static_cast<TaskTypeId>(type_b);
+    records.push_back(v);
+  }
+  if (!saw_header) {
+    error = path + ": empty file";
+    return false;
+  }
+  return true;
+}
+
+void render_report(std::ostream& os, const std::vector<Violation>& records,
+                   const SanitizeStats& stats, std::size_t max_rows) {
+  os << "== sanitizer report ==\n";
+  os << "  tasks checked:        " << stats.tasks_checked << " ("
+     << stats.tasks_witnessed << " with witnesses)\n";
+  os << "  races:                " << stats.races << '\n';
+  os << "  out-of-spec:          " << stats.out_of_spec << '\n';
+  os << "  over-declaration:     " << stats.over_declaration
+     << " (wasted transfer bytes: " << stats.wasted_transfer_bytes << ")\n";
+  if (stats.dropped > 0) {
+    os << "  dropped (cap):        " << stats.dropped << '\n';
+  }
+  std::size_t shown = 0;
+  for (const Violation& v : records) {
+    if (shown++ >= max_rows) {
+      os << "  ... " << (records.size() - max_rows) << " more record(s)\n";
+      break;
+    }
+    os << "  [" << to_string(v.kind) << "] region " << v.region << " bytes ["
+       << v.begin << ", " << v.end << ")";
+    if (v.kind == ViolationKind::kRace) {
+      os << ": task " << v.task_a << " (type " << v.type_a << ", "
+         << to_string(v.mode_a) << ") unordered vs task " << v.task_b
+         << " (type " << v.type_b << ", " << to_string(v.mode_b) << ")";
+    } else {
+      os << ": task " << v.task_a << " (type " << v.type_a << ", "
+         << to_string(v.mode_a) << ")";
+    }
+    os << ", " << v.bytes << " byte(s)\n";
+  }
+  if (records.empty()) {
+    os << "  no violations\n";
+  }
+}
+
+}  // namespace versa::sanitize

@@ -1,0 +1,81 @@
+// Sanitizer violation records and their CSV interchange format
+// (DESIGN.md §12). The runtime-side AccessSanitizer produces Violations;
+// versa_run --sanitize-csv writes them with write_csv(); the offline
+// versa_trace_report --sanitize-report reads them back with read_csv()
+// and renders the same summary via render_report(). Keeping both ends in
+// one translation unit is what keeps the format from drifting.
+//
+// CSV v1, one record per line after the header:
+//   kind,task_a,type_a,task_b,type_b,region,begin,end,mode_a,mode_b,bytes
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "task/access.h"
+
+namespace versa::sanitize {
+
+enum class ViolationKind : std::uint8_t {
+  kRace,             ///< graph-unordered conflicting accesses (error)
+  kOutOfSpec,        ///< witnessed bytes outside the declared clauses (error)
+  kOverDeclaration,  ///< declared bytes the body never touched (diagnostic)
+};
+
+const char* to_string(ViolationKind kind);
+
+struct Violation {
+  ViolationKind kind = ViolationKind::kRace;
+  /// The two parties of a race (task_b completes second and triggers the
+  /// report); conformance records leave task_b/type_b invalid.
+  TaskId task_a = kInvalidTask;
+  TaskTypeId type_a = kInvalidTaskType;
+  TaskId task_b = kInvalidTask;
+  TaskTypeId type_b = kInvalidTaskType;
+  RegionId region = 0;
+  /// First offending byte range seen for this record.
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  /// Access modes: for races, mode_a is the prior access and mode_b the
+  /// completing one; for conformance records mode_a is the clause/witness
+  /// mode and mode_b mirrors it.
+  AccessMode mode_a = AccessMode::kIn;
+  AccessMode mode_b = AccessMode::kIn;
+  /// Total offending bytes accumulated into this (deduplicated) record —
+  /// at least end - begin; more when later ranges folded in.
+  std::uint64_t bytes = 0;
+};
+
+/// Aggregate counters reported next to the records.
+struct SanitizeStats {
+  std::uint64_t tasks_checked = 0;    ///< completions the checker processed
+  std::uint64_t tasks_witnessed = 0;  ///< of those, bodies that reported spans
+  std::uint64_t races = 0;
+  std::uint64_t out_of_spec = 0;
+  std::uint64_t over_declaration = 0;
+  std::uint64_t wasted_transfer_bytes = 0;  ///< declared-but-untouched total
+  std::uint64_t dropped = 0;  ///< records beyond the violation cap
+};
+
+/// Errors are what CI exit codes key on; over-declaration is advisory.
+inline bool is_error(ViolationKind kind) {
+  return kind != ViolationKind::kOverDeclaration;
+}
+
+bool write_csv(const std::string& path, const std::vector<Violation>& records,
+               const SanitizeStats& stats);
+
+/// Parse a CSV produced by write_csv. Returns false on open/parse failure
+/// (with `error` set); stat lines (`#stat,...`) restore `stats`.
+bool read_csv(const std::string& path, std::vector<Violation>& records,
+              SanitizeStats& stats, std::string& error);
+
+/// Human-readable report section (shared by versa_run and
+/// versa_trace_report). `max_rows` bounds the per-kind record listing.
+void render_report(std::ostream& os, const std::vector<Violation>& records,
+                   const SanitizeStats& stats, std::size_t max_rows = 20);
+
+}  // namespace versa::sanitize

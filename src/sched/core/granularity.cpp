@@ -1,7 +1,9 @@
 #include "sched/core/granularity.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
 
 #include "common/check.h"
 
@@ -28,10 +30,17 @@ bool parse_granularity(const std::string& text, GranularityConfig& config) {
     config.mode = GranularityMode::kAuto;
     return true;
   }
-  if (text.empty()) return false;
+  if (text.empty() || text[0] == '-' || text[0] == '+') return false;
+  errno = 0;
   char* end = nullptr;
-  const long value = std::strtol(text.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0' || value < 0) return false;
+  const unsigned long value = std::strtoul(text.c_str(), &end, 10);
+  if (end == nullptr || end == text.c_str() || *end != '\0') return false;
+  // Out-of-range factors would silently truncate through the uint32
+  // member; reject them instead (strtoul saturates with ERANGE).
+  if (errno == ERANGE ||
+      value > std::numeric_limits<std::uint32_t>::max()) {
+    return false;
+  }
   if (value <= 1) {
     config.mode = GranularityMode::kOff;
   } else {

@@ -77,8 +77,13 @@ Rejected TenantRegistry::admit(TenantId tenant, std::uint64_t tasks,
                       " was never registered with the service";
     return rejected;
   }
+  // Subtraction form: the additive check (`in_flight + tasks > quota`)
+  // wraps for near-UINT64_MAX graph sizes and would admit instead of
+  // reject.
   char detail[160];
-  if (entry->stats.in_flight_tasks + tasks > entry->quota.max_in_flight_tasks) {
+  if (entry->stats.in_flight_tasks > entry->quota.max_in_flight_tasks ||
+      tasks > entry->quota.max_in_flight_tasks -
+                  entry->stats.in_flight_tasks) {
     rejected.reason = RejectReason::kTaskQuota;
     std::snprintf(detail, sizeof(detail),
                   "graph of %" PRIu64 " tasks would exceed quota: %" PRIu64
@@ -89,7 +94,8 @@ Rejected TenantRegistry::admit(TenantId tenant, std::uint64_t tasks,
     ++entry->stats.rejected_graphs;
     return rejected;
   }
-  if (entry->stats.in_flight_bytes + bytes > entry->quota.max_bytes) {
+  if (entry->stats.in_flight_bytes > entry->quota.max_bytes ||
+      bytes > entry->quota.max_bytes - entry->stats.in_flight_bytes) {
     rejected.reason = RejectReason::kByteQuota;
     std::snprintf(detail, sizeof(detail),
                   "graph of %" PRIu64 " bytes would exceed quota: %" PRIu64

@@ -47,4 +47,21 @@ struct Access {
 
 using AccessList = std::vector<Access>;
 
+/// One byte span a task body actually touched, reported through the
+/// AccessWitness API (DESIGN.md §12). Unlike Access, `length` is always
+/// resolved — witnesses are recorded against live regions, so "to the
+/// end" has no meaning here.
+struct WitnessSpan {
+  RegionId region = 0;
+  AccessMode mode = AccessMode::kIn;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+};
+
+/// The spans one task execution touched, in report order. Only allocated
+/// when a sanitizer is attached to the runtime (TaskContext carries a null
+/// log otherwise), so witness calls in task bodies are a branch-on-null
+/// when sanitizing is off.
+using WitnessLog = std::vector<WitnessSpan>;
+
 }  // namespace versa

@@ -33,7 +33,7 @@ TaskContext::TaskContext(const AccessList& accesses,
                     : static_cast<char*>(desc.host_ptr) + access.offset;
     const std::uint64_t size =
         access.length != 0 ? access.length : desc.size - access.offset;
-    args_.push_back(ResolvedArg{ptr, size});
+    args_.push_back(ResolvedArg{ptr, size, access.region, access.offset});
   }
 }
 
@@ -45,6 +45,25 @@ void* TaskContext::arg(std::size_t index) const {
 std::uint64_t TaskContext::arg_size(std::size_t index) const {
   VERSA_CHECK(index < args_.size());
   return args_[index].size;
+}
+
+void AccessWitness::span(std::size_t index, AccessMode mode,
+                         std::uint64_t off, std::uint64_t len) {
+  if (ctx_.witness_ == nullptr) return;
+  VERSA_CHECK(index < ctx_.args_.size());
+  const TaskContext::ResolvedArg& arg = ctx_.args_[index];
+  if (off >= arg.size) return;
+  const std::uint64_t avail = arg.size - off;
+  const std::uint64_t span_len = len < avail ? len : avail;
+  if (span_len == 0) return;
+  ctx_.witness_->push_back(
+      WitnessSpan{arg.region, mode, arg.offset + off, span_len});
+}
+
+void AccessWitness::touch_bytes(RegionId region, AccessMode mode,
+                                std::uint64_t offset, std::uint64_t length) {
+  if (ctx_.witness_ == nullptr || length == 0) return;
+  ctx_.witness_->push_back(WitnessSpan{region, mode, offset, length});
 }
 
 }  // namespace versa

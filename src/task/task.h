@@ -48,14 +48,66 @@ class TaskContext {
   WorkerId worker() const { return worker_; }
   DeviceKind device() const { return device_; }
 
+  /// Attach the sanitizer witness log for this execution. Executors call
+  /// this before running the body iff a sanitizer is active; bodies never
+  /// see the difference (AccessWitness no-ops on a null log).
+  void set_witness_log(WitnessLog* log) { witness_ = log; }
+  bool witnessing() const { return witness_ != nullptr; }
+
  private:
+  friend class AccessWitness;
   struct ResolvedArg {
     void* ptr;
     std::uint64_t size;
+    RegionId region;
+    std::uint64_t offset;  ///< resolved start within the region
   };
   std::vector<ResolvedArg> args_;
   WorkerId worker_;
   DeviceKind device_;
+  WitnessLog* witness_ = nullptr;
+};
+
+/// Witness handle task bodies use to report the byte spans they actually
+/// touch (DESIGN.md §12). In spec/race sanitize modes the checker compares
+/// these against the task's declared accesses; with the sanitizer off every
+/// call is a branch-on-null, so kernels keep their witness calls
+/// unconditionally. Arg-indexed methods report relative to the resolved
+/// clause (offset 0 = start of the clause); touch_bytes reports a raw
+/// region-absolute span, for bodies that address regions outside their own
+/// clause resolution.
+class AccessWitness {
+ public:
+  explicit AccessWitness(TaskContext& ctx) : ctx_(ctx) {}
+
+  /// Whole resolved span of clause `index`.
+  void read(std::size_t index) { span(index, AccessMode::kIn, 0, kWhole); }
+  void write(std::size_t index) { span(index, AccessMode::kOut, 0, kWhole); }
+  void read_write(std::size_t index) {
+    span(index, AccessMode::kInOut, 0, kWhole);
+  }
+
+  /// Sub-span of clause `index`, clamped to the clause's resolved size.
+  void read_range(std::size_t index, std::uint64_t off, std::uint64_t len) {
+    span(index, AccessMode::kIn, off, len);
+  }
+  void write_range(std::size_t index, std::uint64_t off, std::uint64_t len) {
+    span(index, AccessMode::kOut, off, len);
+  }
+  void read_write_range(std::size_t index, std::uint64_t off,
+                        std::uint64_t len) {
+    span(index, AccessMode::kInOut, off, len);
+  }
+
+  /// Raw region-absolute span, bypassing clause resolution.
+  void touch_bytes(RegionId region, AccessMode mode, std::uint64_t offset,
+                   std::uint64_t length);
+
+ private:
+  static constexpr std::uint64_t kWhole = ~std::uint64_t{0};
+  void span(std::size_t index, AccessMode mode, std::uint64_t off,
+            std::uint64_t len);
+  TaskContext& ctx_;
 };
 
 /// A task body. May be empty (synthetic workloads driven purely by cost

@@ -38,8 +38,11 @@ extern const LockClass kLockRankTenant;       ///< rank 4: service TenantRegistr
 extern const LockClass kLockRankServiceGraph; ///< rank 6: VersaService graph table
 extern const LockClass kLockRankProfileCache; ///< rank 8: SharedProfileCache
 extern const LockClass kLockRankRuntime;      ///< rank 10: Runtime::mutex_
+extern const LockClass kLockRankSanitizerShard; ///< rank 11: AccessSanitizer shadow-map shards
+extern const LockClass kLockRankSanitizerClock; ///< rank 12: AccessSanitizer clock table
 extern const LockClass kLockRankData;         ///< rank 13: DataDirectory writer / TransferEngine state
 extern const LockClass kLockRankDataShard;    ///< rank 14: DataDirectory region shards
+extern const LockClass kLockRankSanitizerState; ///< rank 15: AccessSanitizer witness/violation state
 extern const LockClass kLockRankSubmit;       ///< rank 16: per-worker submission buffers
 extern const LockClass kLockRankAccount;      ///< rank 20: QueueScheduler account/index
 extern const LockClass kLockRankQueue;        ///< rank 30: per-worker queue shards

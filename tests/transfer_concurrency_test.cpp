@@ -151,7 +151,10 @@ TEST(TransferConcurrency, ProducersAndReadersSeeConsistentSnapshots) {
   for (int r = 0; r < kReaders; ++r) {
     threads.emplace_back([&, r] {
       Rng rng(77u + static_cast<std::uint64_t>(r));
-      while (!stop.load(std::memory_order_acquire)) {
+      // do/while: on a loaded single-core host the producers can finish
+      // (and raise `stop`) before a reader is first scheduled; every
+      // reader still probes at least once, so reads_done stays nonzero.
+      do {
         const auto& pair = pairs[rng.next_below(pairs.size())];
         const AccessList probe = {Access::in(pair.first),
                                   Access::in(pair.second)};
@@ -183,7 +186,7 @@ TEST(TransferConcurrency, ProducersAndReadersSeeConsistentSnapshots) {
         (void)directory.is_valid_in(pair.first, space);
         (void)directory.dirty_space(pair.second);
         reads_done.fetch_add(1, std::memory_order_relaxed);
-      }
+      } while (!stop.load(std::memory_order_acquire));
     });
   }
   for (int p = 0; p < kProducers; ++p) {

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Lock-class lint: every versa::Mutex must name a registered LockClass.
+
+The lock-order machinery (src/util/lock_order.h) only works when every
+mutex carries a LockClass rank — a versa::Mutex default-constructed or
+tied to an unregistered class silently opts out of deadlock checking.
+This lint makes that structural:
+
+  1. Collects the registered classes: `extern const LockClass kLockRank*`
+     declarations in src/util/lock_order.h.
+  2. Finds every `versa::Mutex` / `versa::RecursiveMutex` variable
+     declaration in src/**/*.{h,cpp} and requires it to be constructed
+     from a registered `lock_order::kLockRank*` — either inline
+     (`versa::Mutex mu_{lock_order::kLockRankFoo};`) or in a constructor
+     initializer list (`: mu_(lock_order::kLockRankFoo)`) found anywhere
+     in the declaring directory.
+  3. Flags raw std::mutex / std::recursive_mutex outside the annotation
+     layer (util/annotated_sync.h) — those bypass lock-order tracking.
+
+Exits 1 listing every offender; the CI build step runs this before
+compiling anything.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+LOCK_ORDER_H = os.path.join(SRC, "util", "lock_order.h")
+
+# Files allowed to mention std::mutex directly: the annotation layer that
+# wraps it, and the lock-order implementation itself.
+RAW_MUTEX_ALLOWLIST = {
+    os.path.join("util", "annotated_sync.h"),
+    os.path.join("util", "lock_order.h"),
+    os.path.join("util", "lock_order.cpp"),
+}
+
+DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:versa::)?(?:Recursive)?Mutex\s+"
+    r"(?P<name>[A-Za-z_]\w*)\s*(?P<init>\{[^}]*\})?\s*;",
+)
+RANK_USE_RE = re.compile(r"lock_order::(?P<cls>kLockRank\w+)")
+RAW_MUTEX_RE = re.compile(r"\bstd::(?:recursive_)?mutex\b")
+
+
+def registered_classes():
+    classes = set()
+    with open(LOCK_ORDER_H, encoding="utf-8") as f:
+        for line in f:
+            m = re.search(r"extern\s+const\s+LockClass\s+(kLockRank\w+)", line)
+            if m:
+                classes.add(m.group(1))
+    return classes
+
+
+def source_files():
+    for root, _dirs, files in os.walk(SRC):
+        for name in sorted(files):
+            if name.endswith((".h", ".cpp")):
+                yield os.path.join(root, name)
+
+
+def strip_comments(text):
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    return text
+
+
+def ctor_init_ranks(path):
+    """Ranks used in constructor initializer lists near `path`.
+
+    A member like `Shard() : mutex(lock_order::kLockRankQueue) {}` or an
+    out-of-line constructor in the matching .cpp both count; scan the
+    declaring file plus its sibling translation unit.
+    """
+    candidates = [path]
+    stem, ext = os.path.splitext(path)
+    sibling = stem + (".cpp" if ext == ".h" else ".h")
+    if os.path.exists(sibling):
+        candidates.append(sibling)
+    inits = {}
+    # mutex_name(lock_order::kLockRankFoo) — in an initializer list, i.e.
+    # preceded by ':' or ',' somewhere before on the same statement.
+    init_re = re.compile(
+        r"[:,]\s*(?P<name>[A-Za-z_]\w*)\s*\(\s*lock_order::(?P<cls>kLockRank\w+)\s*\)"
+    )
+    for candidate in candidates:
+        with open(candidate, encoding="utf-8") as f:
+            text = strip_comments(f.read())
+        for m in init_re.finditer(text):
+            inits.setdefault(m.group("name"), set()).add(m.group("cls"))
+    return inits
+
+
+def main():
+    classes = registered_classes()
+    if not classes:
+        print("check_lock_ranks: no LockClass declarations found in "
+              "src/util/lock_order.h", file=sys.stderr)
+        return 1
+
+    errors = []
+    for path in source_files():
+        rel = os.path.relpath(path, SRC)
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        text = strip_comments(raw)
+
+        if rel not in RAW_MUTEX_ALLOWLIST:
+            for i, line in enumerate(text.splitlines(), 1):
+                if RAW_MUTEX_RE.search(line):
+                    errors.append(
+                        f"{rel}:{i}: raw std::mutex bypasses lock-order "
+                        f"tracking — use versa::Mutex with a LockClass")
+
+        inits = None
+        for i, line in enumerate(text.splitlines(), 1):
+            m = DECL_RE.match(line)
+            if m is None:
+                continue
+            # References and parameters don't construct a mutex.
+            if "&" in line.split(";")[0]:
+                continue
+            name = m.group("name")
+            init = m.group("init") or ""
+            used = RANK_USE_RE.search(init)
+            if used:
+                if used.group("cls") not in classes:
+                    errors.append(
+                        f"{rel}:{i}: mutex '{name}' uses unregistered lock "
+                        f"class {used.group('cls')}")
+                continue
+            if inits is None:
+                inits = ctor_init_ranks(path)
+            ctor_classes = inits.get(name, set())
+            unknown = ctor_classes - classes
+            if unknown:
+                errors.append(
+                    f"{rel}:{i}: mutex '{name}' uses unregistered lock "
+                    f"class {', '.join(sorted(unknown))}")
+            elif not ctor_classes:
+                errors.append(
+                    f"{rel}:{i}: mutex '{name}' is not constructed from a "
+                    f"registered lock_order::kLockRank* class")
+
+    if errors:
+        print("check_lock_ranks: FAIL — every versa::Mutex must name a "
+              "registered LockClass rank:", file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+
+    print(f"check_lock_ranks: OK ({len(classes)} registered lock classes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
