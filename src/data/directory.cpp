@@ -10,6 +10,10 @@ namespace {
 
 constexpr std::uint64_t bit(SpaceId space) { return std::uint64_t{1} << space; }
 
+constexpr std::uint64_t shard_bit(std::size_t index) {
+  return std::uint64_t{1} << index;
+}
+
 }  // namespace
 
 DataDirectory::DataDirectory(const Machine& machine)
@@ -21,19 +25,61 @@ DataDirectory::DataDirectory(const Machine& machine)
   }
 }
 
-// Every mutator follows the same publication protocol: serialize on the
-// writer mutex (rank 13), flip the epoch to odd, mutate region state under
-// the per-shard rank-14 locks, flip the epoch back to even. Readers that
-// need cross-region consistency (read_consistent) retry around odd or
-// moved epochs; per-region readers only need the shard lock.
+// Exclusive mutators follow the legacy publication protocol: hold the
+// writer mutex exclusively (rank 13), flip the global epoch to odd, mark
+// the touched shards, mutate region state under the per-shard rank-14
+// locks, retract the marks, flip the epoch back to even. Parallel
+// acquires (unlimited-capacity target spaces) hold the writer mutex
+// *shared* and publish through the shard marks alone. Readers that need
+// cross-region consistency (read_consistent) retry around active writers
+// or moved epochs of the shards they touch; per-region readers only need
+// the shard lock.
+
+std::uint64_t DataDirectory::shard_mask(const AccessList& accesses) {
+  std::uint64_t mask = 0;
+  for (const Access& access : accesses) {
+    mask |= shard_bit(access.region % kShardCount);
+  }
+  return mask;
+}
+
+std::uint64_t DataDirectory::shard_epoch(std::uint64_t mask) const {
+  std::uint64_t folded = 0;
+  for (std::size_t i = 0; i < kShardCount; ++i) {
+    if (mask & shard_bit(i)) {
+      folded += shards_[i].epoch.load(std::memory_order_acquire);
+    }
+  }
+  return folded;
+}
+
+void DataDirectory::mark_shards_begin(std::uint64_t mask) {
+  for (std::size_t i = 0; i < kShardCount; ++i) {
+    if (mask & shard_bit(i)) {
+      shards_[i].writers.fetch_add(1, std::memory_order_acq_rel);
+      shards_[i].epoch.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+}
+
+void DataDirectory::mark_shards_end(std::uint64_t mask) {
+  for (std::size_t i = 0; i < kShardCount; ++i) {
+    if (mask & shard_bit(i)) {
+      shards_[i].epoch.fetch_add(1, std::memory_order_release);
+      shards_[i].writers.fetch_sub(1, std::memory_order_release);
+    }
+  }
+}
 
 RegionId DataDirectory::register_region(std::string name, std::uint64_t size,
                                         void* host_ptr) {
   VERSA_CHECK_MSG(size > 0, "zero-sized region");
-  versa::LockGuard writer(mutex_);
+  versa::SharedMutexExclusiveGuard writer(mutex_);
   epoch_.fetch_add(1, std::memory_order_acq_rel);
   const RegionId id =
       static_cast<RegionId>(region_limit_.load(std::memory_order_relaxed));
+  const std::uint64_t mask = shard_bit(id % kShardCount);
+  mark_shards_begin(mask);
   Shard& shard = shard_of(id);
   {
     versa::LockGuard lock(shard.mutex);
@@ -49,13 +95,16 @@ RegionId DataDirectory::register_region(std::string name, std::uint64_t size,
   used_[kHostSpace].fetch_add(size, std::memory_order_relaxed);
   live_regions_.fetch_add(1, std::memory_order_relaxed);
   region_limit_.store(id + 1, std::memory_order_release);
+  mark_shards_end(mask);
   epoch_.fetch_add(1, std::memory_order_release);
   return id;
 }
 
 void DataDirectory::unregister_region(RegionId id) {
-  versa::LockGuard writer(mutex_);
+  versa::SharedMutexExclusiveGuard writer(mutex_);
   epoch_.fetch_add(1, std::memory_order_acq_rel);
+  const std::uint64_t mask = shard_bit(id % kShardCount);
+  mark_shards_begin(mask);
   {
     Shard& shard = shard_of(id);
     versa::LockGuard lock(shard.mutex);
@@ -73,6 +122,7 @@ void DataDirectory::unregister_region(RegionId id) {
   }
   VERSA_CHECK(live_regions_.load(std::memory_order_relaxed) > 0);
   live_regions_.fetch_sub(1, std::memory_order_relaxed);
+  mark_shards_end(mask);
   epoch_.fetch_add(1, std::memory_order_release);
 }
 
@@ -178,17 +228,24 @@ void DataDirectory::make_room(SpaceId space, std::uint64_t needed,
       return;
     }
     // The victim cannot change between the scan and here: the writer mutex
-    // is held, and readers never mutate region state.
-    Shard& shard = shard_of(best_id);
-    versa::LockGuard lock(shard.mutex);
-    RegionState& victim = state_at(shard, best_id);
-    if (victim.dirty == space) {
-      // Write back before dropping the only modified copy.
-      emit_copy(victim, space, kHostSpace, out);
-      add_valid(victim, kHostSpace);
-      victim.dirty = kInvalidSpace;
+    // is held exclusively, and readers never mutate region state. The
+    // victim's shard may lie outside the acquiring task's access mask, so
+    // it gets its own mark.
+    const std::uint64_t victim_mask = shard_bit(best_id % kShardCount);
+    mark_shards_begin(victim_mask);
+    {
+      Shard& shard = shard_of(best_id);
+      versa::LockGuard lock(shard.mutex);
+      RegionState& victim = state_at(shard, best_id);
+      if (victim.dirty == space) {
+        // Write back before dropping the only modified copy.
+        emit_copy(victim, space, kHostSpace, out);
+        add_valid(victim, kHostSpace);
+        victim.dirty = kInvalidSpace;
+      }
+      drop_valid(victim, space);
     }
-    drop_valid(victim, space);
+    mark_shards_end(victim_mask);
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -196,8 +253,22 @@ void DataDirectory::make_room(SpaceId space, std::uint64_t needed,
 void DataDirectory::acquire(const AccessList& accesses, SpaceId space,
                             TransferList& out) {
   VERSA_CHECK(space < machine_.space_count());
-  versa::LockGuard writer(mutex_);
+  if (machine_.space(space).capacity == 0) {
+    // Unlimited space: no pinning, no eviction — the acquire only touches
+    // the regions in its own access list, so it can share the directory
+    // with every other such acquire.
+    acquire_parallel(accesses, space, out);
+  } else {
+    acquire_exclusive(accesses, space, out);
+  }
+}
+
+void DataDirectory::acquire_exclusive(const AccessList& accesses,
+                                      SpaceId space, TransferList& out) {
+  versa::SharedMutexExclusiveGuard writer(mutex_);
   epoch_.fetch_add(1, std::memory_order_acq_rel);
+  const std::uint64_t mask = shard_mask(accesses);
+  mark_shards_begin(mask);
   // Pin the working set so evictions never victimize data this very task
   // is about to use.
   std::uint64_t incoming = 0;
@@ -238,33 +309,98 @@ void DataDirectory::acquire(const AccessList& accesses, SpaceId space,
     versa::LockGuard lock(shard.mutex);
     state_at(shard, access.region).pinned = false;
   }
+  mark_shards_end(mask);
   epoch_.fetch_add(1, std::memory_order_release);
 }
 
+void DataDirectory::acquire_parallel(const AccessList& accesses,
+                                     SpaceId space, TransferList& out) {
+  // Shared hold: excludes exclusive mutators (whose pin/evict logic needs
+  // the global view) but admits other parallel acquires — disjoint-region
+  // acquires commit concurrently, same-shard acquires serialize only on
+  // the shard mutexes. No pinning: nothing evicts from an unlimited
+  // space, and capacity-limited evictions cannot run while we hold the
+  // mutex shared.
+  versa::SharedLockGuard reader(mutex_);
+  const std::uint64_t mask = shard_mask(accesses);
+  // All begin marks land before the first mutation so the acquire is
+  // atomic as a whole to consistent readers of any subset of its shards.
+  mark_shards_begin(mask);
+  for (const Access& access : accesses) {
+    Shard& shard = shard_of(access.region);
+    versa::LockGuard lock(shard.mutex);
+    RegionState& rs = state_at(shard, access.region);
+    rs.last_use = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+    const bool valid_here = (rs.valid_mask & bit(space)) != 0;
+    if (reads(access.mode) && !valid_here) {
+      const SpaceId from = choose_source(rs, space);
+      emit_copy(rs, from, space, out);
+      add_valid(rs, space);
+    } else if (!valid_here) {
+      add_valid(rs, space);
+    }
+    if (writes(access.mode)) {
+      for (SpaceId s = 0; s < machine_.space_count(); ++s) {
+        if (s != space) drop_valid(rs, s);
+      }
+      rs.dirty = (space == kHostSpace) ? kInvalidSpace : space;
+    }
+  }
+  mark_shards_end(mask);
+}
+
 template <typename Fn>
-auto DataDirectory::read_consistent(Fn&& fn) const {
-  // Seqlock read path: run `fn` between two even, equal epoch samples.
-  // Each region access inside `fn` takes its shard lock, so there are no
-  // data races regardless — the epoch only vouches for *cross-region*
-  // consistency. Bounded retries, then exclude mutators via the writer
-  // mutex (rank 13 -> shard rank 14 inside `fn` is in documented order).
-  constexpr int kRetries = 8;
-  for (int attempt = 0; attempt < kRetries; ++attempt) {
-    const std::uint64_t before = epoch_.load(std::memory_order_acquire);
-    if (before & 1) {  // a mutator is publishing; let it finish
+auto DataDirectory::read_consistent(const AccessList& accesses,
+                                    Fn&& fn) const {
+  // Per-shard seqlock read path: run `fn` inside a window where the
+  // global epoch is even and stable and every *touched* shard shows no
+  // active writer and a stable epoch. Each region access inside `fn`
+  // takes its shard lock, so there are no data races regardless — the
+  // epochs only vouch for *cross-region* consistency. Mutations of
+  // untouched shards no longer force a retry. Bounded retries (named
+  // config, see kDefaultConsistentReadRetries), then exclude both mutator
+  // paths via an exclusive hold of the writer mutex (rank 13 -> shard
+  // rank 14 inside `fn` is in documented order). The fallback cannot
+  // starve: it waits only for in-flight critical sections to drain, and
+  // once the exclusive hold is granted `fn` runs mutation-free.
+  const int retries = read_retries_.load(std::memory_order_relaxed);
+  for (int attempt = 0; attempt < retries; ++attempt) {
+    const std::uint64_t global_before = epoch_.load(std::memory_order_acquire);
+    if (global_before & 1) {  // an exclusive mutator is publishing
+      std::this_thread::yield();
+      continue;
+    }
+    const std::uint64_t mask = shard_mask(accesses);
+    std::array<std::uint64_t, kShardCount> before{};
+    bool busy = false;
+    for (std::size_t i = 0; i < kShardCount && !busy; ++i) {
+      if ((mask & shard_bit(i)) == 0) continue;
+      // Epoch first, writer count second: a writer arriving between the
+      // two loads is caught by the count; one arriving after is caught by
+      // the final epoch comparison.
+      before[i] = shards_[i].epoch.load(std::memory_order_acquire);
+      busy = shards_[i].writers.load(std::memory_order_acquire) != 0;
+    }
+    if (busy) {
       std::this_thread::yield();
       continue;
     }
     auto result = fn();
-    if (epoch_.load(std::memory_order_acquire) == before) return result;
+    bool stable = epoch_.load(std::memory_order_acquire) == global_before;
+    for (std::size_t i = 0; i < kShardCount && stable; ++i) {
+      if ((mask & shard_bit(i)) == 0) continue;
+      stable = shards_[i].epoch.load(std::memory_order_acquire) == before[i];
+    }
+    if (stable) return result;
   }
-  versa::LockGuard writer(mutex_);
+  stats_.record_consistent_fallback();
+  versa::SharedMutexExclusiveGuard writer(mutex_);
   return fn();
 }
 
 std::uint64_t DataDirectory::bytes_missing(const AccessList& accesses,
                                            SpaceId space) const {
-  return read_consistent([&]() {
+  return read_consistent(accesses, [&]() {
     std::uint64_t missing = 0;
     for (const Access& access : accesses) {
       if (!reads(access.mode)) continue;
@@ -279,7 +415,7 @@ std::uint64_t DataDirectory::bytes_missing(const AccessList& accesses,
 
 std::uint64_t DataDirectory::bytes_valid(const AccessList& accesses,
                                          SpaceId space) const {
-  return read_consistent([&]() {
+  return read_consistent(accesses, [&]() {
     std::uint64_t valid = 0;
     for (const Access& access : accesses) {
       const Shard& shard = shard_of(access.region);
@@ -303,27 +439,35 @@ Duration DataDirectory::transfer_cost(const AccessList& accesses,
 }
 
 void DataDirectory::flush_all(TransferList& out) {
-  versa::LockGuard writer(mutex_);
+  versa::SharedMutexExclusiveGuard writer(mutex_);
   epoch_.fetch_add(1, std::memory_order_acq_rel);
   // Walk ids in registration order so the emitted TransferList is ordered
   // exactly as the historical single-vector walk (the sim replays it).
   const std::size_t limit = region_limit_.load(std::memory_order_relaxed);
   for (RegionId id = 0; id < limit; ++id) {
     Shard& shard = shard_of(id);
-    versa::LockGuard lock(shard.mutex);
-    RegionState& rs = shard.regions[slot_of(id)];
-    if (rs.dirty != kInvalidSpace) {
-      emit_copy(rs, rs.dirty, kHostSpace, out);
-      add_valid(rs, kHostSpace);
-      rs.dirty = kInvalidSpace;
+    std::uint64_t touched = 0;
+    {
+      versa::LockGuard lock(shard.mutex);
+      RegionState& rs = shard.regions[slot_of(id)];
+      if (rs.dirty != kInvalidSpace) {
+        touched = shard_bit(id % kShardCount);
+        mark_shards_begin(touched);
+        emit_copy(rs, rs.dirty, kHostSpace, out);
+        add_valid(rs, kHostSpace);
+        rs.dirty = kInvalidSpace;
+      }
     }
+    if (touched != 0) mark_shards_end(touched);
   }
   epoch_.fetch_add(1, std::memory_order_release);
 }
 
 void DataDirectory::flush_region(RegionId id, TransferList& out) {
-  versa::LockGuard writer(mutex_);
+  versa::SharedMutexExclusiveGuard writer(mutex_);
   epoch_.fetch_add(1, std::memory_order_acq_rel);
+  const std::uint64_t mask = shard_bit(id % kShardCount);
+  mark_shards_begin(mask);
   {
     Shard& shard = shard_of(id);
     versa::LockGuard lock(shard.mutex);
@@ -334,6 +478,7 @@ void DataDirectory::flush_region(RegionId id, TransferList& out) {
       rs.dirty = kInvalidSpace;
     }
   }
+  mark_shards_end(mask);
   epoch_.fetch_add(1, std::memory_order_release);
 }
 

@@ -14,15 +14,33 @@
 // Thread-safety: the directory is internally synchronized and every public
 // method is callable WITHOUT the runtime lock (DESIGN.md §9). Region state
 // is sharded by region id across `kShardCount` shards, each behind its own
-// `data.shard` (rank 14) mutex; mutators additionally serialize on the
-// writer mutex of class `data` (rank 13) and publish through a seqlock
-// epoch. Reads over a single region take only the shard lock; reads that
-// span regions (bytes_missing / bytes_valid / transfer_cost — the
-// schedulers' pricing queries) retry under the epoch until they observe a
-// mutation-free interval, falling back to the writer mutex under sustained
-// write pressure, so every answer corresponds to one consistent directory
-// state. Concurrent placement decisions built on those answers re-validate
-// against mutation_epoch() (the schedulers' re-validation rule).
+// `data.shard` (rank 14) mutex, and each carrying its own *mutation epoch*
+// (plus an active-writer count). Two mutator paths publish through them:
+//
+//   * Exclusive mutators (register/unregister/flush/acquire into a
+//     capacity-limited space — anything that needs the global view for
+//     pinning and LRU eviction) hold the writer mutex (class `data`,
+//     rank 13) exclusively and additionally flip the legacy global seqlock
+//     epoch odd/even.
+//   * Parallel acquires (into capacity-unlimited spaces, the common case
+//     for the simulated-GPU and thread-backend staging paths) hold the
+//     writer mutex *shared*, so disjoint-region acquires commit in
+//     parallel; they announce themselves only on the shards they touch
+//     (writer count up, epoch bump, mutate under the shard locks, epoch
+//     bump, writer count down).
+//
+// Reads over a single region take only the shard lock. Reads that span
+// regions (bytes_missing / bytes_valid / transfer_cost — the schedulers'
+// pricing queries) revalidate ONLY the shards their access list touches:
+// sample the touched shard epochs, run, and retry if a shard epoch moved
+// or a writer was active. After `consistent_read_retries()` failed
+// attempts they fall back to an exclusive hold of the writer mutex, which
+// excludes both mutator paths outright — the fallback is what makes the
+// read path non-starving, and each one is counted in the transfer stats
+// (`consistent_fallback_count`). Concurrent placement decisions built on
+// those answers re-validate against shard_epoch(shard_mask(accesses)) —
+// the per-shard form of the DESIGN.md §9 re-validation rule —
+// or mutation_epoch(), the folded legacy counter.
 #pragma once
 
 #include <array>
@@ -53,6 +71,17 @@ using TransferList = std::vector<TransferOp>;
 
 class DataDirectory {
  public:
+  /// Region ids stripe across shards (`id % kShardCount`). Public so the
+  /// DependencyAnalyzer mirrors the same striping and tests/benches can
+  /// construct disjoint-shard workloads deliberately.
+  static constexpr std::size_t kShardCount = 8;
+
+  /// Default bounded-retry count of the consistent-read seqlock loop
+  /// before it falls back to the writer mutex. Override per directory
+  /// with set_consistent_read_retries() (RuntimeConfig plumbs
+  /// VERSA_READ_RETRIES here).
+  static constexpr int kDefaultConsistentReadRetries = 8;
+
   explicit DataDirectory(const Machine& machine);
 
   /// Register a managed region. `host_ptr` may be null (virtual region).
@@ -81,9 +110,13 @@ class DataDirectory {
   /// Make every region accessed by `accesses` coherent for execution in
   /// `space`: appends the copies required to `out`, updates validity
   /// (writes invalidate other spaces) and evicts LRU copies if the space
-  /// would overflow. Must be called in dependence order per task chain;
-  /// concurrent acquires (prefetch threads vs workers) serialize on the
-  /// writer mutex, so each acquire is atomic as a whole.
+  /// would overflow. Must be called in dependence order per task chain —
+  /// the task graph orders conflicting acquires, so concurrent calls only
+  /// ever touch disjoint or read-shared regions. Acquires into
+  /// capacity-limited spaces serialize on the writer mutex; acquires into
+  /// unlimited spaces run in parallel under a shared hold, publishing
+  /// through their shards' epochs (each acquire is atomic as a whole to
+  /// consistent readers).
   void acquire(const AccessList& accesses, SpaceId space, TransferList& out);
 
   /// Bytes that would need copying into `space` to run `accesses` there.
@@ -115,12 +148,37 @@ class DataDirectory {
 
   std::uint64_t used_bytes(SpaceId space) const;
 
-  /// Even mutation counter: bumped to odd when a mutator starts publishing
-  /// and back to even when it finishes. Schedulers snapshot it before
-  /// pricing placements off the runtime lock and re-evaluate if it moved
-  /// (DESIGN.md §9 re-validation rule).
+  /// Bitmask (bit i = shard i) of the shards `accesses` touches — the key
+  /// for shard_epoch() re-validation.
+  static std::uint64_t shard_mask(const AccessList& accesses);
+
+  /// Folded epoch of the shards selected by `mask`: equal samples around
+  /// a computation prove none of those shards was mutated in between
+  /// (every component is monotone). The schedulers' per-shard
+  /// re-validation snapshot.
+  std::uint64_t shard_epoch(std::uint64_t mask) const;
+
+  /// Legacy whole-directory mutation counter: the global seqlock epoch
+  /// folded with every shard epoch. Monotone; equal samples prove the
+  /// whole directory is unchanged. Callers that know their access list
+  /// should prefer shard_epoch(shard_mask(...)) so disjoint-shard
+  /// mutations do not invalidate them.
   std::uint64_t mutation_epoch() const {
-    return epoch_.load(std::memory_order_acquire);
+    std::uint64_t folded = epoch_.load(std::memory_order_acquire);
+    for (const Shard& shard : shards_) {
+      folded += shard.epoch.load(std::memory_order_acquire);
+    }
+    return folded;
+  }
+
+  /// Bounded retry count of the consistent-read loop (named config; see
+  /// kDefaultConsistentReadRetries). 0 means "always fall back".
+  int consistent_read_retries() const {
+    return read_retries_.load(std::memory_order_relaxed);
+  }
+  void set_consistent_read_retries(int retries) {
+    read_retries_.store(retries < 0 ? 0 : retries,
+                        std::memory_order_relaxed);
   }
 
   /// Plain-value snapshot of the transfer accounting.
@@ -142,33 +200,42 @@ class DataDirectory {
     bool removed = false;  ///< unregistered (tombstone; ids never reused)
   };
 
-  /// Region ids stripe across shards (`id % kShardCount`); each shard owns
-  /// a deque (stable references) guarded by its own rank-14 mutex.
-  static constexpr std::size_t kShardCount = 8;
-
   struct Shard {
     mutable versa::Mutex mutex{lock_order::kLockRankDataShard};
     std::deque<RegionState> regions VERSA_GUARDED_BY(mutex);
+    /// Per-shard mutation epoch: bumped once when a mutator announces
+    /// itself on this shard and once when it finishes, so equal samples
+    /// with no active writer bracket a mutation-free interval.
+    std::atomic<std::uint64_t> epoch{0};
+    /// Mutators currently announced on this shard (parallel acquires can
+    /// overlap; consistent readers treat any active writer as "retry").
+    std::atomic<std::uint32_t> writers{0};
   };
 
   const Machine& machine_;
 
-  /// Writer mutex (class `data`, rank 13): serializes every mutator and
-  /// the consistent-read fallback. Shard mutexes (rank 14) nest inside.
-  mutable versa::Mutex mutex_{lock_order::kLockRankData};
+  /// Writer mutex (class `data`, rank 13): exclusive mutators and the
+  /// consistent-read fallback hold it exclusively; parallel acquires hold
+  /// it shared. Shard mutexes (rank 14) nest inside either mode.
+  mutable versa::SharedMutex mutex_{lock_order::kLockRankData};
   std::array<Shard, kShardCount> shards_;
 
-  /// Seqlock epoch: odd while a mutator is publishing, even otherwise.
+  /// Legacy global seqlock epoch: odd while an *exclusive* mutator is
+  /// publishing, even otherwise. Parallel acquires do not touch it —
+  /// their footprint lives in the shard epochs.
   std::atomic<std::uint64_t> epoch_{0};
   /// Number of region ids handed out (tombstones included).
   std::atomic<std::size_t> region_limit_{0};
-  /// Per-space bytes of valid copies (relaxed mirrors; mutated only by
-  /// writer-serialized code, read lock-free by used_bytes()).
+  /// Per-space bytes of valid copies (relaxed mirrors; mutated under the
+  /// owning region's shard lock, read lock-free by used_bytes()).
   std::vector<std::atomic<std::uint64_t>> used_;
-  AtomicTransferStats stats_;
+  /// Mutable: the const consistent-read path counts its writer-mutex
+  /// fallbacks (accounting only, internally synchronized).
+  mutable AtomicTransferStats stats_;
   std::atomic<std::uint64_t> tick_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::size_t> live_regions_{0};
+  std::atomic<int> read_retries_{kDefaultConsistentReadRetries};
 
   Shard& shard_of(RegionId id) { return shards_[id % kShardCount]; }
   const Shard& shard_of(RegionId id) const { return shards_[id % kShardCount]; }
@@ -186,16 +253,31 @@ class DataDirectory {
   void drop_valid(RegionState& rs, SpaceId space);
   void emit_copy(RegionState& rs, SpaceId from, SpaceId to, TransferList& out);
 
+  /// Announce a mutation on every shard in `mask` / retract the
+  /// announcement. Begin marks must all land before the first region is
+  /// touched so multi-shard mutations stay atomic to consistent readers.
+  void mark_shards_begin(std::uint64_t mask);
+  void mark_shards_end(std::uint64_t mask);
+
+  /// The two acquire paths (see class comment).
+  void acquire_exclusive(const AccessList& accesses, SpaceId space,
+                         TransferList& out);
+  void acquire_parallel(const AccessList& accesses, SpaceId space,
+                        TransferList& out);
+
   /// Evict LRU unpinned copies from `space` until `needed` bytes fit.
-  /// Called with the writer mutex held; takes shard locks internally.
+  /// Called with the writer mutex held exclusively; takes shard locks
+  /// (and marks victim shards) internally.
   void make_room(SpaceId space, std::uint64_t needed, TransferList& out)
       VERSA_REQUIRES(mutex_);
 
   /// Run `fn` (which reads regions under their shard locks) against one
-  /// consistent directory state: seqlock retries on the epoch, then a
-  /// writer-mutex fallback that excludes mutators outright.
+  /// consistent directory state: revalidate the global epoch plus the
+  /// shards `accesses` touches, retrying up to consistent_read_retries()
+  /// times, then exclude all mutators via an exclusive hold of the writer
+  /// mutex (counted in consistent_fallback_count).
   template <typename Fn>
-  auto read_consistent(Fn&& fn) const;
+  auto read_consistent(const AccessList& accesses, Fn&& fn) const;
 };
 
 }  // namespace versa

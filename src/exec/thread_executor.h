@@ -29,9 +29,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "exec/executor.h"
+#include "sched/core/decision_trace.h"
 #include "util/annotated_sync.h"
 
 namespace versa {
@@ -41,6 +43,11 @@ struct ThreadExecutorConfig {
   /// tasks without a cost model run at native speed either way.
   bool emulate_costs = false;
   double time_scale = 1.0;
+  /// Bytes of placement-time prefetch allowed in flight per memory space
+  /// (0 = unlimited). Intents over budget stay buffered until a charged
+  /// task starts running; a single intent larger than the whole budget is
+  /// admitted when the space is otherwise idle, so it cannot wedge.
+  std::uint64_t prefetch_budget = 0;
 };
 
 class ThreadExecutor final : public Executor {
@@ -76,11 +83,15 @@ class ThreadExecutor final : public Executor {
   std::atomic<bool> stop_{false};
 
   /// Prefetch intents: the scheduler's push (under the runtime lock)
-  /// records "stage task T's data for worker W" here; workers drain the
-  /// buffer at the top of run_one and perform the directory acquires with
-  /// NO runtime involvement — the directory is internally synchronized
-  /// and Task::acquired_space CAS-arbitrates against the executing
-  /// worker (the concurrent data path, DESIGN.md §9).
+  /// records "stage task T's data for worker W" here. A dedicated
+  /// prefetch thread drains the buffer the moment a placement lands
+  /// (woken by the same wake epoch the workers use), so staging starts at
+  /// *placement* time and overlaps the predecessor task; workers still
+  /// drain at the top of run_one as the dequeue-time fallback. Either
+  /// drain performs the directory acquires with NO runtime involvement —
+  /// the directory is internally synchronized and Task::acquired_space
+  /// CAS-arbitrates against the executing worker (the concurrent data
+  /// path, DESIGN.md §9 and §13).
   struct PrefetchIntent {
     Task* task = nullptr;  ///< stable: the graph stores tasks in a deque
     WorkerId worker = kInvalidWorker;
@@ -93,9 +104,41 @@ class ThreadExecutor final : public Executor {
   /// so transfer accounting is complete when a taskwait returns.
   std::atomic<std::uint64_t> prefetch_inflight_{0};
 
-  /// Swap the intent buffer out and stage each claimed task's data.
-  /// Called lock-free from worker threads.
-  void drain_prefetch();
+  /// Budget accounting (config_.prefetch_budget != 0): bytes charged per
+  /// space for claims issued by a drain, released when the charged task
+  /// starts running (or immediately, if the claim was lost). The charge
+  /// is keyed by task so the releasing worker need not know which drain
+  /// charged it; insertion happens *before* the claim attempt so a won
+  /// claim is always covered, and erasure is idempotent because both the
+  /// claim-loser and the task-starting worker may try it.
+  struct PrefetchCharge {
+    SpaceId space = kInvalidSpace;
+    std::uint64_t bytes = 0;
+  };
+  std::unordered_map<TaskId, PrefetchCharge> prefetch_charges_
+      VERSA_GUARDED_BY(prefetch_mutex_);
+  /// Per-space bytes currently charged (indexed by SpaceId).
+  std::vector<std::uint64_t> prefetch_inflight_bytes_
+      VERSA_GUARDED_BY(prefetch_mutex_);
+
+  /// Which drain path claimed an intent (trace attribution).
+  enum class DrainSite : std::uint8_t { kPlacement, kDequeue };
+
+  /// Swap the intent buffer out and stage each claimed task's data;
+  /// over-budget intents are re-buffered for a later drain. Called
+  /// lock-free from the prefetch thread and from worker threads.
+  void drain_prefetch(DrainSite site);
+
+  /// Release the budget charge of `task` if one is outstanding (idempotent)
+  /// and wake the prefetch thread so deferred intents retry.
+  void release_prefetch_charge(TaskId task);
+
+  /// Record a prefetch trace event (free when tracing is off).
+  void record_prefetch_event(core::TraceEventKind kind, const Task& task,
+                             WorkerId worker, std::uint64_t bytes);
+
+  /// Placement-time drain loop of the dedicated prefetch thread.
+  void prefetch_loop();
 
   std::uint64_t wake_snapshot();
   void bump_wake();

@@ -69,6 +69,9 @@ std::string sched_trace_counters_json(const core::DecisionTrace& trace,
       case core::TraceEventKind::kSplit:
       case core::TraceEventKind::kFuse:
       case core::TraceEventKind::kReversal:
+      case core::TraceEventKind::kPrefetchPlaced:
+      case core::TraceEventKind::kPrefetchDequeue:
+      case core::TraceEventKind::kPrefetchStale:
         std::snprintf(buffer, sizeof(buffer),
                       "{\"name\":\"%s\",\"cat\":\"sched\",\"ph\":\"i\","
                       "\"s\":\"t\",\"ts\":%.3f,\"pid\":2,\"tid\":%u,"
@@ -94,9 +97,10 @@ bool write_sched_trace(const std::string& path,
 
 std::string sched_trace_csv(const core::DecisionTrace& trace,
                             const std::string& policy) {
-  // v3 appends the granularity columns (group key, child count) after the
-  // v2 tenant column. versa_trace_report still accepts v1/v2 files.
-  std::string out = "# versa-sched-trace v3\n";
+  // v4 keeps the v3 column set but adds the prefetch event kinds
+  // (prefetch / prefetch-pop / prefetch-stale, with `group` carrying the
+  // staged bytes). versa_trace_report still accepts v1/v2/v3 files.
+  std::string out = "# versa-sched-trace v4\n";
   out += "# policy=" + policy + "\n";
   char buffer[320];
   std::snprintf(buffer, sizeof(buffer),

@@ -14,6 +14,11 @@
 //   VERSA_SCHED_TRACE      — 0/1, record the scheduler decision trace
 //   VERSA_GRANULARITY      — off | auto | N, adaptive task granularity
 //   VERSA_SANITIZE         — off | spec | race, dependence-spec sanitizer
+//   VERSA_PREFETCH_BUDGET  — bytes of in-flight placement-time prefetch
+//                            allowed per memory space (0 = unlimited)
+//   VERSA_READ_RETRIES     — bounded seqlock retries of the directory's
+//                            consistent-read path before the writer-mutex
+//                            fallback
 #pragma once
 
 #include <cstdint>
@@ -39,6 +44,19 @@ struct RuntimeConfig {
   /// Overlap data transfers with computation and prefetch task data as
   /// soon as tasks are assigned (§V-A enables both for all schedulers).
   bool prefetch = true;
+
+  /// Thread backend: bytes of placement-time prefetch allowed in flight
+  /// per memory space before further intents wait for running tasks to
+  /// start (0 = unlimited). Bounds how far ahead of execution the
+  /// dedicated prefetch thread stages data; intents over budget fall back
+  /// to the dequeue-time drain. Ignored by the sim backend (its prefetch
+  /// is virtual-time-modelled).
+  std::uint64_t prefetch_budget = 0;
+
+  /// Bounded retry count of DataDirectory::read_consistent before it
+  /// falls back to the writer mutex (counted in the transfer stats).
+  /// Plumbed into DataDirectory::set_consistent_read_retries.
+  int consistent_read_retries = 8;
 
   sim::NoiseConfig noise;
   std::uint64_t seed = 42;

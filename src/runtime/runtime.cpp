@@ -55,10 +55,12 @@ Runtime::Runtime(const Machine& machine, RuntimeConfig config)
       ThreadExecutorConfig thread_config;
       thread_config.emulate_costs = config_.emulate_costs;
       thread_config.time_scale = config_.emulation_time_scale;
+      thread_config.prefetch_budget = config_.prefetch_budget;
       executor_ = std::make_unique<ThreadExecutor>(machine_, thread_config);
       break;
     }
   }
+  directory_.set_consistent_read_retries(config_.consistent_read_retries);
   executor_->attach(*this);
   VERSA_LOG(kInfo) << "runtime up: " << machine_.summary() << ", scheduler="
                    << scheduler_->name();

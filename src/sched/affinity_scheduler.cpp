@@ -13,13 +13,17 @@ void AffinityScheduler::task_ready(Task& task) {
 
   // The candidate scan reads directory residency, which worker-thread
   // prefetch acquires can move mid-scan (the directory is off the runtime
-  // lock). Re-validate against mutation_epoch() with one bounded retry so
+  // lock). Re-validate against the per-shard epochs of exactly the shards
+  // this task's accesses touch (shard_epoch) with one bounded retry, so
   // the committed placement priced a residency state that actually
-  // existed during the scan; under the sim backend the epoch never moves
-  // here, so the loop runs once and the figures stay deterministic.
+  // existed during the scan — and acquires over *other* shards no longer
+  // force the re-price. Under the sim backend the epochs never move here,
+  // so the loop runs once and the figures stay deterministic.
+  const std::uint64_t shard_mask = DataDirectory::shard_mask(task.accesses);
   WorkerId best = kInvalidWorker;
   for (int attempt = 0; attempt < 2; ++attempt) {
-    const std::uint64_t epoch_before = ctx_->directory().mutation_epoch();
+    const std::uint64_t epoch_before =
+        ctx_->directory().shard_epoch(shard_mask);
     best = kInvalidWorker;
     std::uint64_t best_missing = 0;
     std::size_t best_queue = 0;
@@ -35,7 +39,7 @@ void AffinityScheduler::task_ready(Task& task) {
         best_queue = queue;
       }
     }
-    if (ctx_->directory().mutation_epoch() == epoch_before) break;
+    if (ctx_->directory().shard_epoch(shard_mask) == epoch_before) break;
   }
   PushInfo info;
   info.candidates = static_cast<std::uint32_t>(candidates.size());

@@ -137,7 +137,7 @@ std::size_t WorkerQueues::buffered_length(WorkerId worker) const {
 std::vector<TaskId> WorkerQueues::snapshot(WorkerId worker) const {
   VERSA_CHECK(worker < shards_.size());
   const Shard& shard = *shards_[worker];
-  // submit(16) before queue(30): documented rank order.
+  // submit(17) before queue(30): documented rank order.
   versa::LockGuard submit_lock(shard.submit_mutex);
   versa::LockGuard lock(shard.mutex);
   std::vector<TaskId> out;

@@ -8,8 +8,8 @@
 // stealing reads only the atomic lengths (no locks at all).
 //
 // PR 4 adds a producer side: each shard also carries a *submission buffer*
-// under its own mutex of class kLockRankSubmit (rank 16, between the
-// runtime lock and the account lock). Producers append placement records
+// under its own mutex of class kLockRankSubmit (rank 17, between the
+// analyzer shards and the account lock). Producers append placement records
 // with buffer_push() without touching the queue mutex; the buffer is
 // published into the shard by drain() — from the owning worker before it
 // pops, from a thief before it steals, and from drain_all() at round
@@ -107,7 +107,7 @@ class WorkerQueues {
 
   /// Publish `worker`'s buffered entries into its shard, inserting each in
   /// arrival order with the same priority walk as push(). Cheap no-op
-  /// (one relaxed atomic load) when the buffer is empty. Nests submit(16)
+  /// (one relaxed atomic load) when the buffer is empty. Nests submit(17)
   /// under queue(30) — callers must not hold the account lock (rank 20).
   void drain(WorkerId worker);
 

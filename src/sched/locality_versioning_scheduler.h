@@ -22,7 +22,7 @@ class LocalityVersioningScheduler final : public VersioningScheduler {
   Duration placement_penalty(const Task& task, WorkerId worker) const override;
 
   /// The penalty prices directory residency, so the earliest-executor walk
-  /// re-validates against DataDirectory::mutation_epoch().
+  /// re-validates against DataDirectory::shard_epoch() over the task's shards.
   bool placement_penalty_uses_directory() const override { return true; }
 };
 

@@ -139,7 +139,7 @@ TaskId QueueScheduler::pop_task(WorkerId worker) {
 
 TaskId QueueScheduler::try_pop_queued(WorkerId worker) {
   VERSA_CHECK(worker < queues_.worker_count());
-  // Publish this shard's buffered placements first (submit(16) then
+  // Publish this shard's buffered placements first (submit(17) then
   // queue(30); the account lock is not held here, so the rank order is
   // respected).
   queues_.drain(worker);

@@ -88,7 +88,7 @@ class VersioningScheduler : public QueueScheduler {
   /// is no longer runtime-lock serialized, so prefetch acquires on worker
   /// threads can move region residency *while* a placement walk is
   /// pricing candidates; assign_earliest_executor then re-validates the
-  /// decision against DataDirectory::mutation_epoch() (one bounded
+  /// decision against DataDirectory::shard_epoch() over the task's shards (one bounded
   /// retry). Policies whose penalty is directory-free skip the epoch
   /// sampling entirely.
   virtual bool placement_penalty_uses_directory() const { return false; }

@@ -272,7 +272,7 @@ TEST(TraceReport, V3GranularityColumnsRoundTripAndAggregate) {
   trace.record(e);
 
   const std::string csv = sched_trace_csv(trace, "versioning");
-  EXPECT_NE(csv.find("# versa-sched-trace v3"), std::string::npos);
+  EXPECT_NE(csv.find("# versa-sched-trace v4"), std::string::npos);
   std::istringstream in(csv);
   SchedTraceDump dump;
   std::string error;
@@ -304,6 +304,91 @@ TEST(TraceReport, V3GranularityColumnsRoundTripAndAggregate) {
   EXPECT_NE(rendered.find("granularity: 2 splits, 1 fuses, 1 reversals"),
             std::string::npos);
   EXPECT_NE(rendered.find("4096"), std::string::npos);
+}
+
+TEST(TraceReport, V4PrefetchKindsRoundTripAndReport) {
+  // Placement-time/dequeue-fallback/stale prefetch events carry the staged
+  // byte count in `group`; the analyzer folds them into the effectiveness
+  // counters and the renderer shows a prefetch section.
+  core::DecisionTrace trace;
+  trace.enable(16);
+  core::TraceEvent e;
+  e.time = 1.0;
+  e.task = 1;
+  e.type = 5;
+  e.worker = 0;
+  e.kind = core::TraceEventKind::kPrefetchPlaced;
+  e.group = 4096;
+  trace.record(e);
+  e.time = 2.0;
+  e.task = 2;
+  e.kind = core::TraceEventKind::kPrefetchPlaced;
+  e.group = 1024;
+  trace.record(e);
+  e.time = 3.0;
+  e.task = 3;
+  e.kind = core::TraceEventKind::kPrefetchDequeue;
+  e.group = 512;
+  trace.record(e);
+  e.time = 4.0;
+  e.task = 4;
+  e.kind = core::TraceEventKind::kPrefetchStale;
+  e.group = 0;
+  trace.record(e);
+
+  const std::string csv = sched_trace_csv(trace, "versioning");
+  EXPECT_NE(csv.find(",prefetch,"), std::string::npos);
+  EXPECT_NE(csv.find(",prefetch-pop,"), std::string::npos);
+  EXPECT_NE(csv.find(",prefetch-stale,"), std::string::npos);
+  std::istringstream in(csv);
+  SchedTraceDump dump;
+  std::string error;
+  ASSERT_TRUE(parse_sched_trace_csv(in, dump, error)) << error;
+  ASSERT_EQ(dump.events.size(), 4u);
+  EXPECT_EQ(dump.events[0].kind, core::TraceEventKind::kPrefetchPlaced);
+  EXPECT_EQ(dump.events[0].group, 4096u);
+  EXPECT_EQ(dump.events[2].kind, core::TraceEventKind::kPrefetchDequeue);
+  EXPECT_EQ(dump.events[3].kind, core::TraceEventKind::kPrefetchStale);
+
+  const TraceReport report = analyze_sched_trace(dump);
+  EXPECT_EQ(report.prefetch_placed, 2u);
+  EXPECT_EQ(report.prefetch_dequeue, 1u);
+  EXPECT_EQ(report.prefetch_stale, 1u);
+  EXPECT_EQ(report.prefetch_bytes, 4096u + 1024u + 512u);
+  EXPECT_DOUBLE_EQ(report.prefetch_placement_share, 0.5);
+  EXPECT_DOUBLE_EQ(report.prefetch_claim_share, 0.75);
+
+  const std::string rendered = render_trace_report(dump, report);
+  EXPECT_NE(
+      rendered.find("prefetch: 2 placement-time + 1 dequeue-fallback claims"),
+      std::string::npos);
+  EXPECT_NE(rendered.find("prefetch bytes overlapped: 5632"),
+            std::string::npos);
+}
+
+TEST(TraceReport, LegacyV3FilesStillParse) {
+  // v3 files (13 fields, granularity columns, no prefetch kinds) must keep
+  // parsing with the prefetch counters zeroed and no prefetch section.
+  const std::string v3 =
+      "# versa-sched-trace v3\n"
+      "# policy=versioning\n"
+      "# recorded=1 dropped=0 capacity=8\n"
+      "time,kind,task,type,version,worker,busy,estimate,penalty,candidates,"
+      "tenant,group,children\n"
+      "1.0,split,7,2,0,0,0,0,0,0,0,4096,4\n";
+  std::istringstream in(v3);
+  SchedTraceDump dump;
+  std::string error;
+  ASSERT_TRUE(parse_sched_trace_csv(in, dump, error)) << error;
+  EXPECT_TRUE(dump.has_granularity_columns);
+  ASSERT_EQ(dump.events.size(), 1u);
+  EXPECT_EQ(dump.events[0].kind, core::TraceEventKind::kSplit);
+  const TraceReport report = analyze_sched_trace(dump);
+  EXPECT_EQ(report.prefetch_placed + report.prefetch_dequeue +
+                report.prefetch_stale,
+            0u);
+  const std::string rendered = render_trace_report(dump, report);
+  EXPECT_EQ(rendered.find("prefetch:"), std::string::npos);
 }
 
 TEST(TraceReport, LegacyV1AndV2FilesStillParse) {

