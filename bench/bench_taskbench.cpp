@@ -1,0 +1,115 @@
+// Micro-benchmarks for the synthetic workload generator (src/taskbench):
+// graph generation, closure construction, and end-to-end runtime overhead
+// per task when a generated graph flows through submit/analyze/schedule/
+// execute on both backends. The per-task numbers here are the raw
+// material METG is made of — if bench_taskbench regresses, every METG
+// figure shifts.
+#include <benchmark/benchmark.h>
+
+#include "bench_context.h"
+#include "machine/presets.h"
+#include "runtime/runtime.h"
+#include "taskbench/graph_spec.h"
+#include "taskbench/runner.h"
+
+namespace {
+
+using namespace versa;
+using namespace versa::taskbench;
+
+TaskBenchParams params_for(GraphFamily family, std::uint32_t width,
+                           std::uint32_t steps) {
+  TaskBenchParams params;
+  params.family = family;
+  params.width = width;
+  params.steps = steps;
+  params.payload_bytes = 1024;
+  return params;
+}
+
+/// Deterministic edge-list generation, the pure-CPU part of the pipeline.
+void BM_TaskbenchGenerate(benchmark::State& state) {
+  const auto family = static_cast<GraphFamily>(state.range(0));
+  const TaskBenchParams params = params_for(family, 64, 32);
+  std::size_t edges = 0;
+  for (auto _ : state) {
+    GraphSpec spec = generate_graph(params);
+    edges = spec.edges.size();
+    benchmark::DoNotOptimize(spec);
+  }
+  state.counters["edges"] = static_cast<double>(edges);
+}
+
+/// Ancestor-bitset transitive closure (the property test's oracle side).
+void BM_TaskbenchClosure(benchmark::State& state) {
+  const GraphSpec spec =
+      generate_graph(params_for(GraphFamily::kStencil1D, 64, 32));
+  for (auto _ : state) {
+    auto closure = dependence_closure(spec);
+    benchmark::DoNotOptimize(closure);
+  }
+}
+
+/// Whole-pipeline per-task overhead on the sim backend: submit a generated
+/// graph through the ordinary Runtime API and run it to completion in
+/// virtual time. tasks/s counts real scheduling work, not compute.
+void BM_TaskbenchSimRun(benchmark::State& state) {
+  const auto family = static_cast<GraphFamily>(state.range(0));
+  const GraphSpec spec = generate_graph(params_for(family, 16, 8));
+  const Machine machine = make_minotauro_node(4, 2);
+  std::uint64_t tasks = 0;
+  for (auto _ : state) {
+    RuntimeConfig config;
+    config.backend = Backend::kSim;
+    Runtime rt(machine, config);
+    SubmitGraphOptions options;
+    options.task_cost = 1e-4;
+    submit_graph(rt, spec, options);
+    rt.taskwait();
+    tasks += spec.node_count;
+  }
+  state.counters["tasks/s"] =
+      benchmark::Counter(static_cast<double>(tasks), benchmark::Counter::kIsRate);
+}
+
+/// Same pipeline on the thread backend with near-zero compute bodies:
+/// pure runtime overhead under real threads (needs cores to be honest —
+/// hardware_concurrency lands in the JSON context block).
+void BM_TaskbenchThreadRun(benchmark::State& state) {
+  versa::bench::report_hardware_concurrency();
+  const auto family = static_cast<GraphFamily>(state.range(0));
+  const GraphSpec spec = generate_graph(params_for(family, 16, 8));
+  const Machine machine = make_smp_machine(2);
+  std::uint64_t tasks = 0;
+  for (auto _ : state) {
+    RuntimeConfig config;
+    config.backend = Backend::kThreads;
+    Runtime rt(machine, config);
+    SubmitGraphOptions options;
+    options.task_cost = 1e-6;
+    options.spin_bodies = true;
+    submit_graph(rt, spec, options);
+    rt.taskwait();
+    tasks += spec.node_count;
+  }
+  state.counters["tasks/s"] =
+      benchmark::Counter(static_cast<double>(tasks), benchmark::Counter::kIsRate);
+}
+
+void family_args(benchmark::internal::Benchmark* bench) {
+  for (const GraphFamily family : all_families()) {
+    bench->Arg(static_cast<int>(family));
+  }
+}
+
+BENCHMARK(BM_TaskbenchGenerate)->Apply(family_args);
+BENCHMARK(BM_TaskbenchClosure);
+BENCHMARK(BM_TaskbenchSimRun)->Apply(family_args);
+BENCHMARK(BM_TaskbenchThreadRun)
+    ->Arg(static_cast<int>(GraphFamily::kStencil1D))
+    ->Arg(static_cast<int>(GraphFamily::kTrivial))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

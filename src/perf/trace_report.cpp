@@ -170,6 +170,7 @@ TraceReport analyze_sched_trace(const SchedTraceDump& dump) {
         placed.insert({e.type, e.version});
         ++report.per_worker[e.worker].first;
         ++tenant.placements;
+        ++report.per_type[e.type].placements;
         break;
       case core::TraceEventKind::kLearningPlacement:
         ++report.learning_placements;
@@ -177,11 +178,14 @@ TraceReport analyze_sched_trace(const SchedTraceDump& dump) {
         sampled.insert({e.type, e.version});
         ++report.per_worker[e.worker].first;
         ++tenant.placements;
+        ++report.per_type[e.type].placements;
+        ++report.per_type[e.type].learning;
         break;
       case core::TraceEventKind::kSteal:
         ++report.steals;
         ++report.per_worker[e.worker].second;
         ++tenant.steals;
+        ++report.per_type[e.type].steals;
         break;
       case core::TraceEventKind::kFailure:
         ++report.failures;
@@ -190,6 +194,7 @@ TraceReport analyze_sched_trace(const SchedTraceDump& dump) {
       case core::TraceEventKind::kComplete:
         ++report.completions;
         ++tenant.completions;
+        ++report.per_type[e.type].completions;
         break;
       case core::TraceEventKind::kSplit:
         ++report.splits;
@@ -240,6 +245,13 @@ TraceReport analyze_sched_trace(const SchedTraceDump& dump) {
     }
     if (span > 0.0) {
       tenant.throughput = static_cast<double>(tenant.completions) / span;
+    }
+  }
+  for (auto& [type, counts] : report.per_type) {
+    (void)type;
+    if (counts.placements > 0) {
+      counts.steal_churn = static_cast<double>(counts.steals) /
+                           static_cast<double>(counts.placements);
     }
   }
   const std::uint64_t total_placements =
@@ -319,6 +331,32 @@ std::string render_trace_report(const SchedTraceDump& dump,
                      std::to_string(counts.placements),
                      std::to_string(counts.steals),
                      std::to_string(counts.completions), churn, buffer});
+    }
+    out += table.to_string();
+  }
+  // Per-type breakdown: rendered only when the placements span at least
+  // two distinct task types (versa_taskbench's one-type-per-family runs;
+  // single-type dumps render exactly as before).
+  std::size_t types_placed = 0;
+  for (const auto& [type, counts] : report.per_type) {
+    (void)type;
+    if (counts.placements > 0) ++types_placed;
+  }
+  if (types_placed >= 2) {
+    out += "per-type breakdown:\n";
+    TablePrinter table({"type", "placements", "learning", "steals",
+                        "completions", "churn"});
+    for (const auto& [type, counts] : report.per_type) {
+      if (counts.placements == 0 && counts.completions == 0 &&
+          counts.steals == 0) {
+        continue;
+      }
+      std::snprintf(buffer, sizeof(buffer), "%.1f%%",
+                    counts.steal_churn * 100.0);
+      table.add_row({std::to_string(type), std::to_string(counts.placements),
+                     std::to_string(counts.learning),
+                     std::to_string(counts.steals),
+                     std::to_string(counts.completions), buffer});
     }
     out += table.to_string();
   }

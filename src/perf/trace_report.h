@@ -77,6 +77,20 @@ struct TraceReport {
   };
   std::map<TenantId, TenantBreakdown> per_tenant;
 
+  /// Per-task-type breakdown. Multi-type runs — notably versa_taskbench,
+  /// which declares one type per graph family — get their placement and
+  /// completion volume separated by type; rendered only when at least two
+  /// distinct types appear among the placements, so single-type dumps
+  /// render exactly as before.
+  struct TypeBreakdown {
+    std::uint64_t placements = 0;  ///< reliable + learning
+    std::uint64_t learning = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t completions = 0;
+    double steal_churn = 0.0;  ///< steals / placements
+  };
+  std::map<TaskTypeId, TypeBreakdown> per_type;
+
   /// Granularity-controller totals (v3 dumps; all zero before PR 7 CSVs).
   std::uint64_t splits = 0;
   std::uint64_t fuses = 0;

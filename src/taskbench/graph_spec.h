@@ -1,0 +1,120 @@
+// Synthetic workload generator (DESIGN.md §14) — task-bench-style
+// parameterized dependence graphs.
+//
+// A graph is a grid of timesteps; every family places its dependence
+// edges only between consecutive timesteps, which is what lets one
+// double-buffered region set realize any family's edges through the
+// ordinary in/out dependence clauses (taskbench::submit_graph). Each
+// family ships with a *closed-form oracle* — expected node/edge counts,
+// critical-path length and total edge-payload bytes computed from the
+// parameters alone, never from the generated edge list — so the generator
+// is permanently cross-checked against an independent model
+// (taskbench_property_test), and the runtime's observed execution order
+// can be validated against the oracle edges' transitive closure.
+//
+// Generation is deterministic: the same parameters and seed produce a
+// byte-identical GraphSpec (canonical_text) on every platform, backend
+// and build — the randomized families draw from the repo's own
+// xoshiro-based Rng, never from library distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace versa::taskbench {
+
+/// Dependence-graph families, mirroring the task-bench set the ROADMAP
+/// names. All edges connect timestep t-1 to timestep t.
+enum class GraphFamily : std::uint8_t {
+  kTrivial,    ///< no edges: width-way embarrassing parallelism
+  kChain,      ///< width independent chains: (t-1,i) -> (t,i)
+  kStencil1D,  ///< 3-point halo: parents {i-1, i, i+1} clamped
+  kStencil2D,  ///< 5-point halo on a side×side grid (width = side²)
+  kFft,        ///< butterfly: parents {i, i xor 2^((t-1) mod log2 w)}
+  kTree,       ///< binary reduce then broadcast, repeating
+  kRandomFan,  ///< each node picks `fan` distinct seeded-random parents
+};
+
+const char* to_string(GraphFamily family);
+
+/// Parse "trivial|chain|stencil|stencil2d|fft|tree|random" (the names
+/// to_string emits). False on an unknown name.
+bool parse_family(const std::string& text, GraphFamily& family);
+
+/// All seven families, generation order.
+std::vector<GraphFamily> all_families();
+
+struct TaskBenchParams {
+  GraphFamily family = GraphFamily::kStencil1D;
+  /// Points per timestep. Normalized per family: kFft and kTree round
+  /// down to a power of two (min 2), kStencil2D rounds down to a square.
+  std::uint32_t width = 16;
+  std::uint32_t steps = 8;
+  /// Bytes carried per dependence edge (= the size of every node's
+  /// output region).
+  std::uint64_t payload_bytes = 4096;
+  /// kRandomFan only: distinct parents per node (clamped to width).
+  std::uint32_t fan = 2;
+  std::uint64_t seed = 42;
+};
+
+/// Copy of `params` with the family's width/fan constraints applied —
+/// generate_graph and oracle_for both normalize first, so they always
+/// agree on the effective shape.
+TaskBenchParams normalized(const TaskBenchParams& params);
+
+/// Closed-form expectations for a parameter set: computed analytically
+/// (per-family formulas over normalized width/steps), independent of the
+/// edge generator.
+struct GraphOracle {
+  std::uint64_t nodes = 0;
+  std::uint64_t edges = 0;
+  /// Longest dependence chain, counted in tasks (1 = no dependences).
+  std::uint32_t critical_path = 0;
+  /// edges × payload_bytes: the byte volume the dependence edges carry.
+  std::uint64_t total_payload_bytes = 0;
+};
+
+GraphOracle oracle_for(const TaskBenchParams& params);
+
+/// A generated dependence graph. Nodes are identified by a flat id
+/// (level_offset[step] + index); edges are (from, to) flat-id pairs,
+/// sorted by (to, from).
+struct GraphSpec {
+  TaskBenchParams params;  ///< normalized parameters
+  std::uint64_t node_count = 0;
+  /// Active node count per timestep (uniform except kTree's wave).
+  std::vector<std::uint32_t> level_width;
+  /// Flat id of each timestep's first node.
+  std::vector<std::uint64_t> level_offset;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> edges;
+
+  /// (step, index) of a flat node id.
+  std::pair<std::uint32_t, std::uint32_t> locate(std::uint64_t flat) const;
+
+  /// Deterministic serialization of the whole spec (header, level table,
+  /// edge list with per-edge payload bytes). Byte-identical for equal
+  /// params on every platform — the determinism suite diffs this string
+  /// across backends and granularity modes.
+  std::string canonical_text() const;
+};
+
+/// Generate the dependence graph for `params` (normalized first).
+GraphSpec generate_graph(const TaskBenchParams& params);
+
+/// Transitive-closure reachability over the spec's edges: result[v] holds
+/// the set of nodes u with a dependence path u -> v, as a flat bitset per
+/// node (node_count bits each). Intended for conformance tests; cost is
+/// O(nodes × edges / 64).
+std::vector<std::vector<std::uint64_t>> dependence_closure(
+    const GraphSpec& spec);
+
+/// True when `from` reaches `to` in a closure built by dependence_closure.
+bool closure_reaches(const std::vector<std::vector<std::uint64_t>>& closure,
+                     std::uint64_t from, std::uint64_t to);
+
+}  // namespace versa::taskbench

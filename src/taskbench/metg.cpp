@@ -1,0 +1,53 @@
+#include "taskbench/metg.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace versa::taskbench {
+
+MetgResult metg_bisect(const EfficiencyFn& efficiency_at, Duration lo,
+                       Duration hi, double target, double tolerance_factor) {
+  VERSA_CHECK_MSG(lo > 0.0 && hi > lo, "metg_bisect: need 0 < lo < hi");
+  VERSA_CHECK_MSG(tolerance_factor > 1.0,
+                  "metg_bisect: tolerance factor must exceed 1");
+  MetgResult result;
+
+  double eff_hi = efficiency_at(hi);
+  ++result.evaluations;
+  if (eff_hi < target) {
+    result.all_overhead = true;
+    result.metg = std::numeric_limits<Duration>::infinity();
+    return result;
+  }
+
+  const double eff_lo = efficiency_at(lo);
+  ++result.evaluations;
+  if (eff_lo >= target) {
+    result.zero_overhead = true;
+    result.metg = lo;
+    result.efficiency = eff_lo;
+    return result;
+  }
+
+  // Invariant: lo fails, hi passes. Geometric midpoint keeps the probe
+  // count logarithmic in the (typically decades-wide) bracket.
+  while (hi / lo > tolerance_factor) {
+    const double mid = std::sqrt(lo * hi);
+    const double eff_mid = efficiency_at(mid);
+    ++result.evaluations;
+    if (eff_mid >= target) {
+      hi = mid;
+      eff_hi = eff_mid;
+    } else {
+      lo = mid;
+    }
+  }
+  result.found = true;
+  result.metg = hi;
+  result.efficiency = eff_hi;
+  return result;
+}
+
+}  // namespace versa::taskbench

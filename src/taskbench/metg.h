@@ -1,0 +1,49 @@
+// Minimum effective task granularity (METG) — the smallest per-task
+// compute cost at which a runtime configuration still reaches a target
+// parallel efficiency (task-bench's METG(50%) headline metric).
+//
+// The search is a geometric bisection over task cost: efficiency is
+// assumed monotone non-decreasing in cost (bigger tasks amortize any
+// per-task overhead better), which holds for every per-task-overhead
+// model and empirically for this runtime. The two degenerate regimes are
+// reported explicitly instead of being folded into a number: a
+// configuration whose efficiency never reaches the target inside the
+// probed range is *all overhead* (METG = +inf), and one that meets the
+// target even at the smallest probed cost is *zero overhead* within the
+// range (METG = the lower probe bound).
+#pragma once
+
+#include <functional>
+
+#include "common/types.h"
+
+namespace versa::taskbench {
+
+/// Measured (or modelled) parallel efficiency at one task cost.
+using EfficiencyFn = std::function<double(Duration task_cost)>;
+
+struct MetgResult {
+  /// The efficiency crossing was bracketed inside [lo, hi].
+  bool found = false;
+  /// efficiency(hi) < target: overhead dominates the whole probed range.
+  bool all_overhead = false;
+  /// efficiency(lo) >= target: no measurable overhead down to lo.
+  bool zero_overhead = false;
+  /// Smallest probed task cost meeting the target: the bracketing upper
+  /// bound after bisection (found), lo (zero_overhead), or +inf
+  /// (all_overhead).
+  Duration metg = 0.0;
+  /// Efficiency measured at `metg` (0 when all_overhead).
+  double efficiency = 0.0;
+  /// EfficiencyFn evaluations performed.
+  int evaluations = 0;
+};
+
+/// Bisect [lo, hi] (0 < lo < hi) for the smallest task cost whose
+/// efficiency meets `target`, narrowing until hi/lo <= tolerance_factor
+/// (> 1; e.g. 1.1 resolves METG to within 10%).
+MetgResult metg_bisect(const EfficiencyFn& efficiency_at, Duration lo,
+                       Duration hi, double target = 0.5,
+                       double tolerance_factor = 1.1);
+
+}  // namespace versa::taskbench

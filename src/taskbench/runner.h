@@ -1,0 +1,57 @@
+// Submitting a generated dependence graph through the ordinary
+// Runtime/SubmitOptions API (DESIGN.md §14).
+//
+// Every family's edges cross exactly one timestep, so two region sets
+// double-buffer the whole graph: node (t, i) writes buffer[t % 2][i] and
+// reads its parents' buffer[(t-1) % 2][...] — each oracle edge becomes a
+// real RAW dependence through the analyzer, the directory prices and
+// moves the payload bytes, and the scheduler/granularity/service layers
+// see a completely ordinary program. (The double-buffer also introduces
+// the classic WAR/WAW anti-dependences between reuses of a buffer; those
+// only ever *add* ordering, so the oracle-closure conformance check stays
+// one-directional: every oracle edge must be respected.) The trivial
+// family reads one immutable per-point region instead, keeping it truly
+// dependence-free.
+//
+// Task compute cost is controlled two ways, matching the backends: the
+// registered versions carry a constant cost model (the sim backend's
+// virtual duration), and `spin_bodies` installs a busy-spin body of the
+// same duration (the thread backend's real compute).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/runtime.h"
+#include "taskbench/graph_spec.h"
+
+namespace versa::taskbench {
+
+struct SubmitGraphOptions {
+  /// Per-task compute cost: the constant cost model every registered
+  /// version carries (sim virtual seconds), and the busy-spin duration
+  /// when spin_bodies is set (thread-backend wall seconds).
+  Duration task_cost = 1e-3;
+  /// Install busy-spin task bodies (thread backend). Off by default: the
+  /// sim backend models cost virtually and spinning would only burn the
+  /// host CPU driving the simulation.
+  bool spin_bodies = false;
+  /// Service mode: submit into this graph root.
+  GraphId graph = kDefaultGraph;
+};
+
+/// Declare the spec's task type and versions (one per device kind the
+/// machine has workers for), register the double-buffer regions, and
+/// submit every node in flat-id order. Returns the TaskId of each node,
+/// indexed by flat node id. The caller owns synchronization (taskwait /
+/// wait_graph).
+std::vector<TaskId> submit_graph(Runtime& rt, const GraphSpec& spec,
+                                 const SubmitGraphOptions& options = {});
+
+/// Parallel efficiency of one measured run: the dependence-aware ideal
+/// makespan max(total_work / workers, critical_path × cost) over the
+/// measured makespan. 0 when elapsed is not positive.
+double parallel_efficiency(const GraphOracle& oracle, Duration task_cost,
+                           std::size_t workers, Duration elapsed);
+
+}  // namespace versa::taskbench

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/random.h"
 #include "common/string_util.h"
 #include "machine/presets.h"
 #include "perf/report.h"
@@ -462,6 +463,196 @@ TEST(TraceReport, ParserRejectsMalformedInput) {
     std::istringstream in("");
     EXPECT_FALSE(parse_sched_trace_csv(in, dump, error));
   }
+}
+
+TEST(TraceReport, TruncatedRowsAreRejectedAtEveryPrefix) {
+  // Chop a valid v4 row after the header at every byte length: the parser
+  // must reject every strict prefix — with exactly three survivors: the
+  // full row, and the two prefixes that end exactly on the v1 (10-field)
+  // and v2 (11-field) boundaries, which ARE valid older-version rows (the
+  // mixed-version support the format guarantees). Nothing may crash.
+  const std::string header =
+      "time,kind,task,type,version,worker,busy,estimate,penalty,candidates,"
+      "tenant,group,children\n";
+  const std::string row = "1.5,prefetch,7,2,3,1,0.5,0.25,0.125,6,0,4096,0";
+  std::vector<std::size_t> comma_at;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (row[i] == ',') comma_at.push_back(i);
+  }
+  ASSERT_EQ(comma_at.size(), 12u);
+  const std::size_t v1_boundary = comma_at[9];   // 10 fields before this
+  const std::size_t v2_boundary = comma_at[10];  // 11 fields before this
+  for (std::size_t length = 0; length <= row.size(); ++length) {
+    std::istringstream in(header + row.substr(0, length) + "\n");
+    SchedTraceDump dump;
+    std::string error;
+    const bool parsed = parse_sched_trace_csv(in, dump, error);
+    if (length == row.size()) {
+      EXPECT_TRUE(parsed) << error;
+      ASSERT_EQ(dump.events.size(), 1u);
+      EXPECT_EQ(dump.events[0].group, 4096u);
+    } else if (length == 0) {
+      // The empty line is skipped: a header-only file parses to no events.
+      EXPECT_TRUE(parsed) << error;
+      EXPECT_TRUE(dump.events.empty());
+    } else if (length == v1_boundary || length == v2_boundary) {
+      EXPECT_TRUE(parsed) << error << " (legacy boundary " << length << ")";
+      ASSERT_EQ(dump.events.size(), 1u);
+      EXPECT_EQ(dump.events[0].group, 0u);  // truncated columns defaulted
+    } else {
+      EXPECT_FALSE(parsed) << "prefix length " << length << " accepted";
+      EXPECT_FALSE(error.empty());
+    }
+  }
+}
+
+TEST(TraceReport, UnknownKindVariantsAreRejected) {
+  const std::string header =
+      "time,kind,task,type,version,worker,busy,estimate,penalty,candidates\n";
+  // Near-misses of real kinds: case changes, prefixes, extensions and
+  // whitespace must all fail — the kind match is exact.
+  for (const std::string kind :
+       {"Place", "PLACE", "pla", "placed", "steal ", " steal", "complete",
+        "prefetch-", "done2", ""}) {
+    std::istringstream in(header + "1.0," + kind + ",1,2,3,0,0.0,0.0,0.0,1\n");
+    SchedTraceDump dump;
+    std::string error;
+    EXPECT_FALSE(parse_sched_trace_csv(in, dump, error)) << "'" << kind << "'";
+    EXPECT_NE(error.find("malformed"), std::string::npos);
+  }
+}
+
+TEST(TraceReport, MixedVersionRowsInOneFileParse) {
+  // A concatenation of v1 (10 fields), v2 (11) and v4 (13) rows under one
+  // header: each row parses with its own defaults, and the dump flags
+  // every column set that appeared anywhere in the file.
+  std::istringstream in(
+      "# versa-sched-trace v4\n"
+      "# policy=versioning\n"
+      "time,kind,task,type,version,worker,busy,estimate,penalty,candidates,"
+      "tenant,group,children\n"
+      "1.0,place,1,2,3,1,0.5,0.25,0.125,6\n"
+      "2.0,steal,1,2,3,0,0.0,0.0,0.0,1,4\n"
+      "3.0,split,9,2,0,0,0.0,0.0,0.0,0,0,65536,4\n");
+  SchedTraceDump dump;
+  std::string error;
+  ASSERT_TRUE(parse_sched_trace_csv(in, dump, error)) << error;
+  ASSERT_EQ(dump.events.size(), 3u);
+  EXPECT_TRUE(dump.has_tenant_column);
+  EXPECT_TRUE(dump.has_granularity_columns);
+  // v1 row: default tenant, zero granularity fields.
+  EXPECT_EQ(dump.events[0].tenant, kDefaultTenant);
+  EXPECT_EQ(dump.events[0].group, 0u);
+  // v2 row: tenant carried, granularity defaulted.
+  EXPECT_EQ(dump.events[1].tenant, 4u);
+  EXPECT_EQ(dump.events[1].children, 0u);
+  // v4 row: everything carried.
+  EXPECT_EQ(dump.events[2].group, 65536u);
+  EXPECT_EQ(dump.events[2].children, 4u);
+  const TraceReport report = analyze_sched_trace(dump);
+  EXPECT_EQ(report.placements, 1u);
+  EXPECT_EQ(report.steals, 1u);
+  EXPECT_EQ(report.splits, 1u);
+}
+
+TEST(TraceReport, TwelveFieldRowsAreRejected) {
+  // 12 fields sits between the known widths (11 and 13): a v3/v4 row that
+  // lost one column must fail loudly, not parse with a shifted field.
+  std::istringstream in(
+      "time,kind,task,type,version,worker,busy,estimate,penalty,candidates,"
+      "tenant,group,children\n"
+      "1.0,place,1,2,3,1,0.5,0.25,0.125,6,0,4096\n");
+  SchedTraceDump dump;
+  std::string error;
+  EXPECT_FALSE(parse_sched_trace_csv(in, dump, error));
+  EXPECT_NE(error.find("got 12"), std::string::npos);
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST(TraceReport, DeterministicMutationFuzzNeverCrashes) {
+  // Seeded byte-level mutations of a valid dump: every variant must either
+  // parse or fail with a diagnostic — no crashes, no hangs, and a failed
+  // parse always names a line. The seed is fixed so a regression replays.
+  const std::string valid =
+      "# versa-sched-trace v4\n"
+      "# policy=fifo\n"
+      "# recorded=4 dropped=0 capacity=8\n"
+      "time,kind,task,type,version,worker,busy,estimate,penalty,candidates,"
+      "tenant,group,children\n"
+      "1.0,learn,1,0,1,0,0.5,0.25,0.125,3,0,0,0\n"
+      "2.0,place,2,1,2,1,0.5,0.25,0.125,3,0,0,0\n"
+      "3.0,done,1,0,1,0,0.0,0.0,0.0,0,0,0,0\n"
+      "4.0,prefetch-pop,2,1,2,1,0.0,0.0,0.0,0,0,512,0\n";
+  const std::string alphabet = "0123456789,.-azZ \n#";
+  Rng rng(20260809);
+  int parsed_count = 0;
+  int rejected_count = 0;
+  for (int round = 0; round < 500; ++round) {
+    std::string mutated = valid;
+    const std::size_t mutations = 1 + rng.next_below(4);
+    for (std::size_t m = 0; m < mutations; ++m) {
+      const std::size_t at = rng.next_below(mutated.size());
+      switch (rng.next_below(3)) {
+        case 0:  // overwrite
+          mutated[at] = alphabet[rng.next_below(alphabet.size())];
+          break;
+        case 1:  // delete
+          mutated.erase(at, 1);
+          break;
+        default:  // insert
+          mutated.insert(at, 1, alphabet[rng.next_below(alphabet.size())]);
+          break;
+      }
+    }
+    std::istringstream in(mutated);
+    SchedTraceDump dump;
+    std::string error;
+    if (parse_sched_trace_csv(in, dump, error)) {
+      ++parsed_count;
+      // Whatever parsed must also analyze and render without crashing.
+      const TraceReport report = analyze_sched_trace(dump);
+      EXPECT_FALSE(render_trace_report(dump, report).empty());
+    } else {
+      ++rejected_count;
+      EXPECT_FALSE(error.empty());
+    }
+  }
+  // The mutation space hits both outcomes; if either count is zero the
+  // fuzzer is not exercising the parser any more.
+  EXPECT_GT(parsed_count, 0);
+  EXPECT_GT(rejected_count, 0);
+}
+
+TEST(TraceReport, PerTypeBreakdownRenderedForMultiTypeDumps) {
+  // Two task types with placements: the per-type section appears with one
+  // row per type. One type: section absent (old reports unchanged).
+  const std::string header =
+      "time,kind,task,type,version,worker,busy,estimate,penalty,candidates\n";
+  std::istringstream multi(
+      header +
+      "1.0,place,1,0,1,0,0.0,0.0,0.0,1\n"
+      "2.0,learn,2,5,2,1,0.0,0.0,0.0,1\n"
+      "3.0,done,1,0,1,0,0.0,0.0,0.0,0\n"
+      "4.0,steal,2,5,2,0,0.0,0.0,0.0,0\n");
+  SchedTraceDump dump;
+  std::string error;
+  ASSERT_TRUE(parse_sched_trace_csv(multi, dump, error)) << error;
+  const TraceReport report = analyze_sched_trace(dump);
+  ASSERT_EQ(report.per_type.size(), 2u);
+  EXPECT_EQ(report.per_type.at(0).placements, 1u);
+  EXPECT_EQ(report.per_type.at(0).completions, 1u);
+  EXPECT_EQ(report.per_type.at(5).placements, 1u);
+  EXPECT_EQ(report.per_type.at(5).learning, 1u);
+  EXPECT_EQ(report.per_type.at(5).steals, 1u);
+  EXPECT_DOUBLE_EQ(report.per_type.at(5).steal_churn, 1.0);
+  const std::string rendered = render_trace_report(dump, report);
+  EXPECT_NE(rendered.find("per-type breakdown:"), std::string::npos);
+
+  std::istringstream single(header + "1.0,place,1,0,1,0,0.0,0.0,0.0,1\n");
+  ASSERT_TRUE(parse_sched_trace_csv(single, dump, error)) << error;
+  const TraceReport single_report = analyze_sched_trace(dump);
+  EXPECT_EQ(render_trace_report(dump, single_report).find("per-type"),
+            std::string::npos);
 }
 
 TEST(TraceReport, EmptyTraceAnalyzesToZeros) {

@@ -1,0 +1,105 @@
+// Unit tests for the METG bisection (taskbench::metg_bisect) on synthetic
+// perfect-runtime cost models — no real execution, so the analytically
+// known crossing can be checked exactly. The canonical model is the
+// per-task-overhead law eff(c) = c / (c + overhead): efficiency reaches
+// 50% exactly at c = overhead, so METG(50%) == overhead; a target t
+// crosses at c = overhead * t / (1 - t).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "taskbench/metg.h"
+
+namespace versa::taskbench {
+namespace {
+
+/// Perfect-runtime model with a fixed per-task overhead.
+EfficiencyFn overhead_model(double overhead) {
+  return [overhead](Duration cost) { return cost / (cost + overhead); };
+}
+
+TEST(MetgBisect, ConvergesToKnownOverhead) {
+  const double overhead = 250e-6;
+  const MetgResult result =
+      metg_bisect(overhead_model(overhead), 1e-6, 1.0, 0.5, 1.01);
+  ASSERT_TRUE(result.found);
+  EXPECT_FALSE(result.all_overhead);
+  EXPECT_FALSE(result.zero_overhead);
+  // metg is the smallest *passing* probe: >= the true crossing, within
+  // the tolerance factor of it.
+  EXPECT_GE(result.metg, overhead * 0.999);
+  EXPECT_LE(result.metg, overhead * 1.01 * 1.001);
+  EXPECT_GE(result.efficiency, 0.5);
+}
+
+TEST(MetgBisect, TargetShiftsTheCrossing) {
+  const double overhead = 100e-6;
+  // eff = 0.9 at c = 9 * overhead.
+  const MetgResult result =
+      metg_bisect(overhead_model(overhead), 1e-6, 1.0, 0.9, 1.01);
+  ASSERT_TRUE(result.found);
+  EXPECT_GE(result.metg, 9.0 * overhead * 0.999);
+  EXPECT_LE(result.metg, 9.0 * overhead * 1.01 * 1.001);
+}
+
+TEST(MetgBisect, AllOverheadEndpoint) {
+  // Efficiency never reaches the target inside the range: one probe (at
+  // hi) suffices to classify the configuration.
+  const MetgResult result =
+      metg_bisect([](Duration) { return 0.2; }, 1e-6, 1.0, 0.5, 1.1);
+  EXPECT_FALSE(result.found);
+  EXPECT_TRUE(result.all_overhead);
+  EXPECT_FALSE(result.zero_overhead);
+  EXPECT_TRUE(std::isinf(result.metg));
+  EXPECT_EQ(result.evaluations, 1);
+}
+
+TEST(MetgBisect, ZeroOverheadEndpoint) {
+  // Target already met at lo: METG is the lower probe bound and exactly
+  // two probes were spent (hi to rule out all-overhead, then lo).
+  const MetgResult result =
+      metg_bisect([](Duration) { return 0.9; }, 1e-6, 1.0, 0.5, 1.1);
+  EXPECT_FALSE(result.found);
+  EXPECT_FALSE(result.all_overhead);
+  EXPECT_TRUE(result.zero_overhead);
+  EXPECT_DOUBLE_EQ(result.metg, 1e-6);
+  EXPECT_DOUBLE_EQ(result.efficiency, 0.9);
+  EXPECT_EQ(result.evaluations, 2);
+}
+
+TEST(MetgBisect, ExactThresholdAtHiCountsAsPassing) {
+  // eff(hi) == target exactly: not all-overhead; bisection proceeds.
+  const double overhead = 1.0;  // eff(1.0) == 0.5 == target at hi
+  const MetgResult result =
+      metg_bisect(overhead_model(overhead), 1e-3, 1.0, 0.5, 1.05);
+  EXPECT_FALSE(result.all_overhead);
+  ASSERT_TRUE(result.found);
+  // The crossing sits on the bracket's upper edge.
+  EXPECT_GE(result.metg, overhead / 1.05);
+  EXPECT_LE(result.metg, overhead);
+}
+
+TEST(MetgBisect, EvaluationCountIsLogarithmic) {
+  // Six-decade bracket at 10% tolerance: each step halves the log-width,
+  // so ~10 probes, never a linear scan.
+  const MetgResult result =
+      metg_bisect(overhead_model(1e-4), 1e-6, 1.0, 0.5, 1.1);
+  ASSERT_TRUE(result.found);
+  EXPECT_LE(result.evaluations, 20);
+  EXPECT_GE(result.evaluations, 3);
+}
+
+TEST(MetgBisect, ResultBracketsRespectTolerance) {
+  for (const double tolerance : {1.02, 1.1, 1.5, 2.0}) {
+    const double overhead = 3.3e-4;
+    const MetgResult result =
+        metg_bisect(overhead_model(overhead), 1e-6, 1.0, 0.5, tolerance);
+    ASSERT_TRUE(result.found) << tolerance;
+    // metg is a passing cost within `tolerance` of the true crossing.
+    EXPECT_GE(result.metg, overhead / tolerance) << tolerance;
+    EXPECT_LE(result.metg, overhead * tolerance) << tolerance;
+  }
+}
+
+}  // namespace
+}  // namespace versa::taskbench

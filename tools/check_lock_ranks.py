@@ -23,8 +23,16 @@ This lint makes that structural:
      sharing a rank would let the checker pass an acquisition order that
      deadlocks (neither rank is strictly above the other).
 
+Declarations are matched in both initializer spellings — brace
+(`versa::SharedMutex mu_{lock_order::kLockRankFoo};`) and parenthesis
+(`versa::SharedMutex mu(lock_order::kLockRankFoo);`) — so a
+namespace-scope paren-initialized mutex cannot silently skip the check.
+
 Exits 1 listing every offender; the CI build step runs this before
-compiling anything.
+compiling anything. `--self-test` runs the lint's own fixture suite
+(declarations that must pass and must fail, covering all three mutex
+types and both initializer spellings) and exits nonzero if the lint has
+lost coverage.
 """
 
 import os
@@ -43,9 +51,12 @@ RAW_MUTEX_ALLOWLIST = {
     os.path.join("util", "lock_order.cpp"),
 }
 
+# Both initializer spellings are captured: {…} and (…). A bare
+# declaration (no initializer) must find its rank in a constructor
+# initializer list, or it is flagged.
 DECL_RE = re.compile(
     r"^\s*(?:mutable\s+)?(?:versa::)?(?:Recursive|Shared)?Mutex\s+"
-    r"(?P<name>[A-Za-z_]\w*)\s*(?P<init>\{[^}]*\})?\s*;",
+    r"(?P<name>[A-Za-z_]\w*)\s*(?P<init>\{[^}]*\}|\([^)]*\))?\s*;",
 )
 RANK_USE_RE = re.compile(r"lock_order::(?P<cls>kLockRank\w+)")
 RAW_MUTEX_RE = re.compile(r"\bstd::(?:recursive_|shared_)?mutex\b")
@@ -136,7 +147,123 @@ def ctor_init_ranks(path):
     return inits
 
 
+def decl_errors(rel, text, classes, inits_provider):
+    """Lint the mutex declarations of one (comment-stripped) source text.
+
+    `inits_provider` is called lazily (at most once) to get the
+    constructor-initializer-list ranks for bare declarations.
+    """
+    errors = []
+    inits = None
+    for i, line in enumerate(text.splitlines(), 1):
+        m = DECL_RE.match(line)
+        if m is None:
+            continue
+        # References and parameters don't construct a mutex.
+        if "&" in line.split(";")[0]:
+            continue
+        name = m.group("name")
+        init = m.group("init") or ""
+        used = RANK_USE_RE.search(init)
+        if used:
+            if used.group("cls") not in classes:
+                errors.append(
+                    f"{rel}:{i}: mutex '{name}' uses unregistered lock "
+                    f"class {used.group('cls')}")
+            continue
+        if inits is None:
+            inits = inits_provider()
+        ctor_classes = inits.get(name, set())
+        unknown = ctor_classes - classes
+        if unknown:
+            errors.append(
+                f"{rel}:{i}: mutex '{name}' uses unregistered lock "
+                f"class {', '.join(sorted(unknown))}")
+        elif not ctor_classes:
+            errors.append(
+                f"{rel}:{i}: mutex '{name}' is not constructed from a "
+                f"registered lock_order::kLockRank* class")
+    return errors
+
+
+def raw_mutex_errors(rel, text):
+    errors = []
+    for i, line in enumerate(text.splitlines(), 1):
+        if RAW_MUTEX_RE.search(line):
+            errors.append(
+                f"{rel}:{i}: raw std::mutex bypasses lock-order "
+                f"tracking — use versa::Mutex with a LockClass")
+    return errors
+
+
+# --self-test fixtures: (description, source line(s), ctor-initializer
+# ranks, expected error substring or None). The synthetic class set is
+# {kLockRankAlpha}; kLockRankBogus is deliberately unregistered. Every
+# mutex type × initializer spelling that must stay covered is pinned here
+# — if a regex change reopens the paren-init (or SharedMutex) hole, the
+# "must flag" fixtures stop failing and the self-test exits 1.
+SELF_TEST_CLASSES = {"kLockRankAlpha"}
+SELF_TEST_FIXTURES = [
+    ("brace-init Mutex with registered rank passes",
+     "versa::Mutex mu_{lock_order::kLockRankAlpha};", {}, None),
+    ("paren-init Mutex with registered rank passes",
+     "versa::Mutex mu_(lock_order::kLockRankAlpha);", {}, None),
+    ("paren-init SharedMutex with registered rank passes",
+     "versa::SharedMutex mu(lock_order::kLockRankAlpha);", {}, None),
+    ("brace-init RecursiveMutex with registered rank passes",
+     "mutable versa::RecursiveMutex mu_{lock_order::kLockRankAlpha};",
+     {}, None),
+    ("bare Mutex with ctor-initializer rank passes",
+     "versa::Mutex mu_;", {"mu_": {"kLockRankAlpha"}}, None),
+    ("reference declarations are ignored",
+     "versa::Mutex& other = peer.mu;", {}, None),
+    ("default-constructed SharedMutex is flagged",
+     "versa::SharedMutex mu_;", {},
+     "not constructed from a registered"),
+    ("default-constructed Mutex is flagged",
+     "versa::Mutex mu_;", {},
+     "not constructed from a registered"),
+    ("brace-init with unregistered rank is flagged",
+     "versa::Mutex mu_{lock_order::kLockRankBogus};", {},
+     "unregistered lock class kLockRankBogus"),
+    ("paren-init SharedMutex with unregistered rank is flagged",
+     "versa::SharedMutex mu(lock_order::kLockRankBogus);", {},
+     "unregistered lock class kLockRankBogus"),
+    ("ctor-initializer with unregistered rank is flagged",
+     "versa::Mutex mu_;", {"mu_": {"kLockRankBogus"}},
+     "unregistered lock class kLockRankBogus"),
+]
+
+
+def run_self_test():
+    failures = []
+    for description, source, inits, expected in SELF_TEST_FIXTURES:
+        errors = decl_errors("fixture", source, SELF_TEST_CLASSES,
+                             lambda inits=inits: inits)
+        if expected is None:
+            if errors:
+                failures.append(f"{description}: unexpected {errors}")
+        elif not any(expected in error for error in errors):
+            failures.append(
+                f"{description}: expected an error containing "
+                f"'{expected}', got {errors or 'no errors'}")
+    raw = raw_mutex_errors("fixture", "std::mutex raw_;")
+    if not any("bypasses lock-order" in error for error in raw):
+        failures.append("raw std::mutex fixture was not flagged")
+    if failures:
+        print("check_lock_ranks --self-test: FAIL", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"check_lock_ranks --self-test: OK "
+          f"({len(SELF_TEST_FIXTURES) + 1} fixtures)")
+    return 0
+
+
 def main():
+    if "--self-test" in sys.argv[1:]:
+        return run_self_test()
+
     classes = registered_classes()
     if not classes:
         print("check_lock_ranks: no LockClass declarations found in "
@@ -151,41 +278,10 @@ def main():
         text = strip_comments(raw)
 
         if rel not in RAW_MUTEX_ALLOWLIST:
-            for i, line in enumerate(text.splitlines(), 1):
-                if RAW_MUTEX_RE.search(line):
-                    errors.append(
-                        f"{rel}:{i}: raw std::mutex bypasses lock-order "
-                        f"tracking — use versa::Mutex with a LockClass")
-
-        inits = None
-        for i, line in enumerate(text.splitlines(), 1):
-            m = DECL_RE.match(line)
-            if m is None:
-                continue
-            # References and parameters don't construct a mutex.
-            if "&" in line.split(";")[0]:
-                continue
-            name = m.group("name")
-            init = m.group("init") or ""
-            used = RANK_USE_RE.search(init)
-            if used:
-                if used.group("cls") not in classes:
-                    errors.append(
-                        f"{rel}:{i}: mutex '{name}' uses unregistered lock "
-                        f"class {used.group('cls')}")
-                continue
-            if inits is None:
-                inits = ctor_init_ranks(path)
-            ctor_classes = inits.get(name, set())
-            unknown = ctor_classes - classes
-            if unknown:
-                errors.append(
-                    f"{rel}:{i}: mutex '{name}' uses unregistered lock "
-                    f"class {', '.join(sorted(unknown))}")
-            elif not ctor_classes:
-                errors.append(
-                    f"{rel}:{i}: mutex '{name}' is not constructed from a "
-                    f"registered lock_order::kLockRank* class")
+            errors.extend(raw_mutex_errors(rel, text))
+        errors.extend(
+            decl_errors(rel, text, classes,
+                        lambda path=path: ctor_init_ranks(path)))
 
     if errors:
         print("check_lock_ranks: FAIL — every versa::Mutex must name a "
